@@ -1,0 +1,169 @@
+//! A BFuzz-style replay-and-mutate fuzzer.
+//!
+//! The paper describes BFuzz (the IoTcube network fuzzer) as replaying
+//! packets "previously determined to be vulnerable" and mutating almost every
+//! field — including the dependent ones — so the bulk of its traffic is
+//! turned away by the target ("command not understood" / "invalid CID"),
+//! giving it the highest packet-rejection ratio of the four tools (91.6 %)
+//! and a very small effective mutation efficiency.
+
+use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
+use l2cap::command::{Command, ConfigureRequest, ConnectionRequest, DisconnectionRequest};
+use l2cap::options::ConfigOption;
+use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
+use l2fuzz::fuzzer::Fuzzer;
+use hci::air::AclLink;
+use std::time::Duration;
+
+/// Replay-and-mutate baseline fuzzer.
+pub struct BFuzzFuzzer {
+    clock: SimClock,
+    rng: FuzzRng,
+    next_scid: u16,
+}
+
+impl BFuzzFuzzer {
+    /// Creates the fuzzer.
+    pub fn new(clock: SimClock, rng: FuzzRng) -> Self {
+        BFuzzFuzzer { clock, rng, next_scid: 0x0240 }
+    }
+
+    fn send_cmd(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
+        self.clock.advance(Duration::from_micros(1_200));
+        link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
+            .iter()
+            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
+            .collect()
+    }
+
+    fn send_raw(&mut self, link: &mut AclLink, packet: SignalingPacket) {
+        self.clock.advance(Duration::from_micros(1_200));
+        let _ = link.send_frame(&packet.into_frame());
+    }
+}
+
+impl Fuzzer for BFuzzFuzzer {
+    fn name(&self) -> &'static str {
+        "BFuzz"
+    }
+
+    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
+        let start = link.frames_sent();
+        while (link.frames_sent() - start) < max_packets as u64 {
+            let scid = Cid(self.next_scid);
+            self.next_scid = self.next_scid.wrapping_add(1).max(0x0240);
+
+            // Seed setup: connect and send one configuration request, like
+            // the seed exchange its corpus was captured from.  BFuzz never
+            // completes the handshake.
+            let responses = self.send_cmd(
+                link,
+                1,
+                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid }),
+            );
+            let dcid = responses
+                .iter()
+                .find_map(|c| match c {
+                    Command::ConnectionResponse(r) if r.dcid != Cid::NULL => Some(r.dcid),
+                    _ => None,
+                })
+                .unwrap_or(scid);
+            self.send_cmd(
+                link,
+                2,
+                Command::ConfigureRequest(ConfigureRequest {
+                    dcid,
+                    flags: 0,
+                    options: vec![ConfigOption::Mtu(672)],
+                }),
+            );
+
+            // Replay barrage: mutations of the seed corpus.  Almost all of
+            // them are turned away by the target.
+            for i in 0..96u16 {
+                if (link.frames_sent() - start) >= max_packets as u64 {
+                    break;
+                }
+                let roll = self.rng.next_u8() % 100;
+                let packet = if roll < 90 {
+                    // Disconnection requests for channels that were valid in
+                    // the corpus but do not exist here -> "invalid CID".
+                    SignalingPacket::new(
+                        Identifier((i % 250 + 1) as u8),
+                        Command::DisconnectionRequest(DisconnectionRequest {
+                            dcid: Cid(self.rng.range_u16(0x0040, 0xFFFF)),
+                            scid: Cid(self.rng.range_u16(0x0040, 0xFFFF)),
+                        }),
+                    )
+                } else if roll < 97 {
+                    // Field-blind mutation that corrupts the command code ->
+                    // "command not understood".
+                    SignalingPacket::from_raw(
+                        Identifier((i % 250 + 1) as u8),
+                        0x1B + (self.rng.next_u8() % 0x40),
+                        self.rng.bytes(8),
+                    )
+                } else {
+                    // Field-blind mutation that truncates a known command.
+                    SignalingPacket::from_raw(
+                        Identifier((i % 250 + 1) as u8),
+                        0x02,
+                        self.rng.bytes(1),
+                    )
+                };
+                self.send_raw(link, packet);
+            }
+
+            self.send_cmd(
+                link,
+                3,
+                Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
+            );
+            if !link.device_alive() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btstack::device::share;
+    use btstack::profiles::{DeviceProfile, ProfileId};
+    use hci::air::AirMedium;
+    use hci::link::{new_tap, LinkConfig};
+    use sniffer::{MetricsSummary, StateCoverage, Trace};
+
+    fn run(max_packets: usize) -> Trace {
+        let clock = SimClock::new();
+        let mut air = AirMedium::new(clock.clone());
+        let profile = DeviceProfile::table5(ProfileId::D2);
+        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(7));
+        device.set_auto_restart(true);
+        let (_, adapter) = share(device);
+        air.register(adapter);
+        let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8)).unwrap();
+        let tap = new_tap();
+        link.attach_tap(tap.clone());
+        BFuzzFuzzer::new(clock, FuzzRng::seed_from(9)).fuzz(&mut link, max_packets);
+        Trace::from_tap(&tap)
+    }
+
+    #[test]
+    fn bfuzz_has_a_very_high_rejection_ratio_and_low_mp_ratio() {
+        let trace = run(1_000);
+        let metrics = MetricsSummary::from_trace(&trace);
+        assert!(metrics.pr_ratio > 0.60, "PR ratio {:.3} should dominate", metrics.pr_ratio);
+        assert!(metrics.mp_ratio < 0.20, "MP ratio {:.3} should be small", metrics.mp_ratio);
+        assert!(metrics.mutation_efficiency < 0.05);
+        assert!(metrics.packets_per_second > 50.0, "BFuzz is a fast sender");
+    }
+
+    #[test]
+    fn bfuzz_covers_about_six_states() {
+        let trace = run(1_000);
+        let coverage = StateCoverage::from_trace(&trace);
+        assert_eq!(coverage.count(), 6, "covered: {:?}", coverage.states());
+    }
+}

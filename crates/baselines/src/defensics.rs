@@ -1,0 +1,176 @@
+//! A Defensics-style template fuzzer.
+//!
+//! The paper characterises Defensics as a commercial, specification-template
+//! based tool: it runs through well-formed protocol exchanges, injects only
+//! the occasional anomaly ("most of the test packets are normal packets"),
+//! tests a single packet per state, and is extremely slow (3.37 packets per
+//! second in §IV-C).  Those are exactly the behaviours reproduced here.
+
+use btcore::{Cid, Identifier, Psm, SimClock};
+use l2cap::command::{
+    Command, ConfigureRequest, ConfigureResponse, ConnectionRequest, DisconnectionRequest,
+};
+use l2cap::consts::ConfigureResult;
+use l2cap::options::ConfigOption;
+use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
+use l2fuzz::fuzzer::Fuzzer;
+use hci::air::AclLink;
+use std::time::Duration;
+
+/// Template-driven baseline fuzzer.
+pub struct DefensicsFuzzer {
+    clock: SimClock,
+    /// Extra virtual time spent generating each test case (what makes the
+    /// tool slow).
+    think_time: Duration,
+    next_scid: u16,
+    anomaly_counter: u64,
+}
+
+impl DefensicsFuzzer {
+    /// Creates the fuzzer; `clock` is the shared virtual clock.
+    pub fn new(clock: SimClock) -> Self {
+        DefensicsFuzzer {
+            clock,
+            think_time: Duration::from_millis(295),
+            next_scid: 0x0140,
+            anomaly_counter: 0,
+        }
+    }
+
+    fn send(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
+        self.clock.advance(self.think_time);
+        link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
+            .iter()
+            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
+            .collect()
+    }
+
+    fn send_raw(&mut self, link: &mut AclLink, packet: SignalingPacket) {
+        self.clock.advance(self.think_time);
+        let _ = link.send_frame(&packet.into_frame());
+    }
+}
+
+impl Fuzzer for DefensicsFuzzer {
+    fn name(&self) -> &'static str {
+        "Defensics"
+    }
+
+    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
+        let start = link.frames_sent();
+        while (link.frames_sent() - start) < max_packets as u64 {
+            let scid = Cid(self.next_scid);
+            self.next_scid = self.next_scid.wrapping_add(1).max(0x0140);
+
+            // One fully conformant exchange per test cycle.
+            let responses = self.send(
+                link,
+                1,
+                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid }),
+            );
+            let dcid = responses
+                .iter()
+                .find_map(|c| match c {
+                    Command::ConnectionResponse(r) if r.dcid != Cid::NULL => Some(r.dcid),
+                    _ => None,
+                })
+                .unwrap_or(scid);
+
+            self.anomaly_counter += 1;
+            if self.anomaly_counter % 25 == 0 {
+                // The occasional anomalous test case: a Configure Request
+                // with a short garbage tail (the template's "overflow"
+                // element).
+                let mut data = dcid.value().to_le_bytes().to_vec();
+                data.extend_from_slice(&[0x00, 0x00]);
+                let declared = data.len() as u16;
+                data.extend_from_slice(&[0x41; 6]);
+                self.send_raw(
+                    link,
+                    SignalingPacket {
+                        identifier: Identifier(2),
+                        code: 0x04,
+                        declared_data_len: declared,
+                        data,
+                    },
+                );
+            } else {
+                self.send(
+                    link,
+                    2,
+                    Command::ConfigureRequest(ConfigureRequest {
+                        dcid,
+                        flags: 0,
+                        options: vec![ConfigOption::Mtu(672)],
+                    }),
+                );
+            }
+            self.send(
+                link,
+                3,
+                Command::ConfigureResponse(ConfigureResponse {
+                    scid: dcid,
+                    flags: 0,
+                    result: ConfigureResult::Success,
+                    options: vec![],
+                }),
+            );
+            self.send(
+                link,
+                4,
+                Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
+            );
+            if !link.device_alive() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::FuzzRng;
+    use btstack::device::share;
+    use btstack::profiles::{DeviceProfile, ProfileId};
+    use hci::air::AirMedium;
+    use hci::link::{new_tap, LinkConfig};
+    use sniffer::{MetricsSummary, StateCoverage, Trace};
+
+    fn run(max_packets: usize) -> Trace {
+        let clock = SimClock::new();
+        let mut air = AirMedium::new(clock.clone());
+        let profile = DeviceProfile::table5(ProfileId::D2);
+        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(7));
+        device.set_auto_restart(true);
+        let (_, adapter) = share(device);
+        air.register(adapter);
+        let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8)).unwrap();
+        let tap = new_tap();
+        link.attach_tap(tap.clone());
+        DefensicsFuzzer::new(clock).fuzz(&mut link, max_packets);
+        Trace::from_tap(&tap)
+    }
+
+    #[test]
+    fn defensics_sends_mostly_normal_packets_slowly() {
+        let trace = run(400);
+        let metrics = MetricsSummary::from_trace(&trace);
+        assert!(metrics.transmitted >= 400);
+        assert!(metrics.mp_ratio < 0.10, "MP ratio {:.3} should be tiny", metrics.mp_ratio);
+        assert!(metrics.pr_ratio < 0.10, "PR ratio {:.3} should be tiny", metrics.pr_ratio);
+        assert!(
+            metrics.packets_per_second < 20.0,
+            "Defensics should be slow, got {:.1} pps",
+            metrics.packets_per_second
+        );
+    }
+
+    #[test]
+    fn defensics_covers_about_seven_states() {
+        let trace = run(400);
+        let coverage = StateCoverage::from_trace(&trace);
+        assert_eq!(coverage.count(), 7, "covered: {:?}", coverage.states());
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion bench: ablation of L2Fuzz design choices (state guiding,
+//! core-field-only mutation, garbage tail) measured as a short campaign.
+use bench::TestBench;
+use btstack::profiles::ProfileId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use l2fuzz::config::FuzzConfig;
+use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::session::L2FuzzTool;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_500_packets");
+    let variants: Vec<(&str, FuzzConfig)> = vec![
+        ("full", FuzzConfig::comparison(usize::MAX, 1)),
+        ("no_state_guiding", FuzzConfig::comparison(usize::MAX, 2).without_state_guiding()),
+        ("all_field_mutation", FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction()),
+        ("no_garbage", FuzzConfig::comparison(usize::MAX, 4).without_garbage()),
+    ];
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                let mut bench = TestBench::new(ProfileId::D2, 0xA11A, true);
+                let meta = {
+                    use hci::device::VirtualDevice;
+                    bench.device.lock().meta()
+                };
+                let mut tool = L2FuzzTool::new(config.clone(), bench.clock.clone(), meta);
+                tool.fuzz(&mut bench.link, 500);
+                std::hint::black_box(bench.trace().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench: end-to-end packets-per-second of each fuzzer against the
+//! simulated Pixel 3 (the §IV-C pps comparison).
+use bench::run_comparison;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_throughput(c: &mut Criterion) {
+    c.bench_function("comparison_round_500_packets_all_fuzzers", |b| {
+        b.iter(|| std::hint::black_box(run_comparison(500, 0xBEEF)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: acceptor state-machine transition throughput.
+use criterion::{criterion_group, criterion_main, Criterion};
+use l2cap::code::CommandCode;
+use l2cap::state::StateMachine;
+
+fn bench_state_machine(c: &mut Criterion) {
+    c.bench_function("full_channel_lifecycle", |b| {
+        b.iter(|| {
+            let mut sm = StateMachine::new();
+            sm.on_command(CommandCode::ConnectionRequest, true);
+            sm.on_command(CommandCode::ConfigureRequest, true);
+            sm.on_command(CommandCode::ConfigureResponse, true);
+            sm.on_command(CommandCode::MoveChannelRequest, true);
+            sm.on_command(CommandCode::MoveChannelConfirmationRequest, true);
+            sm.on_command(CommandCode::DisconnectionRequest, true);
+            std::hint::black_box(sm.visited().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_state_machine
+}
+criterion_main!(benches);

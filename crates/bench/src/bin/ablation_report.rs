@@ -1,0 +1,43 @@
+//! Ablation study: what each L2Fuzz design choice contributes.
+//!
+//! Four configurations are compared on the Pixel 3 target: full L2Fuzz,
+//! without state guiding, without core-field-only mutation (dumb mutation of
+//! every field), and without the garbage tail.
+use bench::TestBench;
+use btstack::profiles::ProfileId;
+use l2fuzz::config::FuzzConfig;
+use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::session::L2FuzzTool;
+use sniffer::{MetricsSummary, StateCoverage};
+
+fn main() {
+    let budget: usize = std::env::var("L2FUZZ_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(4_000);
+    let variants: Vec<(&str, FuzzConfig)> = vec![
+        ("full L2Fuzz", FuzzConfig::comparison(usize::MAX, 1)),
+        ("no state guiding", FuzzConfig::comparison(usize::MAX, 2).without_state_guiding()),
+        ("all-field mutation", FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction()),
+        ("no garbage tail", FuzzConfig::comparison(usize::MAX, 4).without_garbage()),
+    ];
+    println!("Ablation on D2 (Pixel 3), {budget} packets per variant");
+    println!("{:<22}{:>8}{:>8}{:>8}{:>10}", "Variant", "MP", "PR", "ME", "states");
+    for (name, config) in variants {
+        let mut bench = TestBench::new(ProfileId::D2, 0xAB1A, true);
+        let meta = {
+            use hci::device::VirtualDevice;
+            bench.device.lock().meta()
+        };
+        let mut tool = L2FuzzTool::new(config, bench.clock.clone(), meta);
+        tool.fuzz(&mut bench.link, budget);
+        let trace = bench.trace();
+        let m = MetricsSummary::from_trace(&trace);
+        let cov = StateCoverage::from_trace(&trace);
+        println!(
+            "{:<22}{:>7.1}%{:>7.1}%{:>7.1}%{:>10}",
+            name,
+            m.mp_ratio * 100.0,
+            m.pr_ratio * 100.0,
+            m.mutation_efficiency * 100.0,
+            cov.count()
+        );
+    }
+}

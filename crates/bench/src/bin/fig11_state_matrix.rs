@@ -1,0 +1,19 @@
+//! Regenerates Figure 11: which of the 19 states each fuzzer can test.
+use bench::run_comparison;
+use l2cap::state::ChannelState;
+
+fn main() {
+    println!("Figure 11 — testable L2CAP states per fuzzer ('#' = covered)");
+    let runs = run_comparison(3_000, 0x1111);
+    println!("{:<24}{}", "State", runs.iter().map(|r| format!("{:>10}", r.name)).collect::<String>());
+    for state in ChannelState::ALL {
+        let row: String = runs
+            .iter()
+            .map(|r| format!("{:>10}", if r.coverage.covers(state) { "#" } else { "." }))
+            .collect();
+        println!("{:<24}{}", state.spec_name(), row);
+    }
+    for run in &runs {
+        println!("{:<12}{}", run.name, run.coverage.matrix_row());
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: cumulative malformed packets vs transmitted packets.
+use bench::{default_budget, run_comparison};
+use sniffer::metrics::malformed_series;
+
+fn main() {
+    let budget = default_budget();
+    let step = (budget / 10).max(1);
+    println!("Figure 8 — #transmitted malformed packets vs #transmitted packets (step {step})");
+    for run in run_comparison(budget, 0x0808) {
+        println!("-- {}", run.name);
+        for point in malformed_series(&run.trace, step) {
+            println!("   {:>8} transmitted  {:>8} malformed", point.packets, point.matching);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 9: cumulative rejection packets vs received packets.
+use bench::{default_budget, run_comparison};
+use sniffer::metrics::rejection_series;
+
+fn main() {
+    let budget = default_budget();
+    let step = (budget / 10).max(1);
+    println!("Figure 9 — #received rejection packets vs #received packets (step {step})");
+    for run in run_comparison(budget, 0x0909) {
+        println!("-- {}", run.name);
+        for point in rejection_series(&run.trace, step) {
+            println!("   {:>8} received  {:>8} rejections", point.packets, point.matching);
+        }
+    }
+}

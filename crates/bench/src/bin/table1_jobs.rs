@@ -1,0 +1,21 @@
+//! Regenerates Tables I-III: the job clustering and valid-command map.
+use l2cap::jobs::Job;
+
+fn main() {
+    println!("Table I — jobs and their states");
+    for job in Job::ALL {
+        let states: Vec<&str> = job.states().iter().map(|s| s.spec_name()).collect();
+        println!("{:<15}{}", job.to_string(), states.join(", "));
+    }
+    println!();
+    println!("Table III — valid commands mapped for each job");
+    for job in Job::ALL {
+        let cmds = job.valid_commands();
+        let shown = if cmds.len() == 26 {
+            "All commands".to_string()
+        } else {
+            cmds.iter().map(|c| c.mnemonic()).collect::<Vec<_>>().join(", ")
+        };
+        println!("{:<15}{}", job.to_string(), shown);
+    }
+}

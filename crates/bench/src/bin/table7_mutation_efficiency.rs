@@ -1,0 +1,20 @@
+//! Regenerates Table VII: MP ratio, PR ratio and mutation efficiency of the
+//! four fuzzers against D2 (Pixel 3).
+use bench::{default_budget, run_comparison};
+
+fn main() {
+    let budget = default_budget();
+    println!("Table VII — mutation efficiency over {budget} packets per fuzzer (target: D2 / Pixel 3)");
+    println!("{:<12}{:>10}{:>10}{:>10}{:>12}", "Fuzzer", "MP", "PR", "ME", "pps");
+    for run in run_comparison(budget, 0x7a7a) {
+        let m = &run.metrics;
+        println!(
+            "{:<12}{:>9.2}%{:>9.2}%{:>9.2}%{:>12.2}",
+            run.name,
+            m.mp_ratio * 100.0,
+            m.pr_ratio * 100.0,
+            m.mutation_efficiency * 100.0,
+            m.packets_per_second
+        );
+    }
+}

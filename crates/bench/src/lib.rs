@@ -1,0 +1,176 @@
+//! Shared experiment harness for the benchmark binaries and Criterion
+//! benches.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin/`; the functions here do the actual work so the
+//! binaries stay thin and the Criterion benches can reuse the same code
+//! paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use btcore::{FuzzRng, SimClock};
+use btstack::device::{share, DeviceOracle, SharedSimulatedDevice};
+use btstack::profiles::{DeviceProfile, ProfileId};
+use hci::air::{AclLink, AirMedium};
+use hci::link::{new_tap, LinkConfig, SharedTap};
+use l2fuzz::config::FuzzConfig;
+use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::report::FuzzReport;
+use l2fuzz::session::{L2FuzzSession, L2FuzzTool};
+use sniffer::{MetricsSummary, StateCoverage, Trace};
+
+use baselines::{BFuzzFuzzer, BssFuzzer, DefensicsFuzzer};
+
+/// A fully wired test bench: one simulated device on a virtual air medium,
+/// one ACL link with a packet tap attached.
+pub struct TestBench {
+    /// The shared handle to the simulated device (for oracle access).
+    pub device: SharedSimulatedDevice,
+    /// The established ACL link.
+    pub link: AclLink,
+    /// The packet tap capturing the traffic.
+    pub tap: SharedTap,
+    /// The shared virtual clock.
+    pub clock: SimClock,
+    /// The device profile that was instantiated.
+    pub profile: DeviceProfile,
+}
+
+impl TestBench {
+    /// Builds a bench around the given Table V device.
+    ///
+    /// `auto_restart` keeps the target alive after a vulnerability fires
+    /// (needed for the long comparison runs).
+    pub fn new(id: ProfileId, seed: u64, auto_restart: bool) -> TestBench {
+        let clock = SimClock::new();
+        let mut air = AirMedium::new(clock.clone());
+        let profile = DeviceProfile::table5(id);
+        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(seed));
+        device.set_auto_restart(auto_restart);
+        let (device, adapter) = share(device);
+        air.register(adapter);
+        let mut link = air
+            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(seed ^ 0xA5A5))
+            .expect("profile device must be connectable");
+        let tap = new_tap();
+        link.attach_tap(tap.clone());
+        TestBench { device, link, tap, clock, profile }
+    }
+
+    /// The trace captured so far.
+    pub fn trace(&self) -> Trace {
+        Trace::from_tap(&self.tap)
+    }
+}
+
+/// Runs the full L2Fuzz vulnerability-detection experiment against a device
+/// (Table VI methodology): campaigns repeat until a vulnerability is found or
+/// `max_campaigns` is reached.
+pub fn run_table6_campaign(id: ProfileId, seed: u64, max_campaigns: usize) -> FuzzReport {
+    let mut bench = TestBench::new(id, seed, false);
+    let meta = {
+        use hci::device::VirtualDevice;
+        bench.device.lock().meta()
+    };
+    let mut last = None;
+    for round in 0..max_campaigns {
+        let mut oracle = DeviceOracle::new(bench.device.clone());
+        let config = FuzzConfig { seed: seed.wrapping_add(round as u64), ..FuzzConfig::default() };
+        let mut session = L2FuzzSession::new(config, bench.clock.clone());
+        let mut report = session.run(&mut bench.link, meta.clone(), Some(&mut oracle));
+        // Report elapsed time relative to the whole experiment, not just the
+        // last campaign.
+        report.elapsed_secs = bench.clock.now().as_secs();
+        if let Some(f) = report.findings.first_mut() {
+            f.elapsed_secs = bench.clock.now().as_secs();
+        }
+        let vulnerable = report.vulnerable();
+        last = Some(report);
+        if vulnerable {
+            break;
+        }
+    }
+    last.expect("at least one campaign ran")
+}
+
+/// Result of running one fuzzer for the comparison experiments.
+pub struct ComparisonRun {
+    /// Tool name.
+    pub name: &'static str,
+    /// Captured trace.
+    pub trace: Trace,
+    /// Metrics summary (Table VII row).
+    pub metrics: MetricsSummary,
+    /// State coverage (Fig. 10/11 row).
+    pub coverage: StateCoverage,
+}
+
+/// Runs all four fuzzers against a fresh Pixel 3 (D2) bench with the given
+/// per-fuzzer packet budget, reproducing the §IV-C/D comparison.
+pub fn run_comparison(budget: usize, seed: u64) -> Vec<ComparisonRun> {
+    let mut runs = Vec::new();
+    for (i, name) in ["L2Fuzz", "Defensics", "BFuzz", "BSS"].iter().enumerate() {
+        let mut bench = TestBench::new(ProfileId::D2, seed.wrapping_add(i as u64), true);
+        let meta = {
+            use hci::device::VirtualDevice;
+            bench.device.lock().meta()
+        };
+        let mut fuzzer: Box<dyn Fuzzer> = match i {
+            0 => Box::new(L2FuzzTool::new(
+                FuzzConfig::comparison(usize::MAX, seed),
+                bench.clock.clone(),
+                meta,
+            )),
+            1 => Box::new(DefensicsFuzzer::new(bench.clock.clone())),
+            2 => Box::new(BFuzzFuzzer::new(bench.clock.clone(), FuzzRng::seed_from(seed ^ 0xBF))),
+            _ => Box::new(BssFuzzer::new(bench.clock.clone(), FuzzRng::seed_from(seed ^ 0xB5))),
+        };
+        fuzzer.fuzz(&mut bench.link, budget);
+        let trace = bench.trace();
+        runs.push(ComparisonRun {
+            name,
+            metrics: MetricsSummary::from_trace(&trace),
+            coverage: StateCoverage::from_trace(&trace),
+            trace,
+        });
+    }
+    runs
+}
+
+/// Packet budget used by the experiment binaries.  The paper uses 100,000
+/// packets per fuzzer; the default here is smaller so the binaries finish in
+/// seconds, and can be overridden with the `L2FUZZ_BUDGET` environment
+/// variable.
+pub fn default_budget() -> usize {
+    std::env::var("L2FUZZ_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_preserves_the_papers_ordering() {
+        let runs = run_comparison(2_500, 42);
+        assert_eq!(runs.len(), 4);
+        let me: Vec<f64> = runs.iter().map(|r| r.metrics.mutation_efficiency).collect();
+        // L2Fuzz dominates everything else.
+        assert!(me[0] > 3.0 * me[1], "L2Fuzz {:.3} vs Defensics {:.3}", me[0], me[1]);
+        assert!(me[0] > 3.0 * me[2], "L2Fuzz {:.3} vs BFuzz {:.3}", me[0], me[2]);
+        assert!(me[3] <= f64::EPSILON, "BSS must have zero mutation efficiency");
+        // BFuzz has the worst rejection ratio.
+        let pr: Vec<f64> = runs.iter().map(|r| r.metrics.pr_ratio).collect();
+        assert!(pr[2] > pr[0] && pr[2] > pr[1] && pr[2] > pr[3]);
+        // Coverage ordering: L2Fuzz > Defensics >= BFuzz > BSS.
+        let cov: Vec<usize> = runs.iter().map(|r| r.coverage.count()).collect();
+        assert!(cov[0] > cov[1] && cov[1] >= cov[2] && cov[2] > cov[3], "coverage {cov:?}");
+        assert_eq!(cov[0], 13);
+    }
+
+    #[test]
+    fn table6_campaign_finds_the_pixel3_bug() {
+        let report = run_table6_campaign(ProfileId::D2, 7, 5);
+        assert!(report.vulnerable());
+    }
+}

@@ -1,0 +1,357 @@
+//! The complete simulated device: endpoint + host status + crash dumps.
+//!
+//! [`SimulatedDevice`] is what gets registered on the virtual air medium.  It
+//! owns the L2CAP acceptor, tracks whether the Bluetooth service is still
+//! running, applies the effects of fired vulnerabilities (denial of service
+//! or crash) and stores the crash dumps the detection phase later collects
+//! through the [`btcore::TargetOracle`] interface.
+
+use btcore::{ConnectionError, DeviceMeta, FuzzRng, PingOutcome, SimClock, TargetOracle};
+use hci::device::VirtualDevice;
+use l2cap::packet::L2capFrame;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use crate::crashdump::{CrashDump, CrashDumpStore, CrashKind};
+use crate::endpoint::L2capEndpoint;
+use crate::services::ServiceTable;
+use crate::vendor::Quirks;
+use crate::vuln::{Effect, VulnerabilitySpec};
+
+/// Run-state of a simulated device's Bluetooth subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostStatus {
+    /// Bluetooth service is running normally.
+    Running,
+    /// The Bluetooth service terminated (denial of service).
+    DosTerminated,
+    /// The device (or its Bluetooth subsystem) crashed.
+    Crashed,
+}
+
+/// A fired vulnerability, recorded with the time it happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiredVulnerability {
+    /// The specification that fired.
+    pub vuln: VulnerabilitySpec,
+    /// Virtual-clock timestamp in microseconds.
+    pub timestamp_micros: u64,
+}
+
+/// A complete simulated target device.
+pub struct SimulatedDevice {
+    meta: DeviceMeta,
+    endpoint: L2capEndpoint,
+    status: HostStatus,
+    crash_dumps: CrashDumpStore,
+    fired: Vec<FiredVulnerability>,
+    clock: SimClock,
+    processing_cost_micros: u64,
+    auto_restart: bool,
+}
+
+impl SimulatedDevice {
+    /// Creates a device from its parts.
+    ///
+    /// `processing_cost_micros` is the virtual time charged per processed
+    /// frame; devices with more services and deeper application logic use
+    /// larger values.
+    pub fn new(
+        meta: DeviceMeta,
+        quirks: Quirks,
+        services: ServiceTable,
+        vulns: Vec<VulnerabilitySpec>,
+        clock: SimClock,
+        processing_cost_micros: u64,
+        rng: FuzzRng,
+    ) -> Self {
+        SimulatedDevice {
+            meta,
+            endpoint: L2capEndpoint::new(quirks, services, vulns, rng),
+            status: HostStatus::Running,
+            crash_dumps: CrashDumpStore::new(),
+            fired: Vec::new(),
+            clock,
+            processing_cost_micros,
+            auto_restart: false,
+        }
+    }
+
+    /// Enables automatic restart of the Bluetooth service after a
+    /// vulnerability fires.  This models the tester manually resetting the
+    /// device between tests, which the comparison experiments (§IV-C/D) need
+    /// in order to keep sending packets to the same target.
+    pub fn set_auto_restart(&mut self, enabled: bool) {
+        self.auto_restart = enabled;
+    }
+
+    /// Current host status.
+    pub fn status(&self) -> HostStatus {
+        self.status
+    }
+
+    /// Every vulnerability that has fired so far, in order.
+    pub fn fired_vulnerabilities(&self) -> &[FiredVulnerability] {
+        &self.fired
+    }
+
+    /// The crash dumps recorded so far.
+    pub fn crash_dumps(&self) -> &[CrashDump] {
+        self.crash_dumps.all()
+    }
+
+    /// The device's service table.
+    pub fn services(&self) -> &ServiceTable {
+        self.endpoint.services()
+    }
+
+    /// Restarts the Bluetooth service (the "manual reset" of the paper's
+    /// limitation discussion).  Crash dumps and fired-vulnerability history
+    /// are preserved.
+    pub fn restart(&mut self) {
+        self.status = HostStatus::Running;
+    }
+
+    fn apply_effect(&mut self, vuln: &VulnerabilitySpec) {
+        let now = self.clock.now_micros();
+        self.fired.push(FiredVulnerability { vuln: vuln.clone(), timestamp_micros: now });
+        if vuln.produces_dump {
+            let dump = match vuln.crash_kind {
+                CrashKind::NullPointerDereference => CrashDump::bluedroid_tombstone(&vuln.id, now),
+                CrashKind::GeneralProtectionFault => {
+                    CrashDump::bluez_general_protection(&vuln.id, now)
+                }
+                CrashKind::UncontrolledTermination => {
+                    CrashDump::uncontrolled_termination(&vuln.id, now)
+                }
+            };
+            self.crash_dumps.record(dump);
+        }
+        self.status = match vuln.effect {
+            Effect::DenialOfService => HostStatus::DosTerminated,
+            Effect::Crash => HostStatus::Crashed,
+        };
+        if self.auto_restart {
+            self.status = HostStatus::Running;
+        }
+    }
+}
+
+impl VirtualDevice for SimulatedDevice {
+    fn meta(&self) -> DeviceMeta {
+        self.meta.clone()
+    }
+
+    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame> {
+        if self.status != HostStatus::Running {
+            return Vec::new();
+        }
+        let outcome = self.endpoint.handle_frame(&frame);
+        if let Some(vuln) = outcome.triggered {
+            self.apply_effect(&vuln);
+            return Vec::new();
+        }
+        outcome.responses
+    }
+
+    fn bluetooth_alive(&self) -> bool {
+        self.status == HostStatus::Running
+    }
+
+    fn processing_cost_micros(&self) -> u64 {
+        self.processing_cost_micros
+    }
+}
+
+/// Shared, lockable handle to a simulated device.
+pub type SharedSimulatedDevice = Arc<Mutex<SimulatedDevice>>;
+
+/// Wraps a device into a shared handle plus a forwarding adapter that can be
+/// registered on the air medium, keeping the typed handle available for
+/// out-of-band observation (the oracle).
+pub fn share(device: SimulatedDevice) -> (SharedSimulatedDevice, Box<dyn VirtualDevice>) {
+    let shared = Arc::new(Mutex::new(device));
+    let adapter = ForwardingDevice { inner: shared.clone() };
+    (shared, Box::new(adapter))
+}
+
+struct ForwardingDevice {
+    inner: SharedSimulatedDevice,
+}
+
+impl VirtualDevice for ForwardingDevice {
+    fn meta(&self) -> DeviceMeta {
+        self.inner.lock().meta()
+    }
+    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame> {
+        self.inner.lock().receive(frame)
+    }
+    fn bluetooth_alive(&self) -> bool {
+        self.inner.lock().bluetooth_alive()
+    }
+    fn processing_cost_micros(&self) -> u64 {
+        self.inner.lock().processing_cost_micros()
+    }
+}
+
+/// Out-of-band observation of a simulated device (crash-dump collection and
+/// service liveness), as the original tool performs via `adb` or `ssh`.
+pub struct DeviceOracle {
+    device: SharedSimulatedDevice,
+}
+
+impl DeviceOracle {
+    /// Creates an oracle over the shared device handle.
+    pub fn new(device: SharedSimulatedDevice) -> Self {
+        DeviceOracle { device }
+    }
+}
+
+impl TargetOracle for DeviceOracle {
+    fn ping(&mut self) -> PingOutcome {
+        let dev = self.device.lock();
+        match dev.status() {
+            HostStatus::Running => PingOutcome::Answered,
+            HostStatus::DosTerminated => PingOutcome::Failed(ConnectionError::Failed),
+            HostStatus::Crashed => PingOutcome::Failed(ConnectionError::Aborted),
+        }
+    }
+
+    fn take_crash_dump(&mut self) -> bool {
+        self.device.lock().crash_dumps.take_new()
+    }
+
+    fn bluetooth_alive(&self) -> bool {
+        self.device.lock().bluetooth_alive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::VendorStack;
+    use btcore::{BdAddr, Cid, DeviceClass, Identifier, Psm};
+    use l2cap::command::{Command, ConnectionRequest};
+    use l2cap::packet::{signaling_frame, SignalingPacket};
+
+    fn pixel_like(vuln_probability: f64) -> SimulatedDevice {
+        SimulatedDevice::new(
+            DeviceMeta::new(BdAddr::new([1, 2, 3, 4, 5, 6]), "Pixel 3", DeviceClass::Smartphone),
+            VendorStack::BlueDroid.default_quirks(),
+            ServiceTable::typical(8),
+            vec![VulnerabilitySpec::bluedroid_config_null_deref(vuln_probability)],
+            SimClock::new(),
+            200,
+            FuzzRng::seed_from(21),
+        )
+    }
+
+    fn connect(dev: &mut SimulatedDevice) {
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+        );
+        assert!(!dev.receive(frame).is_empty());
+    }
+
+    fn malformed_config(dev: &mut SimulatedDevice) -> Vec<L2capFrame> {
+        let packet = SignalingPacket {
+            identifier: Identifier(6),
+            code: 0x04,
+            declared_data_len: 8,
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+        };
+        dev.receive(packet.into_frame())
+    }
+
+    #[test]
+    fn dos_vulnerability_terminates_bluetooth_and_leaves_a_tombstone() {
+        let mut dev = pixel_like(1.0);
+        connect(&mut dev);
+        assert_eq!(dev.status(), HostStatus::Running);
+        let responses = malformed_config(&mut dev);
+        assert!(responses.is_empty());
+        assert_eq!(dev.status(), HostStatus::DosTerminated);
+        assert_eq!(dev.crash_dumps().len(), 1);
+        assert_eq!(dev.crash_dumps()[0].kind, CrashKind::NullPointerDereference);
+        assert_eq!(dev.fired_vulnerabilities().len(), 1);
+        assert!(!dev.bluetooth_alive());
+        // Once down, the device no longer answers anything.
+        connect_silent(&mut dev);
+    }
+
+    fn connect_silent(dev: &mut SimulatedDevice) {
+        let frame = signaling_frame(
+            Identifier(9),
+            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0050) }),
+        );
+        assert!(dev.receive(frame).is_empty());
+    }
+
+    #[test]
+    fn oracle_reports_dos_and_crash_dumps() {
+        let (shared, mut adapter) = share(pixel_like(1.0));
+        let mut oracle = DeviceOracle::new(shared.clone());
+        assert!(oracle.ping().is_answered());
+        assert!(!oracle.take_crash_dump());
+
+        // Drive the device through the adapter, as the air medium would.
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+        );
+        adapter.receive(frame);
+        let packet = SignalingPacket {
+            identifier: Identifier(6),
+            code: 0x04,
+            declared_data_len: 8,
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+        };
+        adapter.receive(packet.into_frame());
+
+        assert!(!oracle.bluetooth_alive());
+        assert_eq!(oracle.ping(), PingOutcome::Failed(ConnectionError::Failed));
+        assert!(oracle.take_crash_dump());
+        assert!(!oracle.take_crash_dump());
+    }
+
+    #[test]
+    fn restart_revives_the_service_but_keeps_history() {
+        let mut dev = pixel_like(1.0);
+        connect(&mut dev);
+        malformed_config(&mut dev);
+        assert_eq!(dev.status(), HostStatus::DosTerminated);
+        dev.restart();
+        assert_eq!(dev.status(), HostStatus::Running);
+        assert_eq!(dev.fired_vulnerabilities().len(), 1);
+        assert_eq!(dev.crash_dumps().len(), 1);
+    }
+
+    #[test]
+    fn auto_restart_keeps_the_device_responsive() {
+        let mut dev = pixel_like(1.0);
+        dev.set_auto_restart(true);
+        connect(&mut dev);
+        malformed_config(&mut dev);
+        assert_eq!(dev.status(), HostStatus::Running);
+        assert!(dev.bluetooth_alive());
+        assert_eq!(dev.fired_vulnerabilities().len(), 1);
+    }
+
+    #[test]
+    fn device_without_matching_traffic_stays_healthy() {
+        let mut dev = pixel_like(1.0);
+        connect(&mut dev);
+        // Plenty of well-formed traffic.
+        for i in 0..50u8 {
+            let frame = signaling_frame(
+                Identifier(i.max(1)),
+                Command::EchoRequest(l2cap::command::EchoRequest { data: vec![i] }),
+            );
+            assert!(!dev.receive(frame).is_empty());
+        }
+        assert_eq!(dev.status(), HostStatus::Running);
+        assert!(dev.fired_vulnerabilities().is_empty());
+    }
+}

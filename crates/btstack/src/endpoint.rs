@@ -1,0 +1,837 @@
+//! The simulated L2CAP acceptor.
+//!
+//! [`L2capEndpoint`] is the device-side signalling handler: it routes
+//! incoming commands to per-channel state machines, enforces the rejection
+//! rules of the specification ("command not understood", "invalid CID in
+//! request", "signaling MTU exceeded"), applies the vendor [`Quirks`] that
+//! soften those rules on real stacks, and evaluates the device's seeded
+//! [`VulnerabilitySpec`]s against every processed packet.
+
+use btcore::{Cid, FuzzRng, Identifier, Psm};
+use l2cap::code::CommandCode;
+use l2cap::command::{
+    Command, CommandReject, ConfigureRequest, ConfigureResponse, ConnectionResponse,
+    CreateChannelResponse, DisconnectionResponse, EchoResponse, InformationResponse,
+    MoveChannelConfirmationResponse, MoveChannelResponse,
+};
+use l2cap::consts::{ConfigureResult, ConnectionResult, MoveResult, RejectReason};
+use l2cap::fields;
+use l2cap::jobs::{job_of, Job};
+use l2cap::options::ConfigOption;
+use l2cap::packet::{L2capFrame, SignalingPacket, DEFAULT_SIGNALING_MTU};
+use l2cap::state::{Action, ChannelState};
+
+use crate::ccb::CcbTable;
+use crate::services::ServiceTable;
+use crate::vendor::Quirks;
+use crate::vuln::{PacketContext, VulnerabilitySpec};
+
+/// Result of feeding one frame to the endpoint.
+#[derive(Debug)]
+pub struct EndpointOutcome {
+    /// Frames the device sends back, in order.
+    pub responses: Vec<L2capFrame>,
+    /// The vulnerability that fired while processing this frame, if any.
+    pub triggered: Option<VulnerabilitySpec>,
+}
+
+impl EndpointOutcome {
+    fn none() -> Self {
+        EndpointOutcome { responses: Vec::new(), triggered: None }
+    }
+}
+
+/// The device-side L2CAP signalling acceptor.
+pub struct L2capEndpoint {
+    quirks: Quirks,
+    services: ServiceTable,
+    signaling_mtu: u16,
+    ccbs: CcbTable,
+    next_identifier: Identifier,
+    vulns: Vec<VulnerabilitySpec>,
+    rng: FuzzRng,
+    packets_processed: u64,
+    rejects_sent: u64,
+}
+
+impl L2capEndpoint {
+    /// Creates an acceptor with the given behaviour, service table and seeded
+    /// vulnerabilities.
+    pub fn new(
+        quirks: Quirks,
+        services: ServiceTable,
+        vulns: Vec<VulnerabilitySpec>,
+        rng: FuzzRng,
+    ) -> Self {
+        L2capEndpoint {
+            quirks,
+            services,
+            signaling_mtu: DEFAULT_SIGNALING_MTU,
+            ccbs: CcbTable::new(),
+            next_identifier: Identifier::FIRST,
+            vulns,
+            rng,
+            packets_processed: 0,
+            rejects_sent: 0,
+        }
+    }
+
+    /// The device's service table.
+    pub fn services(&self) -> &ServiceTable {
+        &self.services
+    }
+
+    /// Number of signalling packets processed so far.
+    pub fn packets_processed(&self) -> u64 {
+        self.packets_processed
+    }
+
+    /// Number of Command Reject packets sent so far.
+    pub fn rejects_sent(&self) -> u64 {
+        self.rejects_sent
+    }
+
+    /// Number of currently open channels.
+    pub fn open_channels(&self) -> usize {
+        self.ccbs.len()
+    }
+
+    /// States visited by every channel of this endpoint so far (useful for
+    /// white-box assertions in tests; the black-box experiments use the
+    /// sniffer instead).
+    pub fn visited_states(&self) -> Vec<ChannelState> {
+        let mut out: Vec<ChannelState> = vec![ChannelState::Closed];
+        for ccb in self.ccbs.iter() {
+            for s in ccb.machine.visited() {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+        }
+        out
+    }
+
+    fn next_id(&mut self) -> Identifier {
+        let id = self.next_identifier;
+        self.next_identifier = id.next();
+        id
+    }
+
+    fn reply(&mut self, identifier: Identifier, command: Command) -> L2capFrame {
+        SignalingPacket::new(identifier, command).into_frame()
+    }
+
+    fn reject(&mut self, identifier: Identifier, reason: RejectReason, data: Vec<u8>) -> L2capFrame {
+        self.rejects_sent += 1;
+        self.reply(
+            identifier,
+            Command::CommandReject(CommandReject { reason, data }),
+        )
+    }
+
+    /// Processes one inbound L2CAP frame and returns the response frames plus
+    /// any vulnerability that fired.
+    pub fn handle_frame(&mut self, frame: &L2capFrame) -> EndpointOutcome {
+        if !frame.cid.is_signaling() {
+            // Data traffic on a (possibly open) channel: the simulated
+            // services simply consume it.
+            return EndpointOutcome::none();
+        }
+        let packet = match SignalingPacket::parse(&frame.payload) {
+            Ok(p) => p,
+            Err(_) => return EndpointOutcome::none(),
+        };
+        self.packets_processed += 1;
+
+        // Signalling MTU check: oversized C-frames are rejected outright.
+        if packet.wire_len() > usize::from(self.signaling_mtu) {
+            let rsp = self.reject(
+                packet.identifier,
+                RejectReason::SignalingMtuExceeded,
+                self.signaling_mtu.to_le_bytes().to_vec(),
+            );
+            return EndpointOutcome { responses: vec![rsp], triggered: None };
+        }
+
+        // Hardened stacks run an extra sanity filter and silently drop
+        // anything inconsistent before command handling (the paper's
+        // explanation for the devices in which nothing was found).
+        if self.quirks.strict_malformed_filtering
+            && (!packet.is_length_consistent() || packet.garbage_len() > 0)
+        {
+            return EndpointOutcome::none();
+        }
+
+        self.handle_signaling(&packet)
+    }
+
+    fn handle_signaling(&mut self, packet: &SignalingPacket) -> EndpointOutcome {
+        let code = CommandCode::from_u8(packet.code);
+        let command = packet.command();
+
+        // Undefined command codes: "command not understood".
+        let Some(code) = code else {
+            let rsp = self.reject(packet.identifier, RejectReason::CommandNotUnderstood, Vec::new());
+            return EndpointOutcome { responses: vec![rsp], triggered: None };
+        };
+
+        // Determine the channel (and thus state/job) this packet lands in.
+        let core = fields::extract_core_values(code, &packet.data);
+        let (channel_cid, cidp_matches) = self.resolve_channel(code, &core.cidp);
+        let (state, job) = match channel_cid {
+            Some(cid) => {
+                let state = self
+                    .ccbs
+                    .by_local(cid)
+                    .map(|c| c.machine.state())
+                    .unwrap_or(ChannelState::Closed);
+                (state, job_of(state))
+            }
+            None => (ChannelState::Closed, Job::Closed),
+        };
+
+        // Vulnerability evaluation happens "inside" packet processing: a
+        // packet that reaches a defective path takes the stack down before a
+        // response is produced.
+        let ctx = PacketContext {
+            job,
+            state,
+            code: Some(code),
+            psm: core.psm,
+            cidp: core.cidp.clone(),
+            cidp_matches_allocation: cidp_matches,
+            garbage_len: packet.garbage_len(),
+            length_consistent: packet.is_length_consistent(),
+        };
+        if let Some(vuln) = self.check_vulns(&ctx) {
+            return EndpointOutcome { responses: Vec::new(), triggered: Some(vuln) };
+        }
+
+        let responses = self.dispatch(packet, code, &command, channel_cid);
+        EndpointOutcome { responses, triggered: None }
+    }
+
+    fn check_vulns(&mut self, ctx: &PacketContext) -> Option<VulnerabilitySpec> {
+        for vuln in self.vulns.clone() {
+            if vuln.trigger.matches(ctx) && self.rng.chance(vuln.trigger.hit_probability) {
+                return Some(vuln);
+            }
+        }
+        None
+    }
+
+    /// Resolves which local channel a command refers to, returning the local
+    /// CID and whether every CIDP value matched an allocated channel.
+    fn resolve_channel(&mut self, code: CommandCode, cidp: &[u16]) -> (Option<Cid>, bool) {
+        if cidp.is_empty() {
+            return (None, true);
+        }
+        let mut all_match = true;
+        let mut resolved: Option<Cid> = None;
+        for value in cidp {
+            if let Some(ccb) = self.ccbs.by_any(Cid(*value)) {
+                if resolved.is_none() {
+                    resolved = Some(ccb.local_cid);
+                }
+            } else {
+                all_match = false;
+            }
+        }
+        if resolved.is_none() {
+            // No CIDP value matched.  Lenient stacks still route
+            // configuration-job traffic to the most recently opened channel —
+            // the behaviour that exposes the null-CCB path.
+            let is_config_cmd = matches!(
+                code,
+                CommandCode::ConfigureRequest | CommandCode::ConfigureResponse
+            );
+            if self.quirks.lenient_cid_validation_in_config && is_config_cmd {
+                resolved = self.ccbs.iter().last().map(|c| c.local_cid);
+            }
+        }
+        (resolved, all_match)
+    }
+
+    fn dispatch(
+        &mut self,
+        packet: &SignalingPacket,
+        code: CommandCode,
+        command: &Command,
+        channel_cid: Option<Cid>,
+    ) -> Vec<L2capFrame> {
+        match command {
+            Command::ConnectionRequest(req) => {
+                self.handle_connection_like(packet.identifier, req.psm, req.scid, false, 0)
+            }
+            Command::CreateChannelRequest(req) => self.handle_connection_like(
+                packet.identifier,
+                req.psm,
+                req.scid,
+                true,
+                req.controller_id,
+            ),
+            Command::EchoRequest(req) => {
+                if self.quirks.supports_echo {
+                    vec![self.reply(
+                        packet.identifier,
+                        Command::EchoResponse(EchoResponse { data: req.data.clone() }),
+                    )]
+                } else {
+                    Vec::new()
+                }
+            }
+            Command::InformationRequest(req) => {
+                let data = match req.info_type {
+                    0x0002 => vec![0xB8, 0x02, 0x00, 0x00], // extended features mask
+                    0x0003 => vec![0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+                    _ => Vec::new(),
+                };
+                let result = if (0x0001..=0x0003).contains(&req.info_type) { 0 } else { 1 };
+                vec![self.reply(
+                    packet.identifier,
+                    Command::InformationResponse(InformationResponse {
+                        info_type: req.info_type,
+                        result,
+                        data,
+                    }),
+                )]
+            }
+            // Raw payloads whose code is defined but whose structure did not
+            // parse: strict stacks reject them, lenient ones ignore them.
+            Command::Raw { .. } => {
+                if self.quirks.strict_malformed_filtering {
+                    Vec::new()
+                } else {
+                    vec![self.reject(packet.identifier, RejectReason::CommandNotUnderstood, Vec::new())]
+                }
+            }
+            _ => self.handle_channel_command(packet, code, channel_cid),
+        }
+    }
+
+    fn handle_connection_like(
+        &mut self,
+        identifier: Identifier,
+        psm: Psm,
+        scid: Cid,
+        is_create: bool,
+        _controller_id: u8,
+    ) -> Vec<L2capFrame> {
+        let make_response = |dcid: Cid, scid: Cid, result: ConnectionResult| {
+            if is_create {
+                Command::CreateChannelResponse(CreateChannelResponse {
+                    dcid,
+                    scid,
+                    result,
+                    status: 0,
+                })
+            } else {
+                Command::ConnectionResponse(ConnectionResponse { dcid, scid, result, status: 0 })
+            }
+        };
+
+        if is_create && !self.quirks.supports_amp_channels {
+            let rsp = make_response(Cid::NULL, scid, ConnectionResult::RefusedNoResources);
+            self.rejects_sent += 1;
+            return vec![self.reply(identifier, rsp)];
+        }
+
+        // Refusals: unsupported PSM, pairing-protected PSM, channel limit.
+        let result = if !self.services.supports(psm) {
+            Some(ConnectionResult::RefusedPsmNotSupported)
+        } else if !self.services.connectable_without_pairing(psm) {
+            Some(ConnectionResult::RefusedSecurityBlock)
+        } else if self.ccbs.len() >= self.quirks.max_channels_per_link {
+            Some(ConnectionResult::RefusedNoResources)
+        } else {
+            None
+        };
+        if let Some(refusal) = result {
+            self.rejects_sent += 1;
+            let rsp = make_response(Cid::NULL, scid, refusal);
+            return vec![self.reply(identifier, rsp)];
+        }
+
+        // Accept: allocate a CCB and run its state machine.
+        let id = self.ccbs.allocate(psm, scid);
+        let (local_cid, actions) = {
+            let ccb = self
+                .ccbs
+                .by_remote(scid)
+                .expect("freshly allocated channel must be resolvable");
+            let reaction = ccb.machine.on_command(
+                if is_create {
+                    CommandCode::CreateChannelRequest
+                } else {
+                    CommandCode::ConnectionRequest
+                },
+                true,
+            );
+            (ccb.local_cid, reaction.actions)
+        };
+        let _ = id;
+
+        let mut out = Vec::new();
+        for action in actions {
+            match action {
+                Action::Respond(
+                    CommandCode::ConnectionResponse | CommandCode::CreateChannelResponse,
+                ) => {
+                    let rsp = make_response(local_cid, scid, ConnectionResult::Success);
+                    out.push(self.reply(identifier, rsp));
+                }
+                Action::Initiate(CommandCode::ConfigureRequest) => {
+                    let id = self.next_id();
+                    out.push(self.reply(
+                        id,
+                        Command::ConfigureRequest(ConfigureRequest {
+                            dcid: scid,
+                            flags: 0,
+                            options: vec![ConfigOption::Mtu(DEFAULT_SIGNALING_MTU)],
+                        }),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn handle_channel_command(
+        &mut self,
+        packet: &SignalingPacket,
+        code: CommandCode,
+        channel_cid: Option<Cid>,
+    ) -> Vec<L2capFrame> {
+        let Some(local_cid) = channel_cid else {
+            // No channel matched.  Responses to requests we never made are
+            // either ignored (lenient) or rejected; channel requests with an
+            // unknown CID are rejected with "invalid CID".
+            if code.is_response() && self.quirks.lenient_unexpected_responses {
+                return Vec::new();
+            }
+            let reason = if code.is_response() {
+                RejectReason::CommandNotUnderstood
+            } else {
+                RejectReason::InvalidCidInRequest
+            };
+            return vec![self.reject(packet.identifier, reason, Vec::new())];
+        };
+
+        // Moves are refused outright on stacks without AMP support.
+        if matches!(code, CommandCode::MoveChannelRequest) && !self.quirks.supports_amp_channels {
+            let icid = self
+                .ccbs
+                .by_local(local_cid)
+                .map(|c| c.remote_cid)
+                .unwrap_or(Cid::NULL);
+            self.rejects_sent += 1;
+            return vec![self.reply(
+                packet.identifier,
+                Command::MoveChannelResponse(MoveChannelResponse {
+                    icid,
+                    result: MoveResult::RefusedNotAllowed,
+                }),
+            )];
+        }
+
+        let (remote_cid, reaction) = {
+            let ccb = self.ccbs.by_local(local_cid).expect("resolved channel must exist");
+            (ccb.remote_cid, ccb.machine.on_command(code, true))
+        };
+
+        let mut out = Vec::new();
+        let mut release = false;
+        for action in &reaction.actions {
+            match action {
+                Action::Respond(CommandCode::ConfigureResponse) => {
+                    out.push(self.reply(
+                        packet.identifier,
+                        Command::ConfigureResponse(ConfigureResponse {
+                            scid: remote_cid,
+                            flags: 0,
+                            result: ConfigureResult::Success,
+                            options: Vec::new(),
+                        }),
+                    ));
+                }
+                Action::Respond(CommandCode::DisconnectionResponse) => {
+                    out.push(self.reply(
+                        packet.identifier,
+                        Command::DisconnectionResponse(DisconnectionResponse {
+                            dcid: local_cid,
+                            scid: remote_cid,
+                        }),
+                    ));
+                    release = true;
+                }
+                Action::Respond(CommandCode::MoveChannelResponse) => {
+                    out.push(self.reply(
+                        packet.identifier,
+                        Command::MoveChannelResponse(MoveChannelResponse {
+                            icid: remote_cid,
+                            result: MoveResult::Success,
+                        }),
+                    ));
+                }
+                Action::Respond(CommandCode::MoveChannelConfirmationResponse) => {
+                    out.push(self.reply(
+                        packet.identifier,
+                        Command::MoveChannelConfirmationResponse(
+                            MoveChannelConfirmationResponse { icid: remote_cid },
+                        ),
+                    ));
+                }
+                Action::Respond(other) => {
+                    // Generic response we do not model structurally.
+                    out.push(self.reply(
+                        packet.identifier,
+                        Command::Raw { code: other.value(), data: Vec::new() },
+                    ));
+                }
+                Action::Initiate(CommandCode::ConfigureRequest) => {
+                    let id = self.next_id();
+                    out.push(self.reply(
+                        id,
+                        Command::ConfigureRequest(ConfigureRequest {
+                            dcid: remote_cid,
+                            flags: 0,
+                            options: vec![ConfigOption::Mtu(DEFAULT_SIGNALING_MTU)],
+                        }),
+                    ));
+                }
+                Action::Initiate(_) => {}
+                Action::Reject(reason) => {
+                    if code.is_response() && self.quirks.lenient_unexpected_responses {
+                        // Quirk: unexpected responses are dropped silently.
+                        continue;
+                    }
+                    out.push(self.reject(packet.identifier, *reason, Vec::new()));
+                }
+                Action::Ignore => {}
+            }
+        }
+        if release {
+            self.ccbs.release_by_local(local_cid);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::VendorStack;
+    use l2cap::command::{ConnectionRequest, DisconnectionRequest, EchoRequest, InformationRequest};
+    use l2cap::packet::signaling_frame;
+
+    fn endpoint(stack: VendorStack, services: ServiceTable) -> L2capEndpoint {
+        L2capEndpoint::new(stack.default_quirks(), services, Vec::new(), FuzzRng::seed_from(7))
+    }
+
+    fn connect_frame(psm: Psm, scid: u16, id: u8) -> L2capFrame {
+        signaling_frame(
+            Identifier(id),
+            Command::ConnectionRequest(ConnectionRequest { psm, scid: Cid(scid) }),
+        )
+    }
+
+    fn first_command(frames: &[L2capFrame]) -> Vec<Command> {
+        frames
+            .iter()
+            .map(|f| l2cap::packet::parse_signaling(f).unwrap().command())
+            .collect()
+    }
+
+    #[test]
+    fn sdp_connect_succeeds_and_allocates_a_channel() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::typical(6));
+        let out = ep.handle_frame(&connect_frame(Psm::SDP, 0x0040, 1));
+        assert!(out.triggered.is_none());
+        let cmds = first_command(&out.responses);
+        match &cmds[0] {
+            Command::ConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, ConnectionResult::Success);
+                assert_eq!(rsp.scid, Cid(0x0040));
+                assert!(rsp.dcid.is_dynamic());
+            }
+            other => panic!("expected connection response, got {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 1);
+
+        // The device's own Configuration Request goes out as soon as the
+        // initiator sends configuration traffic for the channel.
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(2),
+            Command::ConfigureRequest(ConfigureRequest {
+                dcid: Cid(0x0040),
+                flags: 0,
+                options: vec![],
+            }),
+        ));
+        let cmds = first_command(&out.responses);
+        assert!(cmds.iter().any(|c| matches!(c, Command::ConfigureRequest(_))));
+        assert!(cmds.iter().any(|c| matches!(c, Command::ConfigureResponse(_))));
+    }
+
+    #[test]
+    fn unsupported_psm_is_refused() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::sdp_only());
+        let out = ep.handle_frame(&connect_frame(Psm::AVDTP, 0x0040, 1));
+        match &first_command(&out.responses)[0] {
+            Command::ConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, ConnectionResult::RefusedPsmNotSupported)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 0);
+    }
+
+    #[test]
+    fn pairing_protected_psm_is_refused_with_security_block() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::typical(6));
+        let out = ep.handle_frame(&connect_frame(Psm::HID_CONTROL, 0x0040, 1));
+        match &first_command(&out.responses)[0] {
+            Command::ConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, ConnectionResult::RefusedSecurityBlock)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn channel_limit_refuses_with_no_resources() {
+        let mut ep = endpoint(VendorStack::AppleRtkit, ServiceTable::typical(6));
+        let limit = VendorStack::AppleRtkit.default_quirks().max_channels_per_link;
+        for i in 0..limit {
+            let out = ep.handle_frame(&connect_frame(Psm::SDP, 0x0040 + i as u16, i as u8 + 1));
+            match &first_command(&out.responses)[0] {
+                Command::ConnectionResponse(rsp) => assert_eq!(rsp.result, ConnectionResult::Success),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let out = ep.handle_frame(&connect_frame(Psm::SDP, 0x00A0, 99));
+        match &first_command(&out.responses)[0] {
+            Command::ConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, ConnectionResult::RefusedNoResources)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_and_information_requests_are_answered() {
+        let mut ep = endpoint(VendorStack::BlueZ, ServiceTable::typical(13));
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(9),
+            Command::EchoRequest(EchoRequest { data: vec![1, 2, 3] }),
+        ));
+        assert!(matches!(first_command(&out.responses)[0], Command::EchoResponse(_)));
+
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(10),
+            Command::InformationRequest(InformationRequest { info_type: 2 }),
+        ));
+        match &first_command(&out.responses)[0] {
+            Command::InformationResponse(rsp) => assert_eq!(rsp.result, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_handshake_reaches_open_and_disconnect_frees_the_channel() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::typical(6));
+        ep.handle_frame(&connect_frame(Psm::SDP, 0x0040, 1));
+
+        // Fuzzer sends its Configure Request addressed to the allocated DCID.
+        let dcid = 0x0040u16; // first allocation
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(2),
+            Command::ConfigureRequest(ConfigureRequest {
+                dcid: Cid(dcid),
+                flags: 0,
+                options: vec![ConfigOption::Mtu(672)],
+            }),
+        ));
+        assert!(first_command(&out.responses)
+            .iter()
+            .any(|c| matches!(c, Command::ConfigureResponse(_))));
+
+        // Fuzzer answers the device's own Configure Request.
+        ep.handle_frame(&signaling_frame(
+            Identifier(1),
+            Command::ConfigureResponse(ConfigureResponse {
+                scid: Cid(dcid),
+                flags: 0,
+                result: ConfigureResult::Success,
+                options: Vec::new(),
+            }),
+        ));
+        assert!(ep.visited_states().contains(&ChannelState::Open));
+
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(3),
+            Command::DisconnectionRequest(DisconnectionRequest {
+                dcid: Cid(dcid),
+                scid: Cid(0x0040),
+            }),
+        ));
+        assert!(matches!(first_command(&out.responses)[0], Command::DisconnectionResponse(_)));
+        assert_eq!(ep.open_channels(), 0);
+    }
+
+    #[test]
+    fn unknown_cid_in_request_is_rejected_on_strict_stacks() {
+        let mut ep = endpoint(VendorStack::Windows, ServiceTable::typical(10));
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(5),
+            Command::DisconnectionRequest(DisconnectionRequest {
+                dcid: Cid(0x0999),
+                scid: Cid(0x0998),
+            }),
+        ));
+        match &first_command(&out.responses)[0] {
+            Command::CommandReject(rej) => {
+                assert_eq!(rej.reason, RejectReason::InvalidCidInRequest)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ep.rejects_sent(), 1);
+    }
+
+    #[test]
+    fn lenient_stack_routes_mismatched_config_cid_to_latest_channel() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::typical(6));
+        ep.handle_frame(&connect_frame(Psm::SDP, 0x0040, 1));
+        // Configure Request with a DCID the device never allocated.
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(2),
+            Command::ConfigureRequest(ConfigureRequest {
+                dcid: Cid(0x7B8F),
+                flags: 0,
+                options: Vec::new(),
+            }),
+        ));
+        // Not rejected: the lenient stack processed it against the open
+        // channel.
+        assert!(first_command(&out.responses)
+            .iter()
+            .any(|c| matches!(c, Command::ConfigureResponse(_))));
+    }
+
+    #[test]
+    fn oversized_signaling_packet_is_rejected_with_mtu_exceeded() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::typical(6));
+        let packet = SignalingPacket::from_raw(Identifier(7), 0x08, vec![0xAA; 700]);
+        let frame = packet.into_frame();
+        let out = ep.handle_frame(&frame);
+        match &first_command(&out.responses)[0] {
+            Command::CommandReject(rej) => {
+                assert_eq!(rej.reason, RejectReason::SignalingMtuExceeded)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_stack_silently_drops_garbage_packets() {
+        let mut ep = endpoint(VendorStack::AppleIos, ServiceTable::typical(8));
+        // Connection request with a garbage tail.
+        let mut data = vec![0x01, 0x00, 0x40, 0x00];
+        data.extend_from_slice(&[0xD2, 0x3A, 0x91, 0x0E]);
+        let packet = SignalingPacket {
+            identifier: Identifier(3),
+            code: 0x02,
+            declared_data_len: 4,
+            data,
+        };
+        let out = ep.handle_frame(&packet.into_frame());
+        assert!(out.responses.is_empty());
+        assert!(out.triggered.is_none());
+    }
+
+    #[test]
+    fn seeded_vulnerability_fires_on_matching_malformed_packet() {
+        let vuln = VulnerabilitySpec::bluedroid_config_null_deref(1.0);
+        let mut ep = L2capEndpoint::new(
+            VendorStack::BlueDroid.default_quirks(),
+            ServiceTable::typical(6),
+            vec![vuln.clone()],
+            FuzzRng::seed_from(11),
+        );
+        ep.handle_frame(&connect_frame(Psm::SDP, 0x0040, 1));
+
+        // Malformed Configure Request: unallocated DCID plus garbage.
+        let packet = SignalingPacket {
+            identifier: Identifier(6),
+            code: 0x04,
+            declared_data_len: 8,
+            data: vec![0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E],
+        };
+        let out = ep.handle_frame(&packet.into_frame());
+        assert_eq!(out.triggered.as_ref().map(|v| v.id.as_str()), Some(vuln.id.as_str()));
+        assert!(out.responses.is_empty());
+    }
+
+    #[test]
+    fn well_formed_traffic_never_triggers_the_seeded_vulnerability() {
+        let vuln = VulnerabilitySpec::bluedroid_config_null_deref(1.0);
+        let mut ep = L2capEndpoint::new(
+            VendorStack::BlueDroid.default_quirks(),
+            ServiceTable::typical(6),
+            vec![vuln],
+            FuzzRng::seed_from(11),
+        );
+        let out = ep.handle_frame(&connect_frame(Psm::SDP, 0x0040, 1));
+        assert!(out.triggered.is_none());
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(2),
+            Command::ConfigureRequest(ConfigureRequest {
+                dcid: Cid(0x0040),
+                flags: 0,
+                options: vec![ConfigOption::Mtu(672)],
+            }),
+        ));
+        assert!(out.triggered.is_none());
+    }
+
+    #[test]
+    fn unknown_command_code_gets_command_not_understood() {
+        let mut ep = endpoint(VendorStack::BlueZ, ServiceTable::typical(13));
+        let packet = SignalingPacket::from_raw(Identifier(1), 0x7E, vec![1, 2, 3]);
+        let out = ep.handle_frame(&packet.into_frame());
+        match &first_command(&out.responses)[0] {
+            Command::CommandReject(rej) => {
+                assert_eq!(rej.reason, RejectReason::CommandNotUnderstood)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_signaling_frames_are_consumed_silently() {
+        let mut ep = endpoint(VendorStack::BlueDroid, ServiceTable::typical(6));
+        let out = ep.handle_frame(&L2capFrame::new(Cid(0x0040), vec![1, 2, 3]));
+        assert!(out.responses.is_empty());
+        assert_eq!(ep.packets_processed(), 0);
+    }
+
+    #[test]
+    fn move_refused_without_amp_support() {
+        let mut ep = endpoint(VendorStack::Windows, ServiceTable::typical(10));
+        ep.handle_frame(&connect_frame(Psm::SDP, 0x0040, 1));
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(4),
+            Command::MoveChannelRequest(l2cap::command::MoveChannelRequest {
+                icid: Cid(0x0040),
+                dest_controller_id: 1,
+            }),
+        ));
+        match &first_command(&out.responses)[0] {
+            Command::MoveChannelResponse(rsp) => {
+                assert_eq!(rsp.result, MoveResult::RefusedNotAllowed)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

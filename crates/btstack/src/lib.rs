@@ -1,0 +1,40 @@
+//! Simulated vendor Bluetooth host stacks — the reproduction's stand-in for
+//! the paper's eight physical test devices (Table V).
+//!
+//! The original evaluation fuzzes real phones, earphones and laptops over the
+//! air.  This crate builds the equivalent targets in software: spec-conformant
+//! L2CAP acceptors with per-vendor behavioural quirks and *seeded
+//! vulnerabilities* that mirror the five zero-days the paper found.  A
+//! simulated device implements both [`hci::VirtualDevice`] (so it can be
+//! registered on the virtual air medium) and [`btcore::TargetOracle`] (so the
+//! detection phase can ping it and pull crash dumps, as the original tool
+//! does out of band via `adb`/`ssh`).
+//!
+//! Modules:
+//!
+//! * [`vendor`] — vendor stack identities and their behavioural quirks.
+//! * [`services`] — the SDP-lite service/port table of a device.
+//! * [`ccb`] — channel control blocks and CID allocation.
+//! * [`endpoint`] — the L2CAP signalling acceptor.
+//! * [`vuln`] — seeded vulnerability specifications and their triggers.
+//! * [`crashdump`] — synthetic Android-tombstone-style crash dumps.
+//! * [`device`] — the full simulated device tying everything together.
+//! * [`profiles`] — the eight device profiles D1–D8 of Table V.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccb;
+pub mod crashdump;
+pub mod device;
+pub mod endpoint;
+pub mod profiles;
+pub mod services;
+pub mod vendor;
+pub mod vuln;
+
+pub use device::{SharedSimulatedDevice, SimulatedDevice};
+pub use profiles::{DeviceProfile, ProfileId};
+pub use services::{ServiceRecord, ServiceTable};
+pub use vendor::{Quirks, VendorStack};
+pub use vuln::{Effect, Trigger, VulnerabilitySpec};

@@ -1,0 +1,40 @@
+//! The common fuzzer interface shared by L2Fuzz and the baseline tools.
+
+use hci::air::AclLink;
+
+/// A black-box Bluetooth L2CAP fuzzer.
+///
+/// The comparison experiments (§IV-C/D) run every fuzzer the same way: give
+/// it an established ACL link to the target (with a packet tap already
+/// attached by the harness) and a transmission budget, and let it do whatever
+/// its strategy dictates.  The captured trace — not the fuzzer itself — is
+/// what the metrics are computed from, mirroring the paper's
+/// sniffing-based methodology.
+pub trait Fuzzer {
+    /// Human-readable tool name ("L2Fuzz", "Defensics", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs one campaign over `link`, transmitting at most `max_packets`
+    /// L2CAP packets.
+    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NullFuzzer;
+    impl Fuzzer for NullFuzzer {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn fuzz(&mut self, _link: &mut AclLink, _max_packets: usize) {}
+    }
+
+    #[test]
+    fn fuzzer_trait_is_object_safe() {
+        let mut boxed: Box<dyn Fuzzer> = Box::new(NullFuzzer);
+        assert_eq!(boxed.name(), "null");
+        let _ = &mut boxed;
+    }
+}

@@ -1,0 +1,52 @@
+//! L2Fuzz: a stateful fuzzer for the Bluetooth L2CAP layer.
+//!
+//! This crate is the paper's primary contribution, reproduced against the
+//! simulated substrate of the `hci`/`btstack` crates.  The workflow follows
+//! Fig. 5 of the paper:
+//!
+//! 1. **Target scanning** ([`scanner`]) — discover the device, enumerate its
+//!    service ports and pick one that does not require pairing (falling back
+//!    to SDP).
+//! 2. **State guiding** ([`guide`]) — drive the target's channel state
+//!    machine into each reachable state using only commands that are valid
+//!    for the state's job (Tables I and III).
+//! 3. **Core field mutating** ([`mutator`]) — generate malformed packets that
+//!    mutate only the mutable-core fields (PSM from the abnormal ranges of
+//!    Table IV, CIDP from the dynamic range ignoring allocation) and append a
+//!    bounded garbage tail, keeping every other field valid (Algorithm 1).
+//! 4. **Vulnerability detecting** ([`detector`]) — watch the target's
+//!    responses for connection errors, ping it with L2CAP echo requests and
+//!    collect crash dumps through the out-of-band oracle.
+//!
+//! [`session::L2FuzzSession`] ties the four phases together and produces a
+//! [`report::FuzzReport`]; the [`fuzzer::Fuzzer`] trait is the common
+//! interface shared with the baseline fuzzers for the comparison experiments.
+//!
+//! # Quickstart
+//!
+//! The crate-level test suite and the `quickstart` workspace example show the
+//! full wiring; in short:
+//!
+//! ```text
+//! build a simulated device  ->  register it on the AirMedium
+//! connect an AclLink        ->  L2FuzzSession::new(config, clock).run(link, meta, oracle)
+//! inspect the FuzzReport    ->  findings, elapsed time, states tested
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detector;
+pub mod fuzzer;
+pub mod guide;
+pub mod mutator;
+pub mod queue;
+pub mod report;
+pub mod scanner;
+pub mod session;
+
+pub use config::FuzzConfig;
+pub use fuzzer::Fuzzer;
+pub use report::{FuzzReport, VulnerabilityFinding};
+pub use session::L2FuzzSession;

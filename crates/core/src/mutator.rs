@@ -1,0 +1,301 @@
+//! Phase 3 — core field mutating (§III-D, Algorithm 1, Fig. 7).
+//!
+//! For each command valid in the current state, the mutator builds packets
+//! whose *fixed* and *dependent* fields are kept intact, whose *mutable
+//! application* fields keep their default values, and whose *mutable core*
+//! fields are replaced: PSM values are drawn from the abnormal ranges of
+//! Table IV, channel-ID-in-payload values from the normal dynamic range while
+//! deliberately ignoring what the target allocated.  Finally a bounded
+//! garbage tail is appended without updating the dependent length fields —
+//! exactly the mutation of the paper's Fig. 7 example.
+
+use btcore::{FuzzRng, Identifier};
+use l2cap::code::CommandCode;
+use l2cap::fields::{self, FieldClass, FieldName};
+use l2cap::packet::SignalingPacket;
+use l2cap::ranges;
+
+use crate::guide::ChannelContext;
+
+/// The core-field mutator.
+#[derive(Debug)]
+pub struct CoreFieldMutator {
+    rng: FuzzRng,
+    core_fields_only: bool,
+    append_garbage: bool,
+    max_garbage_len: usize,
+}
+
+impl CoreFieldMutator {
+    /// Creates a mutator following the paper's technique.
+    pub fn new(rng: FuzzRng) -> Self {
+        CoreFieldMutator { rng, core_fields_only: true, append_garbage: true, max_garbage_len: 16 }
+    }
+
+    /// Creates a mutator with explicit ablation switches (see
+    /// [`crate::config::FuzzConfig`]).
+    pub fn with_options(
+        rng: FuzzRng,
+        core_fields_only: bool,
+        append_garbage: bool,
+        max_garbage_len: usize,
+    ) -> Self {
+        CoreFieldMutator { rng, core_fields_only, append_garbage, max_garbage_len }
+    }
+
+    /// Builds one malformed packet for `code` in the given channel context
+    /// (Algorithm 1, inner loop body).
+    pub fn mutate(
+        &mut self,
+        code: CommandCode,
+        ctx: &ChannelContext,
+        identifier: Identifier,
+    ) -> SignalingPacket {
+        let spec_len = fields::min_data_len(code);
+        let mut data = vec![0u8; spec_len];
+
+        for spec in fields::data_field_layout(code) {
+            let Some(width) = spec.len else { continue };
+            if spec.offset + width > data.len() {
+                continue;
+            }
+            match spec.class() {
+                FieldClass::MutableCore => {
+                    // PSM <- random(abnormal); CIDP <- random(normal range),
+                    // ignoring the dynamically allocated value.
+                    let value = if spec.name == FieldName::Psm {
+                        ranges::random_abnormal_psm(&mut self.rng)
+                    } else {
+                        ranges::random_cidp(&mut self.rng)
+                    };
+                    write_field(&mut data, spec.offset, width, value);
+                }
+                FieldClass::MutableApp => {
+                    if self.core_fields_only {
+                        // MA fields keep their default values (zeros encode
+                        // "success"/"no flags"/"no info").
+                    } else {
+                        // Ablation: dumb mutation of application fields too.
+                        let value = self.rng.next_u16();
+                        write_field(&mut data, spec.offset, width, value);
+                    }
+                }
+                FieldClass::Fixed | FieldClass::Dependent => {
+                    // Never mutated: fixed fields keep their constants and
+                    // dependent fields are derived below.
+                }
+            }
+        }
+        // Keep the remote channel plausible when the command addresses an
+        // open channel and the context has one: half of the packets reuse the
+        // real DCID so deeper handling is reached, the other half keep the
+        // random value (ignoring allocation), mirroring the paper's "normal
+        // range while ignoring dynamic allocation".
+        if ctx.has_channel() && self.rng.chance(0.5) {
+            if let Some(spec) = fields::cidp_fields(code).first() {
+                if let Some(width) = spec.len {
+                    write_field(&mut data, spec.offset, width, ctx.dcid.value());
+                }
+            }
+        }
+
+        let declared_data_len = data.len() as u16;
+        if self.append_garbage && self.max_garbage_len > 0 {
+            let garbage_len = self.rng.range_usize(1, self.max_garbage_len);
+            data.extend_from_slice(&self.rng.bytes(garbage_len));
+        }
+
+        let mut packet = SignalingPacket { identifier, code: code.value(), declared_data_len, data };
+        if !self.core_fields_only {
+            // Ablation: dumb mutation also corrupts the dependent length
+            // field, which conforming stacks answer with "command not
+            // understood".
+            packet.declared_data_len = self.rng.next_u16();
+        }
+        packet
+    }
+
+    /// Generates `n` malformed packets for every command in `commands`
+    /// (Algorithm 1), using `identifiers` starting at `first_identifier`.
+    pub fn generate(
+        &mut self,
+        commands: &[CommandCode],
+        n: usize,
+        ctx: &ChannelContext,
+        mut identifier: Identifier,
+    ) -> Vec<SignalingPacket> {
+        let mut out = Vec::with_capacity(commands.len() * n);
+        for code in commands {
+            for _ in 0..n {
+                out.push(self.mutate(*code, ctx, identifier));
+                identifier = identifier.next();
+            }
+        }
+        out
+    }
+
+    /// Reproduces the paper's Fig. 7 worked example: the original, well-formed
+    /// Configure Request and the mutated packet with DCID forced to `0x7B8F`
+    /// and the garbage tail `D2 3A 91 0E`.
+    pub fn fig7_example() -> (SignalingPacket, SignalingPacket) {
+        let original = SignalingPacket {
+            identifier: Identifier(0x06),
+            code: CommandCode::ConfigureRequest.value(),
+            declared_data_len: 0x0008,
+            data: vec![0x40, 0x00, 0x00, 0x20, 0x01, 0x02, 0x00, 0x04],
+        };
+        let mutated = SignalingPacket {
+            identifier: Identifier(0x06),
+            code: CommandCode::ConfigureRequest.value(),
+            declared_data_len: 0x0008,
+            data: vec![0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E],
+        };
+        (original, mutated)
+    }
+}
+
+fn write_field(data: &mut [u8], offset: usize, width: usize, value: u16) {
+    if width == 1 {
+        data[offset] = value as u8;
+    } else {
+        let bytes = value.to_le_bytes();
+        data[offset] = bytes[0];
+        data[offset + 1] = bytes[1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::codec::hex_dump;
+    use btcore::{Cid, Psm};
+    use l2cap::command::Command;
+    use l2cap::jobs::Job;
+
+    fn mutator() -> CoreFieldMutator {
+        CoreFieldMutator::new(FuzzRng::seed_from(42))
+    }
+
+    fn ctx_with_channel() -> ChannelContext {
+        ChannelContext { scid: Cid(0x0040), dcid: Cid(0x0041), psm: Psm::SDP }
+    }
+
+    #[test]
+    fn mutated_connection_request_has_abnormal_psm_and_garbage() {
+        let mut m = mutator();
+        for i in 0..200u8 {
+            let pkt = m.mutate(
+                CommandCode::ConnectionRequest,
+                &ChannelContext::closed(Psm::SDP),
+                Identifier(i.max(1)),
+            );
+            assert_eq!(pkt.code, 0x02);
+            let core = fields::extract_core_values(CommandCode::ConnectionRequest, &pkt.data);
+            assert!(ranges::is_abnormal_psm(core.psm.unwrap()));
+            assert!(core.cidp.iter().all(|c| ranges::is_cidp_range(*c)));
+            assert!(pkt.garbage_len() > 0, "garbage must be appended");
+            assert!(pkt.garbage_len() <= 16);
+            // Dependent fields are preserved: declared length = spec length.
+            assert_eq!(pkt.declared_data_len, 4);
+        }
+    }
+
+    #[test]
+    fn mutated_packets_are_classified_as_malformed() {
+        let mut m = mutator();
+        for code in Job::Configuration.valid_commands() {
+            let pkt = m.mutate(code, &ctx_with_channel(), Identifier(1));
+            assert!(sniffer_is_malformed(&pkt), "{code} mutation must look malformed");
+        }
+    }
+
+    // Minimal local re-implementation of the sniffer's notion of malformed
+    // (garbage, abnormal PSM or broken structure) to avoid a circular
+    // dev-dependency.
+    fn sniffer_is_malformed(pkt: &SignalingPacket) -> bool {
+        if pkt.garbage_len() > 0 || !pkt.is_length_consistent() {
+            return true;
+        }
+        let Some(code) = CommandCode::from_u8(pkt.code) else { return true };
+        let core = fields::extract_core_values(code, &pkt.data);
+        core.psm.map(ranges::is_abnormal_psm).unwrap_or(false)
+            || matches!(pkt.command(), Command::Raw { .. })
+    }
+
+    #[test]
+    fn application_fields_keep_defaults_in_core_only_mode() {
+        let mut m = mutator();
+        let pkt = m.mutate(CommandCode::ConnectionResponse, &ChannelContext::closed(Psm::SDP), Identifier(1));
+        // Result and status (offsets 4..8) stay at default zero.
+        assert_eq!(&pkt.data[4..8], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn dumb_mutation_corrupts_dependent_fields() {
+        let mut m = CoreFieldMutator::with_options(FuzzRng::seed_from(1), false, true, 8);
+        let mut saw_wrong_len = false;
+        for i in 1..=50u8 {
+            let pkt = m.mutate(CommandCode::ConnectionRequest, &ChannelContext::closed(Psm::SDP), Identifier(i));
+            if usize::from(pkt.declared_data_len) != 4 {
+                saw_wrong_len = true;
+            }
+        }
+        assert!(saw_wrong_len, "dumb mutation must corrupt the DATA LEN field");
+    }
+
+    #[test]
+    fn no_garbage_when_disabled() {
+        let mut m = CoreFieldMutator::with_options(FuzzRng::seed_from(1), true, false, 16);
+        let pkt = m.mutate(CommandCode::ConnectionRequest, &ChannelContext::closed(Psm::SDP), Identifier(1));
+        assert_eq!(pkt.garbage_len(), 0);
+        assert!(pkt.is_length_consistent());
+    }
+
+    #[test]
+    fn generate_produces_n_packets_per_command() {
+        let mut m = mutator();
+        let cmds = Job::Move.valid_commands();
+        let packets = m.generate(&cmds, 5, &ctx_with_channel(), Identifier(1));
+        assert_eq!(packets.len(), cmds.len() * 5);
+        // Identifiers are all valid and advance.
+        assert!(packets.iter().all(|p| p.identifier.is_valid()));
+    }
+
+    #[test]
+    fn some_config_mutations_reuse_the_real_dcid() {
+        let mut m = mutator();
+        let ctx = ctx_with_channel();
+        let packets = m.generate(&[CommandCode::ConfigureRequest], 64, &ctx, Identifier(1));
+        let reused = packets
+            .iter()
+            .filter(|p| {
+                fields::extract_core_values(CommandCode::ConfigureRequest, &p.data)
+                    .cidp
+                    .contains(&ctx.dcid.value())
+            })
+            .count();
+        assert!(reused > 0, "some packets should target the allocated channel");
+        assert!(reused < 64, "some packets should ignore the allocation");
+    }
+
+    #[test]
+    fn fig7_example_matches_the_paper_bytes() {
+        let (original, mutated) = CoreFieldMutator::fig7_example();
+        assert_eq!(
+            hex_dump(&original.into_frame().to_bytes()),
+            "0C 00 01 00 04 06 08 00 40 00 00 20 01 02 00 04"
+        );
+        // The mutation leaves the dependent PAYLOAD LEN field untouched as
+        // well, so the on-air frame keeps declaring 12 payload bytes.
+        let mutated_frame = l2cap::packet::L2capFrame {
+            declared_payload_len: 0x000C,
+            cid: Cid::SIGNALING,
+            payload: mutated.to_bytes(),
+        };
+        assert_eq!(
+            hex_dump(&mutated_frame.to_bytes()),
+            "0C 00 01 00 04 06 08 00 8F 7B 00 00 00 00 00 00 D2 3A 91 0E"
+        );
+        assert_eq!(mutated.garbage_len(), 4);
+    }
+}

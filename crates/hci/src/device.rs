@@ -1,0 +1,105 @@
+//! The interface a simulated target device presents to the air medium.
+
+use btcore::DeviceMeta;
+use l2cap::packet::L2capFrame;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A virtual Bluetooth device reachable over the [`crate::air::AirMedium`].
+///
+/// The `btstack` crate provides vendor-flavoured implementations; this crate
+/// only ships the tiny [`EchoDevice`] used in examples and tests.
+pub trait VirtualDevice: Send {
+    /// Device metadata reported during inquiry.
+    fn meta(&self) -> DeviceMeta;
+
+    /// Processes one inbound L2CAP frame from the initiator and returns the
+    /// frames the device sends back, in order.
+    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame>;
+
+    /// Whether the device's Bluetooth service is still running (a device
+    /// whose stack crashed or shut down stops answering inquiries and
+    /// frames).
+    fn bluetooth_alive(&self) -> bool;
+
+    /// Virtual time the device spends processing one frame, in microseconds.
+    /// The default models a fast, simple stack; stacks with more service
+    /// ports and deeper application logic report larger values, which is what
+    /// spreads the elapsed-time column of Table VI.
+    fn processing_cost_micros(&self) -> u64 {
+        150
+    }
+}
+
+/// Shared, lockable handle to a virtual device.
+pub type SharedDevice = Arc<Mutex<dyn VirtualDevice>>;
+
+/// A minimal device that answers every frame by echoing it back on the same
+/// channel.  Useful for transport-level tests and doc examples.
+#[derive(Debug, Clone)]
+pub struct EchoDevice {
+    meta: DeviceMeta,
+    alive: bool,
+}
+
+impl EchoDevice {
+    /// Creates an echo device with the given address.
+    pub fn new(addr: btcore::BdAddr) -> Self {
+        EchoDevice {
+            meta: DeviceMeta::new(addr, "echo-device", btcore::DeviceClass::Other),
+            alive: true,
+        }
+    }
+
+    /// Marks the device as shut down; it stops responding afterwards.
+    pub fn shut_down(&mut self) {
+        self.alive = false;
+    }
+}
+
+impl VirtualDevice for EchoDevice {
+    fn meta(&self) -> DeviceMeta {
+        self.meta.clone()
+    }
+
+    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame> {
+        if !self.alive {
+            return Vec::new();
+        }
+        vec![frame]
+    }
+
+    fn bluetooth_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::{BdAddr, Cid};
+
+    #[test]
+    fn echo_device_echoes_until_shut_down() {
+        let mut dev = EchoDevice::new(BdAddr::new([1, 2, 3, 4, 5, 6]));
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        assert_eq!(dev.receive(frame.clone()), vec![frame.clone()]);
+        assert!(dev.bluetooth_alive());
+        dev.shut_down();
+        assert!(dev.receive(frame).is_empty());
+        assert!(!dev.bluetooth_alive());
+    }
+
+    #[test]
+    fn default_processing_cost_is_positive() {
+        let dev = EchoDevice::new(BdAddr::NULL);
+        assert!(dev.processing_cost_micros() > 0);
+    }
+
+    #[test]
+    fn virtual_device_is_object_safe() {
+        let dev: SharedDevice =
+            Arc::new(Mutex::new(EchoDevice::new(BdAddr::new([9, 8, 7, 6, 5, 4]))));
+        assert_eq!(dev.lock().meta().name, "echo-device");
+    }
+}

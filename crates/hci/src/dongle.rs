@@ -1,0 +1,105 @@
+//! The fuzzer-side HCI dongle.
+//!
+//! [`HciDongle`] mirrors the "Bluetooth Dongle" box of the paper's workflow
+//! (Fig. 5): it is the piece of hardware the fuzzer uses to scan for targets
+//! and open ACL links.  Here it is a thin, owned façade over the
+//! [`AirMedium`], carrying the default link configuration and the RNG stream
+//! used for link-level randomness.
+
+use btcore::{BdAddr, BtError, DeviceMeta, FuzzRng, SimClock};
+
+use crate::air::{AclLink, AirMedium};
+use crate::link::LinkConfig;
+
+/// A virtual Bluetooth Class-1 dongle.
+pub struct HciDongle {
+    air: AirMedium,
+    clock: SimClock,
+    link_config: LinkConfig,
+    rng: FuzzRng,
+}
+
+impl HciDongle {
+    /// Creates a dongle over `air` with the default link configuration and a
+    /// fixed RNG seed (use [`HciDongle::with_config`] to override both).
+    pub fn new(air: AirMedium, clock: SimClock) -> Self {
+        HciDongle { air, clock, link_config: LinkConfig::default(), rng: FuzzRng::seed_from(0x0d0e) }
+    }
+
+    /// Creates a dongle with an explicit link configuration and RNG.
+    pub fn with_config(air: AirMedium, clock: SimClock, config: LinkConfig, rng: FuzzRng) -> Self {
+        HciDongle { air, clock, link_config: config, rng }
+    }
+
+    /// Scans for nearby devices (inquiry), returning their metadata.
+    pub fn inquiry(&self) -> Vec<DeviceMeta> {
+        self.air.inquiry()
+    }
+
+    /// Opens an ACL link to the device with the given address.
+    ///
+    /// # Errors
+    /// Propagates [`BtError`] from the air medium (unknown device, service
+    /// down).
+    pub fn connect(&mut self, addr: BdAddr) -> Result<AclLink, BtError> {
+        let rng = self.rng.fork(u64::from(addr.bytes()[5]));
+        self.air.connect(addr, self.link_config, rng)
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// The link configuration used for new connections.
+    pub fn link_config(&self) -> LinkConfig {
+        self.link_config
+    }
+
+    /// Mutable access to the underlying air medium (e.g. to register more
+    /// devices mid-experiment).
+    pub fn air_mut(&mut self) -> &mut AirMedium {
+        &mut self.air
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::EchoDevice;
+    use btcore::Cid;
+    use l2cap::packet::L2capFrame;
+
+    #[test]
+    fn dongle_inquiry_and_connect() {
+        let clock = SimClock::new();
+        let mut air = AirMedium::new(clock.clone());
+        let addr = BdAddr::new([1, 2, 3, 4, 5, 6]);
+        air.register(Box::new(EchoDevice::new(addr)));
+
+        let mut dongle = HciDongle::new(air, clock);
+        let found = dongle.inquiry();
+        assert_eq!(found.len(), 1);
+
+        let mut link = dongle.connect(addr).unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        assert_eq!(link.send_frame(&frame).len(), 1);
+    }
+
+    #[test]
+    fn connect_to_unknown_address_errors() {
+        let clock = SimClock::new();
+        let air = AirMedium::new(clock.clone());
+        let mut dongle = HciDongle::new(air, clock);
+        assert!(dongle.connect(BdAddr::new([0; 6])).is_err());
+    }
+
+    #[test]
+    fn with_config_uses_custom_link_config() {
+        let clock = SimClock::new();
+        let air = AirMedium::new(clock.clone());
+        let dongle =
+            HciDongle::with_config(air, clock, LinkConfig::ideal(), FuzzRng::seed_from(7));
+        assert_eq!(dongle.link_config(), LinkConfig::ideal());
+    }
+}

@@ -1,0 +1,50 @@
+//! Virtual HCI/ACL transport — the "air" substrate of the reproduction.
+//!
+//! The original L2Fuzz drives a physical Bluetooth dongle; this crate
+//! replaces the radio with a deterministic in-process medium while keeping
+//! the same shape of interface the fuzzer sees:
+//!
+//! * [`acl`] — HCI ACL data packets (the outermost layer of the paper's
+//!   Fig. 3 frame) with fragmentation and reassembly of L2CAP frames.
+//! * [`air`] — the [`air::AirMedium`]: a registry of virtual devices that can
+//!   be discovered by inquiry and connected to, producing an
+//!   [`air::AclLink`].
+//! * [`device`] — the [`device::VirtualDevice`] trait a simulated target
+//!   implements (the `btstack` crate provides vendor-flavoured
+//!   implementations).
+//! * [`dongle`] — the fuzzer-side [`dongle::HciDongle`], mirroring the
+//!   "Bluetooth Dongle" box of the paper's workflow figure.
+//! * [`link`] — link configuration (latency, loss) and packet taps used by
+//!   the sniffer.
+//!
+//! # Example
+//!
+//! ```
+//! use hci::air::AirMedium;
+//! use hci::device::EchoDevice;
+//! use hci::dongle::HciDongle;
+//! use btcore::{BdAddr, SimClock};
+//!
+//! let clock = SimClock::new();
+//! let mut air = AirMedium::new(clock.clone());
+//! air.register(Box::new(EchoDevice::new(BdAddr::new([1, 2, 3, 4, 5, 6]))));
+//!
+//! let dongle = HciDongle::new(air, clock);
+//! let found = dongle.inquiry();
+//! assert_eq!(found.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod air;
+pub mod device;
+pub mod dongle;
+pub mod link;
+
+pub use acl::{AclPacket, BoundaryFlag, ACL_FRAGMENT_SIZE};
+pub use air::{AclLink, AirMedium};
+pub use device::{SharedDevice, VirtualDevice};
+pub use dongle::HciDongle;
+pub use link::{Direction, LinkConfig, PacketRecord, SharedTap};

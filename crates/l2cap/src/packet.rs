@@ -1,0 +1,335 @@
+//! L2CAP framing (Fig. 3 of the paper).
+//!
+//! A transmitted L2CAP packet consists of the basic header — `PAYLOAD LEN`
+//! and `HEADER CID` — followed by the payload; on the signalling channel
+//! (CID `0x0001`) the payload is a C-frame carrying `CODE`, `ID`,
+//! `DATA LEN` and the command's data fields.
+//!
+//! Both [`L2capFrame`] and [`SignalingPacket`] keep the *declared* length
+//! fields separate from the bytes actually carried.  This matters for a
+//! fuzzer: the paper's mutation example (Fig. 7) appends garbage to the tail
+//! of a Configure Request without touching the dependent length fields, so a
+//! malformed packet routinely declares less data than it carries.  The codec
+//! must be able to represent, emit and re-parse such packets byte-exactly.
+
+use btcore::{ByteReader, ByteWriter, Cid, CodecError, Identifier};
+use serde::{Deserialize, Serialize};
+
+use crate::command::Command;
+
+/// Default signalling MTU (bytes) used by the simulated stacks and by the
+/// garbage-length bound of core-field mutation.
+pub const DEFAULT_SIGNALING_MTU: u16 = 672;
+
+/// Minimum signalling MTU every implementation must support on ACL-U links.
+pub const MIN_SIGNALING_MTU: u16 = 48;
+
+/// Maximum size of an L2CAP payload (the `PAYLOAD LEN` field is 16 bits).
+pub const MAX_PAYLOAD_LEN: usize = 65_535;
+
+/// An L2CAP basic-header frame: declared payload length, channel ID and the
+/// payload bytes actually present.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L2capFrame {
+    /// The `PAYLOAD LEN` field as transmitted (may disagree with
+    /// `payload.len()` in malformed packets).
+    pub declared_payload_len: u16,
+    /// The `HEADER CID` field — `0x0001` for signalling traffic.
+    pub cid: Cid,
+    /// Payload bytes actually carried.
+    pub payload: Vec<u8>,
+}
+
+impl L2capFrame {
+    /// Builds a well-formed frame whose declared length matches the payload.
+    pub fn new(cid: Cid, payload: Vec<u8>) -> Self {
+        L2capFrame { declared_payload_len: payload.len() as u16, cid, payload }
+    }
+
+    /// Returns `true` if the declared payload length matches the bytes
+    /// actually carried.
+    pub fn is_length_consistent(&self) -> bool {
+        usize::from(self.declared_payload_len) == self.payload.len()
+    }
+
+    /// Serializes the frame: declared length, CID, then the payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(4 + self.payload.len());
+        w.write_u16(self.declared_payload_len);
+        w.write_u16(self.cid.value());
+        w.write_bytes(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Parses a frame from raw bytes.  The payload is everything after the
+    /// 4-byte basic header, regardless of the declared length.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::UnexpectedEnd`] if fewer than four header bytes
+    /// are present.
+    pub fn parse(bytes: &[u8]) -> Result<L2capFrame, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let declared_payload_len = r.read_u16()?;
+        let cid = Cid(r.read_u16()?);
+        let payload = r.read_rest().to_vec();
+        Ok(L2capFrame { declared_payload_len, cid, payload })
+    }
+
+    /// Total number of bytes this frame occupies on the air.
+    pub fn wire_len(&self) -> usize {
+        4 + self.payload.len()
+    }
+}
+
+/// A signalling C-frame payload: command code, identifier, declared data
+/// length and the data-field bytes actually carried.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalingPacket {
+    /// The packet identifier matching responses to requests.
+    pub identifier: Identifier,
+    /// Raw command code byte.
+    pub code: u8,
+    /// The `DATA LEN` field as transmitted (may disagree with `data.len()`).
+    pub declared_data_len: u16,
+    /// Data-field bytes actually carried (including any appended garbage).
+    pub data: Vec<u8>,
+}
+
+impl SignalingPacket {
+    /// Builds a well-formed signalling packet for `command`.
+    pub fn new(identifier: Identifier, command: Command) -> Self {
+        let data = command.encode_data();
+        SignalingPacket {
+            identifier,
+            code: command.code_byte(),
+            declared_data_len: data.len() as u16,
+            data,
+        }
+    }
+
+    /// Builds a packet from raw parts, declaring exactly `data.len()`.
+    pub fn from_raw(identifier: Identifier, code: u8, data: Vec<u8>) -> Self {
+        SignalingPacket { identifier, code, declared_data_len: data.len() as u16, data }
+    }
+
+    /// Decodes the typed command carried by this packet (never fails; see
+    /// [`Command::decode`]).
+    pub fn command(&self) -> Command {
+        Command::decode(self.code, &self.data)
+    }
+
+    /// Returns `true` if the declared data length matches the data actually
+    /// carried.
+    pub fn is_length_consistent(&self) -> bool {
+        usize::from(self.declared_data_len) == self.data.len()
+    }
+
+    /// Estimates the number of garbage bytes appended to this packet: bytes
+    /// beyond the command's defined fixed-size fields, or bytes beyond the
+    /// declared data length, whichever detects more.  This mirrors how a
+    /// receiving stack (and the trace analysis) recognises L2Fuzz's
+    /// garbage-appending mutation, including on commands such as Configure
+    /// Request whose last field is variable-length.
+    pub fn garbage_len(&self) -> usize {
+        let structural = crate::code::CommandCode::from_u8(self.code)
+            .map(|code| crate::fields::garbage_len(code, &self.data))
+            .unwrap_or(0);
+        let beyond_declared = self.data.len().saturating_sub(usize::from(self.declared_data_len));
+        structural.max(beyond_declared)
+    }
+
+    /// Serializes the C-frame: code, identifier, declared length, data bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(4 + self.data.len());
+        w.write_u8(self.code);
+        w.write_u8(self.identifier.value());
+        w.write_u16(self.declared_data_len);
+        w.write_bytes(&self.data);
+        w.into_bytes()
+    }
+
+    /// Parses a C-frame from raw bytes; the data field is everything after
+    /// the 4-byte command header, regardless of the declared length.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::UnexpectedEnd`] if fewer than four header bytes
+    /// are present.
+    pub fn parse(bytes: &[u8]) -> Result<SignalingPacket, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let code = r.read_u8()?;
+        let identifier = Identifier(r.read_u8()?);
+        let declared_data_len = r.read_u16()?;
+        let data = r.read_rest().to_vec();
+        Ok(SignalingPacket { identifier, code, declared_data_len, data })
+    }
+
+    /// Wraps this signalling packet in an L2CAP frame on the signalling
+    /// channel, with consistent length fields.
+    pub fn into_frame(self) -> L2capFrame {
+        L2capFrame::new(Cid::SIGNALING, self.to_bytes())
+    }
+
+    /// Total number of bytes the C-frame occupies within the L2CAP payload.
+    pub fn wire_len(&self) -> usize {
+        4 + self.data.len()
+    }
+}
+
+/// Convenience: builds the full signalling frame for a command in one call.
+pub fn signaling_frame(identifier: Identifier, command: Command) -> L2capFrame {
+    SignalingPacket::new(identifier, command).into_frame()
+}
+
+/// Parses the signalling packet out of an L2CAP frame, if the frame is on the
+/// signalling channel.
+///
+/// # Errors
+/// Returns a [`CodecError`] if the frame is not on CID `0x0001` or its
+/// payload is shorter than a C-frame header.
+pub fn parse_signaling(frame: &L2capFrame) -> Result<SignalingPacket, CodecError> {
+    if !frame.cid.is_signaling() {
+        return Err(CodecError::InvalidValue {
+            field: "header_cid".to_owned(),
+            value: u64::from(frame.cid.value()),
+        });
+    }
+    SignalingPacket::parse(&frame.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{ConfigureRequest, ConnectionRequest};
+    use crate::options::ConfigOption;
+    use btcore::codec::hex_dump;
+    use btcore::Psm;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        let bytes = frame.to_bytes();
+        let back = L2capFrame::parse(&bytes).unwrap();
+        assert_eq!(frame, back);
+        assert!(back.is_length_consistent());
+        assert_eq!(back.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn signaling_packet_roundtrip() {
+        let cmd = Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) });
+        let pkt = SignalingPacket::new(Identifier(1), cmd.clone());
+        let back = SignalingPacket::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(pkt, back);
+        assert_eq!(back.command(), cmd);
+        assert!(back.is_length_consistent());
+    }
+
+    #[test]
+    fn paper_fig7_original_packet_bytes() {
+        // The well-formed Config Req of Fig. 7:
+        // 0C 00 | 01 00 | 04 | 06 | 08 00 | 40 00 | 00 20 | 01 02 00 04
+        let pkt = SignalingPacket {
+            identifier: Identifier(0x06),
+            code: 0x04,
+            declared_data_len: 0x0008,
+            data: vec![0x40, 0x00, 0x00, 0x20, 0x01, 0x02, 0x00, 0x04],
+        };
+        let frame = L2capFrame::new(Cid::SIGNALING, pkt.to_bytes());
+        assert_eq!(
+            hex_dump(&frame.to_bytes()),
+            "0C 00 01 00 04 06 08 00 40 00 00 20 01 02 00 04"
+        );
+    }
+
+    #[test]
+    fn malformed_packet_with_stale_lengths_roundtrips() {
+        // The mutated Config Req of Fig. 7 keeps PAYLOAD LEN / DATA LEN at
+        // their original values while the data grew by 4 garbage bytes.
+        let pkt = SignalingPacket {
+            identifier: Identifier(0x06),
+            code: 0x04,
+            declared_data_len: 0x0008,
+            data: vec![
+                0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
+            ],
+        };
+        assert!(!pkt.is_length_consistent());
+        let frame = L2capFrame {
+            declared_payload_len: 0x000C,
+            cid: Cid::SIGNALING,
+            payload: pkt.to_bytes(),
+        };
+        assert!(!frame.is_length_consistent());
+        let wire = frame.to_bytes();
+        assert_eq!(
+            hex_dump(&wire),
+            "0C 00 01 00 04 06 08 00 8F 7B 00 00 00 00 00 00 D2 3A 91 0E"
+        );
+        let back = L2capFrame::parse(&wire).unwrap();
+        assert_eq!(back, frame);
+        let sig = parse_signaling(&back).unwrap();
+        assert_eq!(sig, pkt);
+    }
+
+    #[test]
+    fn parse_signaling_rejects_non_signaling_cid() {
+        let frame = L2capFrame::new(Cid(0x0040), vec![0x02, 0x01, 0x04, 0x00]);
+        assert!(parse_signaling(&frame).is_err());
+    }
+
+    #[test]
+    fn parse_requires_minimum_header() {
+        assert!(L2capFrame::parse(&[0x01, 0x02, 0x03]).is_err());
+        assert!(SignalingPacket::parse(&[0x01]).is_err());
+        assert!(L2capFrame::parse(&[0x00, 0x00, 0x01, 0x00]).is_ok());
+    }
+
+    #[test]
+    fn signaling_frame_helper_produces_consistent_lengths() {
+        let cmd = Command::ConfigureRequest(ConfigureRequest {
+            dcid: Cid(0x0040),
+            flags: 0,
+            options: vec![ConfigOption::Mtu(672)],
+        });
+        let frame = signaling_frame(Identifier(3), cmd.clone());
+        assert!(frame.is_length_consistent());
+        assert!(frame.cid.is_signaling());
+        let sig = parse_signaling(&frame).unwrap();
+        assert!(sig.is_length_consistent());
+        assert_eq!(sig.command(), cmd);
+        assert_eq!(sig.identifier, Identifier(3));
+    }
+
+    #[test]
+    fn garbage_len_detects_both_kinds_of_tails() {
+        // Fixed-size command with 4 extra bytes.
+        let mut pkt = SignalingPacket::from_raw(Identifier(1), 0x02, vec![0x01, 0x00, 0x40, 0x00]);
+        assert_eq!(pkt.garbage_len(), 0);
+        pkt.data.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(pkt.garbage_len(), 4);
+
+        // Variable-tail command (Config Req) with stale declared length, as
+        // in the paper's Fig. 7 mutation.
+        let pkt = SignalingPacket {
+            identifier: Identifier(6),
+            code: 0x04,
+            declared_data_len: 8,
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+        };
+        assert_eq!(pkt.garbage_len(), 4);
+
+        // Well-formed Config Req with real options has no garbage.
+        let cmd = Command::ConfigureRequest(ConfigureRequest {
+            dcid: Cid(0x40),
+            flags: 0,
+            options: vec![ConfigOption::Mtu(672)],
+        });
+        assert_eq!(SignalingPacket::new(Identifier(2), cmd).garbage_len(), 0);
+    }
+
+    #[test]
+    fn constants_are_sane() {
+        assert!(MIN_SIGNALING_MTU < DEFAULT_SIGNALING_MTU);
+        assert_eq!(MAX_PAYLOAD_LEN, 0xFFFF);
+    }
+}

@@ -1,0 +1,155 @@
+//! Mutation value ranges for the mutable core fields (paper Table IV).
+//!
+//! * **PSM** — the normal PSM range has already been exercised during port
+//!   scanning, so the mutator draws from the *abnormal* ranges listed in
+//!   Table IV (odd-MSB blocks `0x0100-0x01FF`, `0x0300-0x03FF`, …,
+//!   `0x0D00-0x0DFF`, plus every even value, which violates the "least
+//!   significant octet must be odd" rule).
+//! * **CIDP** — channel IDs in payloads are drawn from the *normal* dynamic
+//!   range `0x0040-0xFFFF`, deliberately ignoring what the target actually
+//!   allocated: the value is plausible, but it does not belong to this
+//!   channel, which is exactly the condition that broke the stacks in the
+//!   paper's case study.
+
+use btcore::FuzzRng;
+use std::ops::RangeInclusive;
+
+/// The odd-MSB abnormal PSM blocks of Table IV.
+pub const ABNORMAL_PSM_BLOCKS: [RangeInclusive<u16>; 7] = [
+    0x0100..=0x01FF,
+    0x0300..=0x03FF,
+    0x0500..=0x05FF,
+    0x0700..=0x07FF,
+    0x0900..=0x09FF,
+    0x0B00..=0x0BFF,
+    0x0D00..=0x0DFF,
+];
+
+/// The CIDP mutation range of Table IV (the dynamic CID space).
+pub const CIDP_RANGE: RangeInclusive<u16> = 0x0040..=0xFFFF;
+
+/// Returns `true` if `psm` belongs to Table IV's abnormal PSM space: one of
+/// the odd-MSB blocks, or any even value.
+pub fn is_abnormal_psm(psm: u16) -> bool {
+    if psm % 2 == 0 {
+        return true;
+    }
+    ABNORMAL_PSM_BLOCKS.iter().any(|block| block.contains(&psm))
+}
+
+/// Returns `true` if `cid` lies in Table IV's CIDP mutation range.
+pub fn is_cidp_range(cid: u16) -> bool {
+    CIDP_RANGE.contains(&cid)
+}
+
+/// Draws a random abnormal PSM value per Table IV.
+///
+/// Half of the draws come from the odd-MSB blocks and half are even values,
+/// so both abnormal classes are exercised.
+pub fn random_abnormal_psm(rng: &mut FuzzRng) -> u16 {
+    let psm = if rng.chance(0.5) {
+        let block = rng.pick(&ABNORMAL_PSM_BLOCKS).clone();
+        rng.range_u16(*block.start(), *block.end())
+    } else {
+        // Any even value.
+        rng.range_u16(0, u16::MAX / 2) * 2
+    };
+    debug_assert!(is_abnormal_psm(psm));
+    psm
+}
+
+/// Draws a random CIDP value from the normal dynamic range, ignoring what the
+/// target actually allocated.
+pub fn random_cidp(rng: &mut FuzzRng) -> u16 {
+    rng.range_u16(*CIDP_RANGE.start(), *CIDP_RANGE.end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_blocks_are_the_seven_odd_msb_blocks() {
+        assert_eq!(ABNORMAL_PSM_BLOCKS.len(), 7);
+        for (i, block) in ABNORMAL_PSM_BLOCKS.iter().enumerate() {
+            let msb = (block.start() >> 8) as u8;
+            assert_eq!(msb % 2, 1, "block {i} must have an odd MSB");
+            assert_eq!(block.end() - block.start(), 0xFF);
+        }
+    }
+
+    #[test]
+    fn even_psms_are_abnormal() {
+        assert!(is_abnormal_psm(0x0000));
+        assert!(is_abnormal_psm(0x0002));
+        assert!(is_abnormal_psm(0x1000));
+        assert!(is_abnormal_psm(0xFFFE));
+    }
+
+    #[test]
+    fn odd_msb_blocks_are_abnormal() {
+        assert!(is_abnormal_psm(0x0101));
+        assert!(is_abnormal_psm(0x03FF));
+        assert!(is_abnormal_psm(0x0D0D));
+    }
+
+    #[test]
+    fn well_known_psms_are_not_abnormal() {
+        for psm in btcore::Psm::well_known() {
+            assert!(!is_abnormal_psm(psm.value()), "{psm} must not be in the abnormal space");
+        }
+        // A valid dynamic PSM is also normal.
+        assert!(!is_abnormal_psm(0x1001));
+    }
+
+    #[test]
+    fn abnormal_psms_are_never_structurally_valid_or_scannable() {
+        // The abnormal space and the structurally valid space are disjoint:
+        // abnormal values would never appear in a port scan.
+        for psm in [0x0100u16, 0x0300, 0x0505, 0x0707, 0x0009 * 2, 0x0B0B, 0x0D01, 0x0002] {
+            assert!(is_abnormal_psm(psm));
+            assert!(!btcore::Psm(psm).is_valid() || ABNORMAL_PSM_BLOCKS.iter().any(|b| b.contains(&psm)));
+        }
+    }
+
+    #[test]
+    fn cidp_range_is_dynamic_cid_space() {
+        assert!(is_cidp_range(0x0040));
+        assert!(is_cidp_range(0xFFFF));
+        assert!(!is_cidp_range(0x0001));
+        assert!(!is_cidp_range(0x003F));
+    }
+
+    #[test]
+    fn random_abnormal_psm_always_lands_in_table4_space() {
+        let mut rng = FuzzRng::seed_from(42);
+        for _ in 0..2_000 {
+            assert!(is_abnormal_psm(random_abnormal_psm(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn random_cidp_always_lands_in_range() {
+        let mut rng = FuzzRng::seed_from(43);
+        for _ in 0..2_000 {
+            assert!(is_cidp_range(random_cidp(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn random_draws_cover_both_abnormal_psm_classes() {
+        let mut rng = FuzzRng::seed_from(44);
+        let mut saw_even = false;
+        let mut saw_block = false;
+        for _ in 0..500 {
+            let v = random_abnormal_psm(&mut rng);
+            if v % 2 == 0 {
+                saw_even = true;
+            }
+            if ABNORMAL_PSM_BLOCKS.iter().any(|b| b.contains(&v)) {
+                saw_block = true;
+            }
+        }
+        assert!(saw_even && saw_block);
+    }
+}

@@ -1,0 +1,193 @@
+//! Packet classification: malformed transmissions and rejection responses.
+//!
+//! The MP and PR ratios of §IV-A are defined over two classifications that a
+//! trace analyst can make from packet bytes alone:
+//!
+//! * a **malformed** transmitted packet carries malicious information — a
+//!   garbage tail, inconsistent length fields, an abnormal PSM, an undefined
+//!   command code, or a payload that does not parse as its code's structure;
+//! * a **rejection** received packet is the target turning a packet down — an
+//!   L2CAP Command Reject, or a response whose result code refuses the
+//!   request (connection refused, configuration failed, move refused).
+
+use l2cap::code::CommandCode;
+use l2cap::command::Command;
+use l2cap::packet::{parse_signaling, L2capFrame};
+use l2cap::ranges::is_abnormal_psm;
+
+/// Returns `true` if a transmitted frame should be counted as a malformed
+/// packet.
+pub fn is_malformed(frame: &L2capFrame) -> bool {
+    if !frame.cid.is_signaling() {
+        // Data traffic is out of scope for the signalling fuzzers compared in
+        // the paper.
+        return false;
+    }
+    if !frame.is_length_consistent() {
+        return true;
+    }
+    let Ok(packet) = parse_signaling(frame) else {
+        return true;
+    };
+    if !packet.is_length_consistent() || packet.garbage_len() > 0 {
+        return true;
+    }
+    let Some(code) = CommandCode::from_u8(packet.code) else {
+        return true;
+    };
+    // Structurally undecodable payload for a defined code.
+    if matches!(packet.command(), Command::Raw { .. }) {
+        return true;
+    }
+    // Abnormal PSM values (Table IV) are malicious by construction.
+    let core = l2cap::fields::extract_core_values(code, &packet.data);
+    if let Some(psm) = core.psm {
+        if is_abnormal_psm(psm) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Returns `true` if a received frame is a rejection from the target.
+pub fn is_rejection(frame: &L2capFrame) -> bool {
+    if !frame.cid.is_signaling() {
+        return false;
+    }
+    let Ok(packet) = parse_signaling(frame) else {
+        return false;
+    };
+    match packet.command() {
+        Command::CommandReject(_) => true,
+        Command::ConnectionResponse(rsp) => rsp.result.is_refusal(),
+        Command::CreateChannelResponse(rsp) => rsp.result.is_refusal(),
+        Command::ConfigureResponse(rsp) => rsp.result.is_failure(),
+        Command::MoveChannelResponse(rsp) => rsp.result.is_refusal(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::{Cid, Identifier, Psm};
+    use l2cap::command::{
+        CommandReject, ConfigureRequest, ConnectionRequest, ConnectionResponse, EchoRequest,
+    };
+    use l2cap::consts::{ConnectionResult, RejectReason};
+    use l2cap::packet::{signaling_frame, SignalingPacket};
+
+    #[test]
+    fn well_formed_packets_are_not_malformed() {
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+        );
+        assert!(!is_malformed(&frame));
+        let frame = signaling_frame(
+            Identifier(2),
+            Command::EchoRequest(EchoRequest { data: vec![1, 2, 3] }),
+        );
+        assert!(!is_malformed(&frame));
+        let frame = signaling_frame(
+            Identifier(3),
+            Command::ConfigureRequest(ConfigureRequest { dcid: Cid(0x0040), flags: 0, options: vec![] }),
+        );
+        assert!(!is_malformed(&frame));
+    }
+
+    #[test]
+    fn garbage_tail_is_malformed() {
+        let packet = SignalingPacket {
+            identifier: Identifier(6),
+            code: 0x04,
+            declared_data_len: 8,
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+        };
+        assert!(is_malformed(&packet.into_frame()));
+    }
+
+    #[test]
+    fn abnormal_psm_is_malformed() {
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::ConnectionRequest(ConnectionRequest { psm: Psm(0x0101), scid: Cid(0x0040) }),
+        );
+        assert!(is_malformed(&frame));
+    }
+
+    #[test]
+    fn undefined_code_and_broken_structure_are_malformed() {
+        let frame = SignalingPacket::from_raw(Identifier(1), 0x7F, vec![1, 2]).into_frame();
+        assert!(is_malformed(&frame));
+        // Connection request with only one data byte.
+        let frame = SignalingPacket::from_raw(Identifier(1), 0x02, vec![1]).into_frame();
+        assert!(is_malformed(&frame));
+    }
+
+    #[test]
+    fn inconsistent_frame_length_is_malformed() {
+        let sig = SignalingPacket::new(
+            Identifier(1),
+            Command::EchoRequest(EchoRequest { data: vec![] }),
+        );
+        let frame = L2capFrame {
+            declared_payload_len: 2,
+            cid: Cid::SIGNALING,
+            payload: sig.to_bytes(),
+        };
+        assert!(is_malformed(&frame));
+    }
+
+    #[test]
+    fn data_frames_are_not_counted() {
+        let frame = L2capFrame::new(Cid(0x0040), vec![0xFF; 32]);
+        assert!(!is_malformed(&frame));
+        assert!(!is_rejection(&frame));
+    }
+
+    #[test]
+    fn command_reject_is_a_rejection() {
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::CommandReject(CommandReject {
+                reason: RejectReason::InvalidCidInRequest,
+                data: vec![],
+            }),
+        );
+        assert!(is_rejection(&frame));
+    }
+
+    #[test]
+    fn refused_connection_response_is_a_rejection_but_success_is_not() {
+        let refused = signaling_frame(
+            Identifier(1),
+            Command::ConnectionResponse(ConnectionResponse {
+                dcid: Cid::NULL,
+                scid: Cid(0x0040),
+                result: ConnectionResult::RefusedPsmNotSupported,
+                status: 0,
+            }),
+        );
+        assert!(is_rejection(&refused));
+        let success = signaling_frame(
+            Identifier(1),
+            Command::ConnectionResponse(ConnectionResponse {
+                dcid: Cid(0x0041),
+                scid: Cid(0x0040),
+                result: ConnectionResult::Success,
+                status: 0,
+            }),
+        );
+        assert!(!is_rejection(&success));
+    }
+
+    #[test]
+    fn echo_response_is_not_a_rejection() {
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::EchoResponse(l2cap::command::EchoResponse { data: vec![] }),
+        );
+        assert!(!is_rejection(&frame));
+    }
+}

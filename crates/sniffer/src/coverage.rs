@@ -1,0 +1,292 @@
+//! Trace-replay state-coverage inference (paper §IV-D, Figs. 10–11).
+//!
+//! The paper measures how many of the 19 L2CAP states each fuzzer exercises
+//! by analysing its packet trace with a protocol-reverse-engineering tool.
+//! Here the equivalent is exact: the trace is replayed against the Bluetooth
+//! 5.2 acceptor state machine (the same [`l2cap::state::StateMachine`] the
+//! simulated targets run), creating one machine per channel the initiator
+//! opens and feeding it every command addressed to it.  The union of states
+//! visited by all machines is the fuzzer's state coverage.
+
+use std::collections::BTreeSet;
+
+use btcore::Cid;
+use hci::link::Direction;
+use l2cap::code::CommandCode;
+use l2cap::command::Command;
+use l2cap::packet::parse_signaling;
+use l2cap::state::{ChannelState, StateMachine};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// The set of L2CAP states a fuzzer's trace exercised on the target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateCoverage {
+    covered: BTreeSet<ChannelState>,
+}
+
+impl StateCoverage {
+    /// Replays a trace and infers the covered states.
+    pub fn from_trace(trace: &Trace) -> StateCoverage {
+        let mut covered: BTreeSet<ChannelState> = BTreeSet::new();
+        // The CLOSED state is exercised as soon as any signalling packet is
+        // sent at all.
+        if trace.transmitted().any(|r| r.frame.cid.is_signaling()) {
+            covered.insert(ChannelState::Closed);
+        }
+
+        // One replay machine per channel, keyed by the CIDs seen on the wire:
+        // the initiator's SCID and the target's allocated DCID.
+        let mut channels: Vec<(Vec<u16>, StateMachine)> = Vec::new();
+        // Connection requests the target has not answered yet: SCID -> ().
+        let mut pending_connects: Vec<(u16, bool)> = Vec::new(); // (scid, is_create)
+
+        for record in trace.records() {
+            if !record.frame.cid.is_signaling() {
+                continue;
+            }
+            let Ok(packet) = parse_signaling(&record.frame) else { continue };
+            let Some(code) = CommandCode::from_u8(packet.code) else { continue };
+            let command = packet.command();
+
+            match record.direction {
+                Direction::Tx => match &command {
+                    Command::ConnectionRequest(req) => {
+                        pending_connects.push((req.scid.value(), false));
+                    }
+                    Command::CreateChannelRequest(req) => {
+                        pending_connects.push((req.scid.value(), true));
+                    }
+                    _ => {
+                        // Link-level commands (echo, information, rejects)
+                        // are handled outside the channel state machines by
+                        // every stack; only channel commands advance a
+                        // machine.
+                        let link_level = matches!(
+                            code,
+                            CommandCode::EchoRequest
+                                | CommandCode::EchoResponse
+                                | CommandCode::InformationRequest
+                                | CommandCode::InformationResponse
+                                | CommandCode::CommandReject
+                        );
+                        if link_level {
+                            continue;
+                        }
+                        let core = l2cap::fields::extract_core_values(code, &packet.data);
+                        let machine = resolve_machine(&mut channels, &core.cidp);
+                        if let Some(machine) = machine {
+                            machine.on_command(code, true);
+                        }
+                    }
+                },
+                Direction::Rx => match &command {
+                    Command::ConnectionResponse(rsp) => {
+                        settle_connect(&mut channels, &mut pending_connects, &mut covered,
+                            rsp.scid, rsp.dcid, rsp.result.is_refusal(), false);
+                    }
+                    Command::CreateChannelResponse(rsp) => {
+                        settle_connect(&mut channels, &mut pending_connects, &mut covered,
+                            rsp.scid, rsp.dcid, rsp.result.is_refusal(), true);
+                    }
+                    _ => {}
+                },
+            }
+        }
+
+        for (_, machine) in &channels {
+            covered.extend(machine.visited().iter().copied());
+        }
+        StateCoverage { covered }
+    }
+
+    /// The covered states in specification order.
+    pub fn states(&self) -> Vec<ChannelState> {
+        ChannelState::ALL.iter().copied().filter(|s| self.covered.contains(s)).collect()
+    }
+
+    /// Number of covered states (of 19).
+    pub fn count(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Returns `true` if the given state was covered.
+    pub fn covers(&self, state: ChannelState) -> bool {
+        self.covered.contains(&state)
+    }
+
+    /// Renders the Fig. 11-style matrix row: one `#` per covered state, `.`
+    /// per uncovered state, in [`ChannelState::ALL`] order.
+    pub fn matrix_row(&self) -> String {
+        ChannelState::ALL
+            .iter()
+            .map(|s| if self.covered.contains(s) { '#' } else { '.' })
+            .collect()
+    }
+}
+
+fn resolve_machine<'a>(
+    channels: &'a mut [(Vec<u16>, StateMachine)],
+    cidp: &[u16],
+) -> Option<&'a mut StateMachine> {
+    // Find a channel whose known CIDs intersect the packet's CIDP values;
+    // otherwise fall back to the most recently opened channel, mirroring the
+    // lenient routing of real stacks.
+    let idx = channels
+        .iter()
+        .position(|(cids, _)| cidp.iter().any(|v| cids.contains(v)))
+        .or_else(|| if channels.is_empty() { None } else { Some(channels.len() - 1) })?;
+    Some(&mut channels[idx].1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn settle_connect(
+    channels: &mut Vec<(Vec<u16>, StateMachine)>,
+    pending: &mut Vec<(u16, bool)>,
+    covered: &mut BTreeSet<ChannelState>,
+    scid: Cid,
+    dcid: Cid,
+    refused: bool,
+    is_create: bool,
+) {
+    let code =
+        if is_create { CommandCode::CreateChannelRequest } else { CommandCode::ConnectionRequest };
+    // Match the response to the oldest pending request of the same kind.
+    let pos = pending.iter().position(|(s, c)| *c == is_create && *s == scid.value());
+    if let Some(pos) = pos {
+        pending.remove(pos);
+    }
+    if refused {
+        // A refused request still exercises the deciding state on the target.
+        let mut machine = StateMachine::new();
+        machine.on_command(code, false);
+        covered.extend(machine.visited().iter().copied());
+        return;
+    }
+    let mut machine = StateMachine::new();
+    machine.on_command(code, true);
+    channels.push((vec![scid.value(), dcid.value()], machine));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::{Identifier, Psm};
+    use hci::link::PacketRecord;
+    use l2cap::command::{
+        ConfigureRequest, ConfigureResponse, ConnectionRequest, ConnectionResponse,
+        DisconnectionRequest,
+    };
+    use l2cap::consts::{ConfigureResult, ConnectionResult};
+    use l2cap::packet::signaling_frame;
+
+    fn tx(ts: u64, cmd: Command) -> PacketRecord {
+        PacketRecord {
+            direction: Direction::Tx,
+            timestamp_micros: ts,
+            frame: signaling_frame(Identifier(1), cmd),
+        }
+    }
+
+    fn rx(ts: u64, cmd: Command) -> PacketRecord {
+        PacketRecord {
+            direction: Direction::Rx,
+            timestamp_micros: ts,
+            frame: signaling_frame(Identifier(1), cmd),
+        }
+    }
+
+    fn connect_exchange(scid: u16, dcid: u16, base_ts: u64) -> Vec<PacketRecord> {
+        vec![
+            tx(base_ts, Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(scid) })),
+            rx(
+                base_ts + 1,
+                Command::ConnectionResponse(ConnectionResponse {
+                    dcid: Cid(dcid),
+                    scid: Cid(scid),
+                    result: ConnectionResult::Success,
+                    status: 0,
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn empty_trace_covers_nothing() {
+        let cov = StateCoverage::from_trace(&Trace::new());
+        assert_eq!(cov.count(), 0);
+        assert_eq!(cov.matrix_row(), ".".repeat(19));
+    }
+
+    #[test]
+    fn a_single_connect_covers_the_connection_path() {
+        let trace = Trace::from_records(connect_exchange(0x0040, 0x0041, 0));
+        let cov = StateCoverage::from_trace(&trace);
+        assert!(cov.covers(ChannelState::Closed));
+        assert!(cov.covers(ChannelState::WaitConnect));
+        assert!(cov.covers(ChannelState::WaitConfig));
+        assert!(!cov.covers(ChannelState::WaitConfigReqRsp));
+        assert!(!cov.covers(ChannelState::Open));
+        assert_eq!(cov.count(), 3);
+    }
+
+    #[test]
+    fn full_handshake_and_disconnect_cover_seven_states() {
+        let mut records = connect_exchange(0x0040, 0x0041, 0);
+        records.push(tx(
+            10,
+            Command::ConfigureRequest(ConfigureRequest { dcid: Cid(0x0041), flags: 0, options: vec![] }),
+        ));
+        records.push(tx(
+            20,
+            Command::ConfigureResponse(ConfigureResponse {
+                scid: Cid(0x0041),
+                flags: 0,
+                result: ConfigureResult::Success,
+                options: vec![],
+            }),
+        ));
+        records.push(tx(
+            30,
+            Command::DisconnectionRequest(DisconnectionRequest { dcid: Cid(0x0041), scid: Cid(0x0040) }),
+        ));
+        let cov = StateCoverage::from_trace(&Trace::from_records(records));
+        assert!(cov.covers(ChannelState::Open));
+        assert!(cov.covers(ChannelState::WaitDisconnect));
+        assert!(cov.covers(ChannelState::WaitConfigRsp));
+        assert_eq!(cov.count(), 7, "covered: {:?}", cov.states());
+    }
+
+    #[test]
+    fn refused_connection_still_covers_wait_connect() {
+        let records = vec![
+            tx(0, Command::ConnectionRequest(ConnectionRequest { psm: Psm(0x0F0F), scid: Cid(0x0040) })),
+            rx(
+                1,
+                Command::ConnectionResponse(ConnectionResponse {
+                    dcid: Cid::NULL,
+                    scid: Cid(0x0040),
+                    result: ConnectionResult::RefusedPsmNotSupported,
+                    status: 0,
+                }),
+            ),
+        ];
+        let cov = StateCoverage::from_trace(&Trace::from_records(records));
+        assert!(cov.covers(ChannelState::Closed));
+        assert!(cov.covers(ChannelState::WaitConnect));
+        assert!(!cov.covers(ChannelState::WaitConfig));
+        assert_eq!(cov.count(), 2);
+    }
+
+    #[test]
+    fn matrix_row_marks_covered_states() {
+        let trace = Trace::from_records(connect_exchange(0x0040, 0x0041, 0));
+        let cov = StateCoverage::from_trace(&trace);
+        let row = cov.matrix_row();
+        assert_eq!(row.len(), 19);
+        assert_eq!(row.chars().filter(|c| *c == '#').count(), cov.count());
+        // CLOSED is the first state in the canonical ordering.
+        assert!(row.starts_with('#'));
+    }
+}

@@ -1,0 +1,30 @@
+//! Packet-trace capture and the paper's evaluation metrics.
+//!
+//! The original evaluation measures everything from sniffed packet traces:
+//! Wireshark captures provide the malformed-packet ratio (MP) and
+//! packet-rejection ratio (PR) behind *mutation efficiency* (Table VII,
+//! Figs. 8–9), and PRETT-style trace analysis provides *state coverage*
+//! (Figs. 10–11).  This crate is the equivalent: it consumes the
+//! [`hci::PacketRecord`]s collected by link taps and computes the same
+//! quantities.
+//!
+//! * [`trace`] — the [`trace::Trace`] container and per-packet summaries.
+//! * [`classify`] — what counts as a *malformed* transmitted packet and a
+//!   *rejection* received packet.
+//! * [`metrics`] — MP ratio, PR ratio, mutation efficiency, packets/second
+//!   and the cumulative series of Figs. 8 and 9.
+//! * [`coverage`] — trace-replay state-coverage inference against the
+//!   Bluetooth 5.2 state machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod coverage;
+pub mod metrics;
+pub mod trace;
+
+pub use classify::{is_malformed, is_rejection};
+pub use coverage::StateCoverage;
+pub use metrics::{CumulativePoint, MetricsSummary};
+pub use trace::Trace;

@@ -1,0 +1,135 @@
+//! Packet traces.
+
+use hci::link::{Direction, PacketRecord, SharedTap};
+use serde::{Deserialize, Serialize};
+
+/// A captured packet trace: every frame that crossed a link, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Builds a trace by draining the records accumulated in a link tap.
+    pub fn from_tap(tap: &SharedTap) -> Self {
+        Trace { records: tap.lock().clone() }
+    }
+
+    /// Builds a trace from raw records.
+    pub fn from_records(records: Vec<PacketRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: PacketRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in capture order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Number of captured packets (both directions).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Packets transmitted by the fuzzer.
+    pub fn transmitted(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter(|r| r.direction == Direction::Tx)
+    }
+
+    /// Packets received from the target.
+    pub fn received(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter(|r| r.direction == Direction::Rx)
+    }
+
+    /// Number of transmitted packets.
+    pub fn transmitted_count(&self) -> usize {
+        self.transmitted().count()
+    }
+
+    /// Number of received packets.
+    pub fn received_count(&self) -> usize {
+        self.received().count()
+    }
+
+    /// Virtual time spanned by the capture, in microseconds.
+    pub fn duration_micros(&self) -> u64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(first), Some(last)) => last.timestamp_micros.saturating_sub(first.timestamp_micros),
+            _ => 0,
+        }
+    }
+
+    /// Merges another trace into this one, keeping records ordered by
+    /// timestamp.
+    pub fn merge(&mut self, other: Trace) {
+        self.records.extend(other.records);
+        self.records.sort_by_key(|r| r.timestamp_micros);
+    }
+}
+
+impl Extend<PacketRecord> for Trace {
+    fn extend<T: IntoIterator<Item = PacketRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::Cid;
+    use l2cap::packet::L2capFrame;
+
+    fn record(direction: Direction, ts: u64) -> PacketRecord {
+        PacketRecord {
+            direction,
+            timestamp_micros: ts,
+            frame: L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]),
+        }
+    }
+
+    #[test]
+    fn counts_and_duration() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.push(record(Direction::Tx, 100));
+        trace.push(record(Direction::Rx, 300));
+        trace.push(record(Direction::Tx, 700));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.transmitted_count(), 2);
+        assert_eq!(trace.received_count(), 1);
+        assert_eq!(trace.duration_micros(), 600);
+    }
+
+    #[test]
+    fn from_tap_copies_records() {
+        let tap = hci::link::new_tap();
+        tap.lock().push(record(Direction::Tx, 5));
+        let trace = Trace::from_tap(&tap);
+        assert_eq!(trace.len(), 1);
+        // The tap is not drained, so a later snapshot still sees the record.
+        assert_eq!(Trace::from_tap(&tap).len(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_timestamp_order() {
+        let mut a = Trace::from_records(vec![record(Direction::Tx, 10), record(Direction::Tx, 30)]);
+        let b = Trace::from_records(vec![record(Direction::Rx, 20)]);
+        a.merge(b);
+        let ts: Vec<u64> = a.records().iter().map(|r| r.timestamp_micros).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Replays the BlueBorne (CVE-2017-1000251) attack flow of the paper's Fig. 4
+//! against the simulated BlueZ laptop (D8): connect to SDP without pairing,
+//! reach the configuration state, then send a normal Configuration Request
+//! followed by a malformed Configuration Response.
+//!
+//! Run with: `cargo run --example blueborne_flow`
+
+use btcore::{FuzzRng, Identifier, Psm, SimClock};
+use btstack::device::share;
+use btstack::profiles::{DeviceProfile, ProfileId};
+use hci::air::AirMedium;
+use hci::link::{new_tap, LinkConfig};
+use l2cap::packet::{parse_signaling, SignalingPacket};
+use l2fuzz::guide::StateGuide;
+use sniffer::Trace;
+
+fn main() {
+    let clock = SimClock::new();
+    let mut air = AirMedium::new(clock.clone());
+    let profile = DeviceProfile::table5(ProfileId::D8);
+    let (_device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
+    air.register(adapter);
+    let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(6)).unwrap();
+    let tap = new_tap();
+    link.attach_tap(tap.clone());
+
+    // ConnectionRequest (PSM: SDP) -> state transition without pairing.
+    let mut guide = StateGuide::new();
+    let ctx = guide.open_channel(&mut link, Psm::SDP, false).expect("SDP connect");
+    println!("CLOSED -> configuration job without pairing (DCID {})", ctx.dcid);
+
+    // Normal Configuration Request.
+    guide.send_configure_request(&mut link, ctx);
+
+    // Malformed Configuration Response - pending, with an overflowing tail.
+    let mut data = ctx.dcid.value().to_le_bytes().to_vec();
+    data.extend_from_slice(&[0x00, 0x00]); // flags
+    data.extend_from_slice(&[0x04, 0x00]); // result: pending
+    let declared = data.len() as u16;
+    data.extend_from_slice(&[0x41; 24]); // overflow bytes
+    let malformed = SignalingPacket { identifier: Identifier(9), code: 0x05, declared_data_len: declared, data };
+    let responses = link.send_frame(&malformed.into_frame());
+    println!("malformed Configuration Response sent; {} response frame(s)", responses.len());
+    for frame in &responses {
+        if let Ok(sig) = parse_signaling(frame) {
+            println!("  target answered with {:?}", sig.command().code());
+        }
+    }
+
+    let trace = Trace::from_tap(&tap);
+    println!("exchange captured: {} packets ({} tx / {} rx)", trace.len(), trace.transmitted_count(), trace.received_count());
+}

@@ -1,0 +1,25 @@
+//! Table VI-style survey: run the L2Fuzz detection campaign against all eight
+//! simulated devices and print whether (and how fast) each one falls over.
+//!
+//! Run with: `cargo run --example survey_all_devices` (set
+//! `L2FUZZ_MAX_CAMPAIGNS` to bound the per-device effort).
+
+use bench::run_table6_campaign;
+use btstack::profiles::ProfileId;
+
+fn main() {
+    let max_campaigns: usize =
+        std::env::var("L2FUZZ_MAX_CAMPAIGNS").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
+    println!("{:<5}{:<16}{:<7}{:<10}{:<12}{:<10}", "Dev", "Name", "Vuln?", "Kind", "Elapsed", "Packets");
+    for (i, id) in ProfileId::ALL.iter().enumerate() {
+        let report = run_table6_campaign(*id, 77 + i as u64, max_campaigns);
+        let (vuln, kind, elapsed) = match report.findings.first() {
+            Some(f) => ("Yes", f.evidence.description.clone(), f.elapsed_display()),
+            None => ("No", "-".to_owned(), "-".to_owned()),
+        };
+        println!(
+            "{:<5}{:<16}{:<7}{:<10}{:<12}{:<10}",
+            id.to_string(), report.target.name, vuln, kind, elapsed, report.packets_sent
+        );
+    }
+}

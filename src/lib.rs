@@ -1,0 +1,16 @@
+//! Workspace-level façade for the L2Fuzz reproduction.
+//!
+//! This crate only exists to host the runnable examples under `examples/` and
+//! the cross-crate integration tests under `tests/`; the functionality lives
+//! in the member crates (`btcore`, `l2cap`, `hci`, `btstack`, `l2fuzz`,
+//! `baselines`, `sniffer`).
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use btcore;
+pub use btstack;
+pub use hci;
+pub use l2cap;
+pub use l2fuzz;
+pub use sniffer;

@@ -1,0 +1,68 @@
+//! Property-based tests over the packet codecs and mutation invariants.
+
+use btcore::{ByteReader, ByteWriter, Cid, FuzzRng, Identifier, Psm};
+use l2cap::code::CommandCode;
+use l2cap::packet::{L2capFrame, SignalingPacket};
+use l2fuzz::guide::ChannelContext;
+use l2fuzz::mutator::CoreFieldMutator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn l2cap_frames_roundtrip(declared in 0u16..=2048, cid in 0u16..=0xFFFF, payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let frame = L2capFrame { declared_payload_len: declared, cid: Cid(cid), payload };
+        let back = L2capFrame::parse(&frame.to_bytes()).unwrap();
+        prop_assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn signaling_packets_roundtrip(code in any::<u8>(), id in 1u8..=255, declared in 0u16..=1024, data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let pkt = SignalingPacket { identifier: Identifier(id), code, declared_data_len: declared, data };
+        let back = SignalingPacket::parse(&pkt.to_bytes()).unwrap();
+        prop_assert_eq!(pkt, back);
+    }
+
+    #[test]
+    fn command_decode_never_panics(code in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let cmd = l2cap::command::Command::decode(code, &data);
+        // Re-encoding a decoded command always yields bytes parseable again.
+        let re = cmd.encode_data();
+        let _ = l2cap::command::Command::decode(cmd.code_byte(), &re);
+    }
+
+    #[test]
+    fn byte_writer_reader_roundtrip(values in proptest::collection::vec(any::<u16>(), 0..64)) {
+        let mut w = ByteWriter::new();
+        for v in &values {
+            w.write_u16(*v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for v in &values {
+            prop_assert_eq!(r.read_u16().unwrap(), *v);
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn mutated_packets_keep_core_field_invariants(seed in any::<u64>(), code_idx in 0usize..26, garbage in 1usize..32) {
+        let code = CommandCode::ALL[code_idx];
+        let mut mutator = CoreFieldMutator::with_options(FuzzRng::seed_from(seed), true, true, garbage);
+        let ctx = ChannelContext { scid: Cid(0x0040), dcid: Cid(0x0041), psm: Psm::SDP };
+        let pkt = mutator.mutate(code, &ctx, Identifier(1));
+        // The code byte is never mutated.
+        prop_assert_eq!(pkt.code, code.value());
+        // Any PSM carried is in the abnormal space of Table IV.
+        let core = l2cap::fields::extract_core_values(code, &pkt.data);
+        if let Some(psm) = core.psm {
+            prop_assert!(l2cap::ranges::is_abnormal_psm(psm));
+        }
+        // The declared data length never exceeds what is carried (garbage is
+        // appended after the declared fields).
+        prop_assert!(usize::from(pkt.declared_data_len) <= pkt.data.len());
+        // Garbage stays within the configured bound.
+        prop_assert!(pkt.garbage_len() <= garbage.max(l2cap::fields::min_data_len(code)) + garbage);
+    }
+}

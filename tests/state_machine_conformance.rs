@@ -1,0 +1,67 @@
+//! Cross-crate conformance tests: the specification tables encoded in the
+//! `l2cap` crate agree with the behaviour of the simulated stacks.
+
+use l2cap::code::CommandCode;
+use l2cap::jobs::{job_of, Job};
+use l2cap::state::{spec_transition, Action, ChannelState, StateMachine};
+
+#[test]
+fn jobs_cover_all_states_and_valid_commands_are_consistent() {
+    for state in ChannelState::ALL {
+        let job = job_of(state);
+        assert!(job.states().contains(&state));
+        let cmds = job.valid_commands();
+        assert!(!cmds.is_empty());
+        for cmd in &cmds {
+            assert!(CommandCode::ALL.contains(cmd));
+        }
+    }
+}
+
+#[test]
+fn table2_style_rejections_hold_for_every_wait_state() {
+    // In every dedicated wait state, commands belonging to a completely
+    // different job are rejected without a state change.
+    let cases = [
+        (ChannelState::WaitConnect, CommandCode::MoveChannelRequest),
+        (ChannelState::WaitCreate, CommandCode::ConfigureRequest),
+        (ChannelState::WaitDisconnect, CommandCode::ConnectionRequest),
+        (ChannelState::WaitMoveConfirm, CommandCode::ConnectionRequest),
+        (ChannelState::WaitConfigRsp, CommandCode::MoveChannelRequest),
+    ];
+    for (state, code) in cases {
+        let t = spec_transition(state, code);
+        assert!(matches!(t.action, Action::Reject(_)), "{code} in {state} must be rejected");
+        assert_eq!(t.next, state);
+    }
+}
+
+#[test]
+fn initiator_walk_matches_the_documented_reachable_set() {
+    let mut sm = StateMachine::new();
+    sm.on_command(CommandCode::ConnectionRequest, false);
+    sm.on_command(CommandCode::ConnectionRequest, true);
+    sm.on_command(CommandCode::ConfigureRequest, true);
+    sm.on_command(CommandCode::ConfigureResponse, true);
+    sm.on_command(CommandCode::DisconnectionRequest, true);
+    sm.on_command(CommandCode::CreateChannelRequest, true);
+    sm.on_command(CommandCode::ConfigureResponse, true);
+    sm.on_command(CommandCode::ConfigureRequest, true);
+    sm.on_command(CommandCode::ConfigureRequest, true);
+    sm.on_command(CommandCode::ConfigureResponse, true);
+    sm.on_command(CommandCode::MoveChannelRequest, true);
+    sm.on_command(CommandCode::MoveChannelConfirmationRequest, true);
+    let visited: std::collections::BTreeSet<_> = sm.visited().iter().copied().collect();
+    assert_eq!(visited.len(), 13);
+    for s in visited {
+        assert!(s.reachable_from_initiator());
+    }
+}
+
+#[test]
+fn every_job_has_at_least_one_reachable_state_except_responder_only_groups() {
+    for job in Job::ALL {
+        let reachable = job.states().iter().any(|s| s.reachable_from_initiator());
+        assert!(reachable, "{job} must contain an initiator-reachable state");
+    }
+}
