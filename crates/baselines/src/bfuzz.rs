@@ -8,11 +8,11 @@
 //! and a very small effective mutation efficiency.
 
 use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
+use hci::air::AclLink;
 use l2cap::command::{Command, ConfigureRequest, ConnectionRequest, DisconnectionRequest};
 use l2cap::options::ConfigOption;
 use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
 use l2fuzz::fuzzer::Fuzzer;
-use hci::air::AclLink;
 use std::time::Duration;
 
 /// Replay-and-mutate baseline fuzzer.
@@ -25,7 +25,11 @@ pub struct BFuzzFuzzer {
 impl BFuzzFuzzer {
     /// Creates the fuzzer.
     pub fn new(clock: SimClock, rng: FuzzRng) -> Self {
-        BFuzzFuzzer { clock, rng, next_scid: 0x0240 }
+        BFuzzFuzzer {
+            clock,
+            rng,
+            next_scid: 0x0240,
+        }
     }
 
     fn send_cmd(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
@@ -59,7 +63,10 @@ impl Fuzzer for BFuzzFuzzer {
             let responses = self.send_cmd(
                 link,
                 1,
-                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid }),
+                Command::ConnectionRequest(ConnectionRequest {
+                    psm: Psm::SDP,
+                    scid,
+                }),
             );
             let dcid = responses
                 .iter()
@@ -143,7 +150,9 @@ mod tests {
         device.set_auto_restart(true);
         let (_, adapter) = share(device);
         air.register(adapter);
-        let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8)).unwrap();
+        let mut link = air
+            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8))
+            .unwrap();
         let tap = new_tap();
         link.attach_tap(tap.clone());
         BFuzzFuzzer::new(clock, FuzzRng::seed_from(9)).fuzz(&mut link, max_packets);
@@ -154,8 +163,16 @@ mod tests {
     fn bfuzz_has_a_very_high_rejection_ratio_and_low_mp_ratio() {
         let trace = run(1_000);
         let metrics = MetricsSummary::from_trace(&trace);
-        assert!(metrics.pr_ratio > 0.60, "PR ratio {:.3} should dominate", metrics.pr_ratio);
-        assert!(metrics.mp_ratio < 0.20, "MP ratio {:.3} should be small", metrics.mp_ratio);
+        assert!(
+            metrics.pr_ratio > 0.60,
+            "PR ratio {:.3} should dominate",
+            metrics.pr_ratio
+        );
+        assert!(
+            metrics.mp_ratio < 0.20,
+            "MP ratio {:.3} should be small",
+            metrics.mp_ratio
+        );
         assert!(metrics.mutation_efficiency < 0.05);
         assert!(metrics.packets_per_second > 50.0, "BFuzz is a fast sender");
     }

@@ -8,10 +8,10 @@
 //! rejections (0 % MP, 0 % PR, three covered states), at a very low speed.
 
 use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
+use hci::air::AclLink;
 use l2cap::command::{Command, ConnectionRequest, EchoRequest, InformationRequest};
 use l2cap::packet::{parse_signaling, signaling_frame};
 use l2fuzz::fuzzer::Fuzzer;
-use hci::air::AclLink;
 use std::time::Duration;
 
 /// Single-field-mutation baseline fuzzer.
@@ -24,7 +24,11 @@ pub struct BssFuzzer {
 impl BssFuzzer {
     /// Creates the fuzzer.
     pub fn new(clock: SimClock, rng: FuzzRng) -> Self {
-        BssFuzzer { clock, rng, connected: false }
+        BssFuzzer {
+            clock,
+            rng,
+            connected: false,
+        }
     }
 
     fn send(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
@@ -51,7 +55,10 @@ impl Fuzzer for BssFuzzer {
             self.send(
                 link,
                 1,
-                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0340) }),
+                Command::ConnectionRequest(ConnectionRequest {
+                    psm: Psm::SDP,
+                    scid: Cid(0x0340),
+                }),
             );
             self.connected = true;
         }
@@ -63,7 +70,9 @@ impl Fuzzer for BssFuzzer {
             // malformed packets nor rejections.
             let command = if self.rng.chance(0.5) {
                 let len = self.rng.range_usize(0, 32);
-                Command::EchoRequest(EchoRequest { data: self.rng.bytes(len) })
+                Command::EchoRequest(EchoRequest {
+                    data: self.rng.bytes(len),
+                })
             } else {
                 Command::InformationRequest(InformationRequest {
                     info_type: u16::from(self.rng.next_u8() % 3) + 1,
@@ -95,7 +104,9 @@ mod tests {
         device.set_auto_restart(true);
         let (_, adapter) = share(device);
         air.register(adapter);
-        let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8)).unwrap();
+        let mut link = air
+            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8))
+            .unwrap();
         let tap = new_tap();
         link.attach_tap(tap.clone());
         BssFuzzer::new(clock, FuzzRng::seed_from(9)).fuzz(&mut link, max_packets);

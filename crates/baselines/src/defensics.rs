@@ -7,6 +7,7 @@
 //! second in §IV-C).  Those are exactly the behaviours reproduced here.
 
 use btcore::{Cid, Identifier, Psm, SimClock};
+use hci::air::AclLink;
 use l2cap::command::{
     Command, ConfigureRequest, ConfigureResponse, ConnectionRequest, DisconnectionRequest,
 };
@@ -14,7 +15,6 @@ use l2cap::consts::ConfigureResult;
 use l2cap::options::ConfigOption;
 use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
 use l2fuzz::fuzzer::Fuzzer;
-use hci::air::AclLink;
 use std::time::Duration;
 
 /// Template-driven baseline fuzzer.
@@ -67,7 +67,10 @@ impl Fuzzer for DefensicsFuzzer {
             let responses = self.send(
                 link,
                 1,
-                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid }),
+                Command::ConnectionRequest(ConnectionRequest {
+                    psm: Psm::SDP,
+                    scid,
+                }),
             );
             let dcid = responses
                 .iter()
@@ -78,7 +81,7 @@ impl Fuzzer for DefensicsFuzzer {
                 .unwrap_or(scid);
 
             self.anomaly_counter += 1;
-            if self.anomaly_counter % 25 == 0 {
+            if self.anomaly_counter.is_multiple_of(25) {
                 // The occasional anomalous test case: a Configure Request
                 // with a short garbage tail (the template's "overflow"
                 // element).
@@ -146,7 +149,9 @@ mod tests {
         device.set_auto_restart(true);
         let (_, adapter) = share(device);
         air.register(adapter);
-        let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8)).unwrap();
+        let mut link = air
+            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8))
+            .unwrap();
         let tap = new_tap();
         link.attach_tap(tap.clone());
         DefensicsFuzzer::new(clock).fuzz(&mut link, max_packets);
@@ -158,8 +163,16 @@ mod tests {
         let trace = run(400);
         let metrics = MetricsSummary::from_trace(&trace);
         assert!(metrics.transmitted >= 400);
-        assert!(metrics.mp_ratio < 0.10, "MP ratio {:.3} should be tiny", metrics.mp_ratio);
-        assert!(metrics.pr_ratio < 0.10, "PR ratio {:.3} should be tiny", metrics.pr_ratio);
+        assert!(
+            metrics.mp_ratio < 0.10,
+            "MP ratio {:.3} should be tiny",
+            metrics.mp_ratio
+        );
+        assert!(
+            metrics.pr_ratio < 0.10,
+            "PR ratio {:.3} should be tiny",
+            metrics.pr_ratio
+        );
         assert!(
             metrics.packets_per_second < 20.0,
             "Defensics should be slow, got {:.1} pps",

@@ -11,9 +11,18 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_500_packets");
     let variants: Vec<(&str, FuzzConfig)> = vec![
         ("full", FuzzConfig::comparison(usize::MAX, 1)),
-        ("no_state_guiding", FuzzConfig::comparison(usize::MAX, 2).without_state_guiding()),
-        ("all_field_mutation", FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction()),
-        ("no_garbage", FuzzConfig::comparison(usize::MAX, 4).without_garbage()),
+        (
+            "no_state_guiding",
+            FuzzConfig::comparison(usize::MAX, 2).without_state_guiding(),
+        ),
+        (
+            "all_field_mutation",
+            FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction(),
+        ),
+        (
+            "no_garbage",
+            FuzzConfig::comparison(usize::MAX, 4).without_garbage(),
+        ),
     ];
     for (name, config) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {

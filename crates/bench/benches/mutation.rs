@@ -1,6 +1,6 @@
 //! Criterion bench: core-field mutation throughput (Algorithm 1).
-use criterion::{criterion_group, criterion_main, Criterion};
 use btcore::{Cid, FuzzRng, Identifier, Psm};
+use criterion::{criterion_group, criterion_main, Criterion};
 use l2cap::jobs::Job;
 use l2fuzz::guide::ChannelContext;
 use l2fuzz::mutator::CoreFieldMutator;
@@ -8,7 +8,11 @@ use l2fuzz::mutator::CoreFieldMutator;
 fn bench_mutation(c: &mut Criterion) {
     c.bench_function("mutate_configuration_job_batch", |b| {
         let mut mutator = CoreFieldMutator::new(FuzzRng::seed_from(1));
-        let ctx = ChannelContext { scid: Cid(0x40), dcid: Cid(0x41), psm: Psm::SDP };
+        let ctx = ChannelContext {
+            scid: Cid(0x40),
+            dcid: Cid(0x41),
+            psm: Psm::SDP,
+        };
         let commands = Job::Configuration.generous_valid_commands();
         b.iter(|| std::hint::black_box(mutator.generate(&commands, 8, &ctx, Identifier(1))))
     });

@@ -1,13 +1,16 @@
 //! Criterion bench: L2CAP frame encode/decode throughput.
-use criterion::{criterion_group, criterion_main, Criterion};
 use btcore::{Cid, Identifier, Psm};
+use criterion::{criterion_group, criterion_main, Criterion};
 use l2cap::command::{Command, ConnectionRequest};
 use l2cap::packet::{parse_signaling, signaling_frame, L2capFrame};
 
 fn bench_codec(c: &mut Criterion) {
     let frame = signaling_frame(
         Identifier(1),
-        Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+        Command::ConnectionRequest(ConnectionRequest {
+            psm: Psm::SDP,
+            scid: Cid(0x0040),
+        }),
     );
     let bytes = frame.to_bytes();
     c.bench_function("encode_connection_request_frame", |b| {

@@ -11,15 +11,30 @@ use l2fuzz::session::L2FuzzTool;
 use sniffer::{MetricsSummary, StateCoverage};
 
 fn main() {
-    let budget: usize = std::env::var("L2FUZZ_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(4_000);
+    let budget: usize = std::env::var("L2FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000);
     let variants: Vec<(&str, FuzzConfig)> = vec![
         ("full L2Fuzz", FuzzConfig::comparison(usize::MAX, 1)),
-        ("no state guiding", FuzzConfig::comparison(usize::MAX, 2).without_state_guiding()),
-        ("all-field mutation", FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction()),
-        ("no garbage tail", FuzzConfig::comparison(usize::MAX, 4).without_garbage()),
+        (
+            "no state guiding",
+            FuzzConfig::comparison(usize::MAX, 2).without_state_guiding(),
+        ),
+        (
+            "all-field mutation",
+            FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction(),
+        ),
+        (
+            "no garbage tail",
+            FuzzConfig::comparison(usize::MAX, 4).without_garbage(),
+        ),
     ];
     println!("Ablation on D2 (Pixel 3), {budget} packets per variant");
-    println!("{:<22}{:>8}{:>8}{:>8}{:>10}", "Variant", "MP", "PR", "ME", "states");
+    println!(
+        "{:<22}{:>8}{:>8}{:>8}{:>10}",
+        "Variant", "MP", "PR", "ME", "states"
+    );
     for (name, config) in variants {
         let mut bench = TestBench::new(ProfileId::D2, 0xAB1A, true);
         let meta = {

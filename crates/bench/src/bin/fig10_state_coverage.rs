@@ -4,6 +4,11 @@ use bench::run_comparison;
 fn main() {
     println!("Figure 10 — L2CAP state coverage by different fuzzers (of 19 states)");
     for run in run_comparison(3_000, 0x1010) {
-        println!("{:<12}{:>3} states  {}", run.name, run.coverage.count(), "#".repeat(run.coverage.count()));
+        println!(
+            "{:<12}{:>3} states  {}",
+            run.name,
+            run.coverage.count(),
+            "#".repeat(run.coverage.count())
+        );
     }
 }

@@ -5,7 +5,13 @@ use l2cap::state::ChannelState;
 fn main() {
     println!("Figure 11 — testable L2CAP states per fuzzer ('#' = covered)");
     let runs = run_comparison(3_000, 0x1111);
-    println!("{:<24}{}", "State", runs.iter().map(|r| format!("{:>10}", r.name)).collect::<String>());
+    println!(
+        "{:<24}{}",
+        "State",
+        runs.iter()
+            .map(|r| format!("{:>10}", r.name))
+            .collect::<String>()
+    );
     for state in ChannelState::ALL {
         let row: String = runs
             .iter()

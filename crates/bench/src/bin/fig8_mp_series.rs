@@ -9,7 +9,10 @@ fn main() {
     for run in run_comparison(budget, 0x0808) {
         println!("-- {}", run.name);
         for point in malformed_series(&run.trace, step) {
-            println!("   {:>8} transmitted  {:>8} malformed", point.packets, point.matching);
+            println!(
+                "   {:>8} transmitted  {:>8} malformed",
+                point.packets, point.matching
+            );
         }
     }
 }

@@ -9,7 +9,10 @@ fn main() {
     for run in run_comparison(budget, 0x0909) {
         println!("-- {}", run.name);
         for point in rejection_series(&run.trace, step) {
-            println!("   {:>8} received  {:>8} rejections", point.packets, point.matching);
+            println!(
+                "   {:>8} received  {:>8} rejections",
+                point.packets, point.matching
+            );
         }
     }
 }

@@ -14,7 +14,10 @@ fn main() {
         let shown = if cmds.len() == 26 {
             "All commands".to_string()
         } else {
-            cmds.iter().map(|c| c.mnemonic()).collect::<Vec<_>>().join(", ")
+            cmds.iter()
+                .map(|c| c.mnemonic())
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         println!("{:<15}{}", job.to_string(), shown);
     }

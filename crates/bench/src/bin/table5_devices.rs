@@ -3,11 +3,21 @@ use btstack::profiles::DeviceProfile;
 
 fn main() {
     println!("Table V — test devices used in the experiments");
-    println!("{:<4}{:<12}{:<10}{:<16}{:<18}{:<16}{:<14}{:<10}", "No.", "Type", "Vendor", "Name", "OS / FW", "BT Stack", "BT Ver.", "#Ports");
+    println!(
+        "{:<4}{:<12}{:<10}{:<16}{:<18}{:<16}{:<14}{:<10}",
+        "No.", "Type", "Vendor", "Name", "OS / FW", "BT Stack", "BT Ver.", "#Ports"
+    );
     for p in DeviceProfile::all() {
         println!(
             "{:<4}{:<12}{:<10}{:<16}{:<18}{:<16}{:<14}{:<10}",
-            p.id.to_string(), p.device_type, p.vendor, p.name, p.os_or_firmware, p.stack.to_string(), p.bt_version, p.service_ports
+            p.id.to_string(),
+            p.device_type,
+            p.vendor,
+            p.name,
+            p.os_or_firmware,
+            p.stack.to_string(),
+            p.bt_version,
+            p.service_ports
         );
     }
 }

@@ -3,18 +3,34 @@ use bench::run_table6_campaign;
 use btstack::profiles::ProfileId;
 
 fn main() {
-    let max_campaigns: usize =
-        std::env::var("L2FUZZ_MAX_CAMPAIGNS").ok().and_then(|v| v.parse().ok()).unwrap_or(400);
+    let max_campaigns: usize = std::env::var("L2FUZZ_MAX_CAMPAIGNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
     println!("Table VI — vulnerability detection results (simulated targets)");
-    println!("{:<5}{:<16}{:<8}{:<14}{:<14}", "Dev", "Name", "Vuln?", "Description", "Elapsed");
+    println!(
+        "{:<5}{:<16}{:<8}{:<14}{:<14}",
+        "Dev", "Name", "Vuln?", "Description", "Elapsed"
+    );
     for (i, id) in ProfileId::ALL.iter().enumerate() {
         let report = run_table6_campaign(*id, 1000 + i as u64, max_campaigns);
         match report.findings.first() {
             Some(f) => println!(
                 "{:<5}{:<16}{:<8}{:<14}{:<14}",
-                id.to_string(), report.target.name, "Yes", f.evidence.description, f.elapsed_display()
+                id.to_string(),
+                report.target.name,
+                "Yes",
+                f.evidence.description,
+                f.elapsed_display()
             ),
-            None => println!("{:<5}{:<16}{:<8}{:<14}{:<14}", id.to_string(), report.target.name, "No", "N/A", "N/A"),
+            None => println!(
+                "{:<5}{:<16}{:<8}{:<14}{:<14}",
+                id.to_string(),
+                report.target.name,
+                "No",
+                "N/A",
+                "N/A"
+            ),
         }
     }
 }

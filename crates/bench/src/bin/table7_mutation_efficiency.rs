@@ -4,8 +4,13 @@ use bench::{default_budget, run_comparison};
 
 fn main() {
     let budget = default_budget();
-    println!("Table VII — mutation efficiency over {budget} packets per fuzzer (target: D2 / Pixel 3)");
-    println!("{:<12}{:>10}{:>10}{:>10}{:>12}", "Fuzzer", "MP", "PR", "ME", "pps");
+    println!(
+        "Table VII — mutation efficiency over {budget} packets per fuzzer (target: D2 / Pixel 3)"
+    );
+    println!(
+        "{:<12}{:>10}{:>10}{:>10}{:>12}",
+        "Fuzzer", "MP", "PR", "ME", "pps"
+    );
     for run in run_comparison(budget, 0x7a7a) {
         let m = &run.metrics;
         println!(

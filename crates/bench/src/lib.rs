@@ -51,11 +51,21 @@ impl TestBench {
         let (device, adapter) = share(device);
         air.register(adapter);
         let mut link = air
-            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(seed ^ 0xA5A5))
+            .connect(
+                profile.addr,
+                LinkConfig::default(),
+                FuzzRng::seed_from(seed ^ 0xA5A5),
+            )
             .expect("profile device must be connectable");
         let tap = new_tap();
         link.attach_tap(tap.clone());
-        TestBench { device, link, tap, clock, profile }
+        TestBench {
+            device,
+            link,
+            tap,
+            clock,
+            profile,
+        }
     }
 
     /// The trace captured so far.
@@ -76,7 +86,10 @@ pub fn run_table6_campaign(id: ProfileId, seed: u64, max_campaigns: usize) -> Fu
     let mut last = None;
     for round in 0..max_campaigns {
         let mut oracle = DeviceOracle::new(bench.device.clone());
-        let config = FuzzConfig { seed: seed.wrapping_add(round as u64), ..FuzzConfig::default() };
+        let config = FuzzConfig {
+            seed: seed.wrapping_add(round as u64),
+            ..FuzzConfig::default()
+        };
         let mut session = L2FuzzSession::new(config, bench.clock.clone());
         let mut report = session.run(&mut bench.link, meta.clone(), Some(&mut oracle));
         // Report elapsed time relative to the whole experiment, not just the
@@ -123,8 +136,14 @@ pub fn run_comparison(budget: usize, seed: u64) -> Vec<ComparisonRun> {
                 meta,
             )),
             1 => Box::new(DefensicsFuzzer::new(bench.clock.clone())),
-            2 => Box::new(BFuzzFuzzer::new(bench.clock.clone(), FuzzRng::seed_from(seed ^ 0xBF))),
-            _ => Box::new(BssFuzzer::new(bench.clock.clone(), FuzzRng::seed_from(seed ^ 0xB5))),
+            2 => Box::new(BFuzzFuzzer::new(
+                bench.clock.clone(),
+                FuzzRng::seed_from(seed ^ 0xBF),
+            )),
+            _ => Box::new(BssFuzzer::new(
+                bench.clock.clone(),
+                FuzzRng::seed_from(seed ^ 0xB5),
+            )),
         };
         fuzzer.fuzz(&mut bench.link, budget);
         let trace = bench.trace();
@@ -143,7 +162,10 @@ pub fn run_comparison(budget: usize, seed: u64) -> Vec<ComparisonRun> {
 /// seconds, and can be overridden with the `L2FUZZ_BUDGET` environment
 /// variable.
 pub fn default_budget() -> usize {
-    std::env::var("L2FUZZ_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+    std::env::var("L2FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
 }
 
 #[cfg(test)]
@@ -156,15 +178,31 @@ mod tests {
         assert_eq!(runs.len(), 4);
         let me: Vec<f64> = runs.iter().map(|r| r.metrics.mutation_efficiency).collect();
         // L2Fuzz dominates everything else.
-        assert!(me[0] > 3.0 * me[1], "L2Fuzz {:.3} vs Defensics {:.3}", me[0], me[1]);
-        assert!(me[0] > 3.0 * me[2], "L2Fuzz {:.3} vs BFuzz {:.3}", me[0], me[2]);
-        assert!(me[3] <= f64::EPSILON, "BSS must have zero mutation efficiency");
+        assert!(
+            me[0] > 3.0 * me[1],
+            "L2Fuzz {:.3} vs Defensics {:.3}",
+            me[0],
+            me[1]
+        );
+        assert!(
+            me[0] > 3.0 * me[2],
+            "L2Fuzz {:.3} vs BFuzz {:.3}",
+            me[0],
+            me[2]
+        );
+        assert!(
+            me[3] <= f64::EPSILON,
+            "BSS must have zero mutation efficiency"
+        );
         // BFuzz has the worst rejection ratio.
         let pr: Vec<f64> = runs.iter().map(|r| r.metrics.pr_ratio).collect();
         assert!(pr[2] > pr[0] && pr[2] > pr[1] && pr[2] > pr[3]);
         // Coverage ordering: L2Fuzz > Defensics >= BFuzz > BSS.
         let cov: Vec<usize> = runs.iter().map(|r| r.coverage.count()).collect();
-        assert!(cov[0] > cov[1] && cov[1] >= cov[2] && cov[2] > cov[3], "coverage {cov:?}");
+        assert!(
+            cov[0] > cov[1] && cov[1] >= cov[2] && cov[2] > cov[3],
+            "coverage {cov:?}"
+        );
         assert_eq!(cov[0], 13);
     }
 

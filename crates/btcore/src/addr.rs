@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// let a: BdAddr = "00:1A:7D:DA:71:13".parse().unwrap();
 /// assert_eq!(a.to_string(), "00:1A:7D:DA:71:13");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BdAddr([u8; 6]);
 
 impl BdAddr {
@@ -78,7 +80,9 @@ impl FromStr for BdAddr {
     type Err = ParseBdAddrError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseBdAddrError { input: s.to_owned() };
+        let err = || ParseBdAddrError {
+            input: s.to_owned(),
+        };
         let parts: Vec<&str> = s.split(':').collect();
         if parts.len() != 6 {
             return Err(err());
@@ -102,7 +106,9 @@ impl From<[u8; 6]> for BdAddr {
 
 /// A 24-bit Organizationally Unique Identifier — the vendor prefix of a
 /// [`BdAddr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Oui([u8; 3]);
 
 impl Oui {

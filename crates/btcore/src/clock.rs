@@ -42,7 +42,9 @@ pub struct SimClock {
 impl SimClock {
     /// Creates a clock starting at time zero.
     pub fn new() -> Self {
-        SimClock { micros: Arc::new(AtomicU64::new(0)) }
+        SimClock {
+            micros: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Returns the current virtual time as a [`Duration`] since start.
@@ -52,7 +54,8 @@ impl SimClock {
 
     /// Advances the clock by `d`.
     pub fn advance(&self, d: Duration) {
-        self.micros.fetch_add(d.as_micros() as u64, Ordering::SeqCst);
+        self.micros
+            .fetch_add(d.as_micros() as u64, Ordering::SeqCst);
     }
 
     /// Advances the clock by the given number of microseconds.
@@ -122,7 +125,10 @@ mod tests {
         assert_eq!(PaperDuration(92).to_string(), "1 m 32 s");
         assert_eq!(PaperDuration(40).to_string(), "40 s");
         assert_eq!(PaperDuration(2 * 3600 + 40 * 60).to_string(), "2 h 40 m");
-        assert_eq!(PaperDuration::from(Duration::from_secs(85)).to_string(), "1 m 25 s");
+        assert_eq!(
+            PaperDuration::from(Duration::from_secs(85)).to_string(),
+            "1 m 25 s"
+        );
         assert_eq!(PaperDuration(7 * 60 + 11).to_string(), "7 m 11 s");
     }
 }

@@ -40,10 +40,16 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEnd { wanted, available } => {
-                write!(f, "unexpected end of packet: wanted {wanted} bytes, {available} available")
+                write!(
+                    f,
+                    "unexpected end of packet: wanted {wanted} bytes, {available} available"
+                )
             }
             CodecError::LengthMismatch { declared, actual } => {
-                write!(f, "length field mismatch: declared {declared}, actual {actual}")
+                write!(
+                    f,
+                    "length field mismatch: declared {declared}, actual {actual}"
+                )
             }
             CodecError::InvalidValue { field, value } => {
                 write!(f, "invalid value {value:#X} for field {field}")
@@ -94,7 +100,10 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEnd { wanted: n, available: self.remaining() });
+            return Err(CodecError::UnexpectedEnd {
+                wanted: n,
+                available: self.remaining(),
+            });
         }
         let slice = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -173,7 +182,9 @@ impl ByteWriter {
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends one byte.
@@ -220,7 +231,11 @@ impl ByteWriter {
 /// Renders a byte slice as space-separated upper-case hex, the format the
 /// paper uses in its packet figures (e.g. `0C 00 01 00 ...`).
 pub fn hex_dump(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02X}")).collect::<Vec<_>>().join(" ")
+    bytes
+        .iter()
+        .map(|b| format!("{b:02X}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -240,7 +255,13 @@ mod tests {
     fn reader_reports_short_reads() {
         let mut r = ByteReader::new(&[0x01]);
         let err = r.read_u16().unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEnd { wanted: 2, available: 1 });
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEnd {
+                wanted: 2,
+                available: 1
+            }
+        );
     }
 
     #[test]
@@ -284,9 +305,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CodecError::LengthMismatch { declared: 8, actual: 4 };
+        let e = CodecError::LengthMismatch {
+            declared: 8,
+            actual: 4,
+        };
         assert!(e.to_string().contains("declared 8"));
-        let e = CodecError::InvalidValue { field: "code".to_owned(), value: 0xFF };
+        let e = CodecError::InvalidValue {
+            field: "code".to_owned(),
+            value: 0xFF,
+        };
         assert!(e.to_string().contains("code"));
     }
 }

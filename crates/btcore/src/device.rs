@@ -62,13 +62,22 @@ pub struct DeviceMeta {
 impl DeviceMeta {
     /// Creates metadata for a device; the OUI is derived from `addr`.
     pub fn new(addr: BdAddr, name: impl Into<String>, class: DeviceClass) -> Self {
-        DeviceMeta { addr, name: name.into(), class, oui: addr.oui() }
+        DeviceMeta {
+            addr,
+            name: name.into(),
+            class,
+            oui: addr.oui(),
+        }
     }
 }
 
 impl fmt::Display for DeviceMeta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] ({}, OUI {})", self.name, self.addr, self.class, self.oui)
+        write!(
+            f,
+            "{} [{}] ({}, OUI {})",
+            self.name, self.addr, self.class, self.oui
+        )
     }
 }
 

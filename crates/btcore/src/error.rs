@@ -165,9 +165,15 @@ mod tests {
         use std::error::Error;
         let e: BtError = ConnectionError::Timeout.into();
         assert!(e.source().is_some());
-        let e: BtError = CodecError::UnexpectedEnd { wanted: 2, available: 0 }.into();
+        let e: BtError = CodecError::UnexpectedEnd {
+            wanted: 2,
+            available: 0,
+        }
+        .into();
         assert!(e.to_string().contains("codec"));
-        let e = BtError::Rejected { reason: "invalid CID in request".into() };
+        let e = BtError::Rejected {
+            reason: "invalid CID in request".into(),
+        };
         assert!(e.to_string().contains("invalid CID"));
     }
 }

@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// fixed signalling channel on ACL-U links and is the only *fixed* field of
 /// the L2CAP frame (paper Fig. 6); dynamically allocated channels live in
 /// `0x0040..=0xFFFF`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cid(pub u16);
 
 impl Cid {
@@ -102,7 +104,9 @@ impl From<Cid> for u16 {
 /// significant octet and an even most significant octet.  The paper's
 /// Table IV mutates PSMs *outside* the assigned/valid space to probe how the
 /// target parses abnormal port values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Psm(pub u16);
 
 impl Psm {
@@ -152,7 +156,7 @@ impl Psm {
     pub const fn is_valid(&self) -> bool {
         let lsb = (self.0 & 0x00FF) as u8;
         let msb = (self.0 >> 8) as u8;
-        lsb % 2 == 1 && msb % 2 == 0
+        lsb % 2 == 1 && msb.is_multiple_of(2)
     }
 
     /// Returns `true` if the PSM is in the dynamically assignable range
@@ -203,7 +207,9 @@ impl From<Psm> for u16 {
 }
 
 /// An HCI ACL connection handle (12 significant bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ConnectionHandle(pub u16);
 
 impl ConnectionHandle {

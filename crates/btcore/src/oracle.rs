@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn oracle_is_object_safe_and_usable() {
-        let mut oracle: Box<dyn TargetOracle> = Box::new(FakeOracle { alive: true, dumps: 1 });
+        let mut oracle: Box<dyn TargetOracle> = Box::new(FakeOracle {
+            alive: true,
+            dumps: 1,
+        });
         assert!(oracle.ping().is_answered());
         assert!(oracle.take_crash_dump());
         assert!(!oracle.take_crash_dump());
@@ -90,7 +93,10 @@ mod tests {
 
     #[test]
     fn ping_failure_carries_error() {
-        let mut oracle = FakeOracle { alive: false, dumps: 0 };
+        let mut oracle = FakeOracle {
+            alive: false,
+            dumps: 0,
+        };
         match oracle.ping() {
             PingOutcome::Failed(e) => assert!(e.indicates_dos()),
             PingOutcome::Answered => panic!("expected failure"),

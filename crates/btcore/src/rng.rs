@@ -27,7 +27,10 @@ pub struct FuzzRng {
 impl FuzzRng {
     /// Creates a generator from the given seed.
     pub fn seed_from(seed: u64) -> Self {
-        FuzzRng { inner: StdRng::seed_from_u64(seed), seed }
+        FuzzRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// Returns the seed this generator was created with.

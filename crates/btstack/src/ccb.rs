@@ -39,7 +39,10 @@ pub struct CcbTable {
 impl CcbTable {
     /// Creates an empty table; local CIDs are allocated from `0x0040` up.
     pub fn new() -> Self {
-        CcbTable { channels: Vec::new(), next_cid: Cid::DYNAMIC_START.value() }
+        CcbTable {
+            channels: Vec::new(),
+            next_cid: Cid::DYNAMIC_START.value(),
+        }
     }
 
     /// Number of live channels.
@@ -56,7 +59,10 @@ impl CcbTable {
     /// Returns the new block's id.
     pub fn allocate(&mut self, psm: Psm, remote_cid: Cid) -> CcbId {
         let local_cid = Cid(self.next_cid);
-        self.next_cid = self.next_cid.wrapping_add(1).max(Cid::DYNAMIC_START.value());
+        self.next_cid = self
+            .next_cid
+            .wrapping_add(1)
+            .max(Cid::DYNAMIC_START.value());
         self.channels.push(ChannelControlBlock {
             local_cid,
             remote_cid,
@@ -82,7 +88,9 @@ impl CcbTable {
 
     /// Looks up a channel by the initiator's CID (the SCID it announced).
     pub fn by_remote(&mut self, remote_cid: Cid) -> Option<&mut ChannelControlBlock> {
-        self.channels.iter_mut().find(|c| c.remote_cid == remote_cid)
+        self.channels
+            .iter_mut()
+            .find(|c| c.remote_cid == remote_cid)
     }
 
     /// Looks up a channel by either CID, preferring the local match.  This is

@@ -101,7 +101,10 @@ impl CrashDump {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("*** *** *** *** *** *** *** *** *** *** *** ***\n");
-        out.push_str(&format!("pid: 1948, tid: 2946, name: {} >>> com.simulated.bluetooth <<<\n", self.process));
+        out.push_str(&format!(
+            "pid: 1948, tid: 2946, name: {} >>> com.simulated.bluetooth <<<\n",
+            self.process
+        ));
         if let Some(sig) = self.signal {
             out.push_str(&format!("signal {sig} (SIGSEGV), code 1 (SEGV_MAPERR)"));
             if let Some(addr) = self.fault_address {
@@ -111,7 +114,10 @@ impl CrashDump {
         }
         out.push_str(&format!("Cause: {}\n", self.kind));
         out.push_str("backtrace:\n");
-        out.push_str(&format!("  #00 pc 0000000000378da0  /system/lib64/libbluetooth.so ({})\n", self.top_frame));
+        out.push_str(&format!(
+            "  #00 pc 0000000000378da0  /system/lib64/libbluetooth.so ({})\n",
+            self.top_frame
+        ));
         out.push_str(&format!("vulnerability: {}\n", self.vuln_id));
         out
     }

@@ -115,7 +115,10 @@ impl SimulatedDevice {
 
     fn apply_effect(&mut self, vuln: &VulnerabilitySpec) {
         let now = self.clock.now_micros();
-        self.fired.push(FiredVulnerability { vuln: vuln.clone(), timestamp_micros: now });
+        self.fired.push(FiredVulnerability {
+            vuln: vuln.clone(),
+            timestamp_micros: now,
+        });
         if vuln.produces_dump {
             let dump = match vuln.crash_kind {
                 CrashKind::NullPointerDereference => CrashDump::bluedroid_tombstone(&vuln.id, now),
@@ -172,7 +175,9 @@ pub type SharedSimulatedDevice = Arc<Mutex<SimulatedDevice>>;
 /// out-of-band observation (the oracle).
 pub fn share(device: SimulatedDevice) -> (SharedSimulatedDevice, Box<dyn VirtualDevice>) {
     let shared = Arc::new(Mutex::new(device));
-    let adapter = ForwardingDevice { inner: shared.clone() };
+    let adapter = ForwardingDevice {
+        inner: shared.clone(),
+    };
     (shared, Box::new(adapter))
 }
 
@@ -237,10 +242,16 @@ mod tests {
 
     fn pixel_like(vuln_probability: f64) -> SimulatedDevice {
         SimulatedDevice::new(
-            DeviceMeta::new(BdAddr::new([1, 2, 3, 4, 5, 6]), "Pixel 3", DeviceClass::Smartphone),
+            DeviceMeta::new(
+                BdAddr::new([1, 2, 3, 4, 5, 6]),
+                "Pixel 3",
+                DeviceClass::Smartphone,
+            ),
             VendorStack::BlueDroid.default_quirks(),
             ServiceTable::typical(8),
-            vec![VulnerabilitySpec::bluedroid_config_null_deref(vuln_probability)],
+            vec![VulnerabilitySpec::bluedroid_config_null_deref(
+                vuln_probability,
+            )],
             SimClock::new(),
             200,
             FuzzRng::seed_from(21),
@@ -250,7 +261,10 @@ mod tests {
     fn connect(dev: &mut SimulatedDevice) {
         let frame = signaling_frame(
             Identifier(1),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
         );
         assert!(!dev.receive(frame).is_empty());
     }
@@ -284,7 +298,10 @@ mod tests {
     fn connect_silent(dev: &mut SimulatedDevice) {
         let frame = signaling_frame(
             Identifier(9),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0050) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0050),
+            }),
         );
         assert!(dev.receive(frame).is_empty());
     }
@@ -299,7 +316,10 @@ mod tests {
         // Drive the device through the adapter, as the air medium would.
         let frame = signaling_frame(
             Identifier(1),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
         );
         adapter.receive(frame);
         let packet = SignalingPacket {

@@ -37,7 +37,10 @@ pub struct EndpointOutcome {
 
 impl EndpointOutcome {
     fn none() -> Self {
-        EndpointOutcome { responses: Vec::new(), triggered: None }
+        EndpointOutcome {
+            responses: Vec::new(),
+            triggered: None,
+        }
     }
 }
 
@@ -121,7 +124,12 @@ impl L2capEndpoint {
         SignalingPacket::new(identifier, command).into_frame()
     }
 
-    fn reject(&mut self, identifier: Identifier, reason: RejectReason, data: Vec<u8>) -> L2capFrame {
+    fn reject(
+        &mut self,
+        identifier: Identifier,
+        reason: RejectReason,
+        data: Vec<u8>,
+    ) -> L2capFrame {
         self.rejects_sent += 1;
         self.reply(
             identifier,
@@ -150,7 +158,10 @@ impl L2capEndpoint {
                 RejectReason::SignalingMtuExceeded,
                 self.signaling_mtu.to_le_bytes().to_vec(),
             );
-            return EndpointOutcome { responses: vec![rsp], triggered: None };
+            return EndpointOutcome {
+                responses: vec![rsp],
+                triggered: None,
+            };
         }
 
         // Hardened stacks run an extra sanity filter and silently drop
@@ -171,8 +182,15 @@ impl L2capEndpoint {
 
         // Undefined command codes: "command not understood".
         let Some(code) = code else {
-            let rsp = self.reject(packet.identifier, RejectReason::CommandNotUnderstood, Vec::new());
-            return EndpointOutcome { responses: vec![rsp], triggered: None };
+            let rsp = self.reject(
+                packet.identifier,
+                RejectReason::CommandNotUnderstood,
+                Vec::new(),
+            );
+            return EndpointOutcome {
+                responses: vec![rsp],
+                triggered: None,
+            };
         };
 
         // Determine the channel (and thus state/job) this packet lands in.
@@ -204,20 +222,27 @@ impl L2capEndpoint {
             length_consistent: packet.is_length_consistent(),
         };
         if let Some(vuln) = self.check_vulns(&ctx) {
-            return EndpointOutcome { responses: Vec::new(), triggered: Some(vuln) };
+            return EndpointOutcome {
+                responses: Vec::new(),
+                triggered: Some(vuln),
+            };
         }
 
         let responses = self.dispatch(packet, code, &command, channel_cid);
-        EndpointOutcome { responses, triggered: None }
+        EndpointOutcome {
+            responses,
+            triggered: None,
+        }
     }
 
     fn check_vulns(&mut self, ctx: &PacketContext) -> Option<VulnerabilitySpec> {
-        for vuln in self.vulns.clone() {
-            if vuln.trigger.matches(ctx) && self.rng.chance(vuln.trigger.hit_probability) {
-                return Some(vuln);
-            }
-        }
-        None
+        // Disjoint borrows of `vulns` and `rng` keep this allocation-free on
+        // the per-packet path; only the (rare) matching spec is cloned.
+        let Self { vulns, rng, .. } = self;
+        vulns
+            .iter()
+            .find(|vuln| vuln.trigger.matches(ctx) && rng.chance(vuln.trigger.hit_probability))
+            .cloned()
     }
 
     /// Resolves which local channel a command refers to, returning the local
@@ -274,7 +299,9 @@ impl L2capEndpoint {
                 if self.quirks.supports_echo {
                     vec![self.reply(
                         packet.identifier,
-                        Command::EchoResponse(EchoResponse { data: req.data.clone() }),
+                        Command::EchoResponse(EchoResponse {
+                            data: req.data.clone(),
+                        }),
                     )]
                 } else {
                     Vec::new()
@@ -286,7 +313,11 @@ impl L2capEndpoint {
                     0x0003 => vec![0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
                     _ => Vec::new(),
                 };
-                let result = if (0x0001..=0x0003).contains(&req.info_type) { 0 } else { 1 };
+                let result = if (0x0001..=0x0003).contains(&req.info_type) {
+                    0
+                } else {
+                    1
+                };
                 vec![self.reply(
                     packet.identifier,
                     Command::InformationResponse(InformationResponse {
@@ -302,7 +333,11 @@ impl L2capEndpoint {
                 if self.quirks.strict_malformed_filtering {
                     Vec::new()
                 } else {
-                    vec![self.reject(packet.identifier, RejectReason::CommandNotUnderstood, Vec::new())]
+                    vec![self.reject(
+                        packet.identifier,
+                        RejectReason::CommandNotUnderstood,
+                        Vec::new(),
+                    )]
                 }
             }
             _ => self.handle_channel_command(packet, code, channel_cid),
@@ -326,7 +361,12 @@ impl L2capEndpoint {
                     status: 0,
                 })
             } else {
-                Command::ConnectionResponse(ConnectionResponse { dcid, scid, result, status: 0 })
+                Command::ConnectionResponse(ConnectionResponse {
+                    dcid,
+                    scid,
+                    result,
+                    status: 0,
+                })
             }
         };
 
@@ -436,7 +476,10 @@ impl L2capEndpoint {
         }
 
         let (remote_cid, reaction) = {
-            let ccb = self.ccbs.by_local(local_cid).expect("resolved channel must exist");
+            let ccb = self
+                .ccbs
+                .by_local(local_cid)
+                .expect("resolved channel must exist");
             (ccb.remote_cid, ccb.machine.on_command(code, true))
         };
 
@@ -477,16 +520,19 @@ impl L2capEndpoint {
                 Action::Respond(CommandCode::MoveChannelConfirmationResponse) => {
                     out.push(self.reply(
                         packet.identifier,
-                        Command::MoveChannelConfirmationResponse(
-                            MoveChannelConfirmationResponse { icid: remote_cid },
-                        ),
+                        Command::MoveChannelConfirmationResponse(MoveChannelConfirmationResponse {
+                            icid: remote_cid,
+                        }),
                     ));
                 }
                 Action::Respond(other) => {
                     // Generic response we do not model structurally.
                     out.push(self.reply(
                         packet.identifier,
-                        Command::Raw { code: other.value(), data: Vec::new() },
+                        Command::Raw {
+                            code: other.value(),
+                            data: Vec::new(),
+                        },
                     ));
                 }
                 Action::Initiate(CommandCode::ConfigureRequest) => {
@@ -522,17 +568,27 @@ impl L2capEndpoint {
 mod tests {
     use super::*;
     use crate::vendor::VendorStack;
-    use l2cap::command::{ConnectionRequest, DisconnectionRequest, EchoRequest, InformationRequest};
+    use l2cap::command::{
+        ConnectionRequest, DisconnectionRequest, EchoRequest, InformationRequest,
+    };
     use l2cap::packet::signaling_frame;
 
     fn endpoint(stack: VendorStack, services: ServiceTable) -> L2capEndpoint {
-        L2capEndpoint::new(stack.default_quirks(), services, Vec::new(), FuzzRng::seed_from(7))
+        L2capEndpoint::new(
+            stack.default_quirks(),
+            services,
+            Vec::new(),
+            FuzzRng::seed_from(7),
+        )
     }
 
     fn connect_frame(psm: Psm, scid: u16, id: u8) -> L2capFrame {
         signaling_frame(
             Identifier(id),
-            Command::ConnectionRequest(ConnectionRequest { psm, scid: Cid(scid) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm,
+                scid: Cid(scid),
+            }),
         )
     }
 
@@ -570,8 +626,12 @@ mod tests {
             }),
         ));
         let cmds = first_command(&out.responses);
-        assert!(cmds.iter().any(|c| matches!(c, Command::ConfigureRequest(_))));
-        assert!(cmds.iter().any(|c| matches!(c, Command::ConfigureResponse(_))));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Command::ConfigureRequest(_))));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Command::ConfigureResponse(_))));
     }
 
     #[test]
@@ -602,11 +662,15 @@ mod tests {
     #[test]
     fn channel_limit_refuses_with_no_resources() {
         let mut ep = endpoint(VendorStack::AppleRtkit, ServiceTable::typical(6));
-        let limit = VendorStack::AppleRtkit.default_quirks().max_channels_per_link;
+        let limit = VendorStack::AppleRtkit
+            .default_quirks()
+            .max_channels_per_link;
         for i in 0..limit {
             let out = ep.handle_frame(&connect_frame(Psm::SDP, 0x0040 + i as u16, i as u8 + 1));
             match &first_command(&out.responses)[0] {
-                Command::ConnectionResponse(rsp) => assert_eq!(rsp.result, ConnectionResult::Success),
+                Command::ConnectionResponse(rsp) => {
+                    assert_eq!(rsp.result, ConnectionResult::Success)
+                }
                 other => panic!("unexpected {other:?}"),
             }
         }
@@ -624,9 +688,14 @@ mod tests {
         let mut ep = endpoint(VendorStack::BlueZ, ServiceTable::typical(13));
         let out = ep.handle_frame(&signaling_frame(
             Identifier(9),
-            Command::EchoRequest(EchoRequest { data: vec![1, 2, 3] }),
+            Command::EchoRequest(EchoRequest {
+                data: vec![1, 2, 3],
+            }),
         ));
-        assert!(matches!(first_command(&out.responses)[0], Command::EchoResponse(_)));
+        assert!(matches!(
+            first_command(&out.responses)[0],
+            Command::EchoResponse(_)
+        ));
 
         let out = ep.handle_frame(&signaling_frame(
             Identifier(10),
@@ -676,7 +745,10 @@ mod tests {
                 scid: Cid(0x0040),
             }),
         ));
-        assert!(matches!(first_command(&out.responses)[0], Command::DisconnectionResponse(_)));
+        assert!(matches!(
+            first_command(&out.responses)[0],
+            Command::DisconnectionResponse(_)
+        ));
         assert_eq!(ep.open_channels(), 0);
     }
 
@@ -766,10 +838,15 @@ mod tests {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![
+                0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
+            ],
         };
         let out = ep.handle_frame(&packet.into_frame());
-        assert_eq!(out.triggered.as_ref().map(|v| v.id.as_str()), Some(vuln.id.as_str()));
+        assert_eq!(
+            out.triggered.as_ref().map(|v| v.id.as_str()),
+            Some(vuln.id.as_str())
+        );
         assert!(out.responses.is_empty());
     }
 

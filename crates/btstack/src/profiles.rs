@@ -233,7 +233,10 @@ impl DeviceProfile {
 
     /// All eight Table V profiles.
     pub fn all() -> Vec<DeviceProfile> {
-        ProfileId::ALL.iter().map(|id| DeviceProfile::table5(*id)).collect()
+        ProfileId::ALL
+            .iter()
+            .map(|id| DeviceProfile::table5(*id))
+            .collect()
     }
 
     /// Returns `true` if the paper found a zero-day on this device.
@@ -293,7 +296,13 @@ mod tests {
             .collect();
         assert_eq!(
             vulnerable,
-            vec![ProfileId::D1, ProfileId::D2, ProfileId::D3, ProfileId::D5, ProfileId::D8]
+            vec![
+                ProfileId::D1,
+                ProfileId::D2,
+                ProfileId::D3,
+                ProfileId::D5,
+                ProfileId::D8
+            ]
         );
     }
 
@@ -309,12 +318,27 @@ mod tests {
 
     #[test]
     fn stacks_match_table5() {
-        assert_eq!(DeviceProfile::table5(ProfileId::D1).stack, VendorStack::BlueDroid);
-        assert_eq!(DeviceProfile::table5(ProfileId::D4).stack, VendorStack::AppleIos);
-        assert_eq!(DeviceProfile::table5(ProfileId::D5).stack, VendorStack::AppleRtkit);
+        assert_eq!(
+            DeviceProfile::table5(ProfileId::D1).stack,
+            VendorStack::BlueDroid
+        );
+        assert_eq!(
+            DeviceProfile::table5(ProfileId::D4).stack,
+            VendorStack::AppleIos
+        );
+        assert_eq!(
+            DeviceProfile::table5(ProfileId::D5).stack,
+            VendorStack::AppleRtkit
+        );
         assert_eq!(DeviceProfile::table5(ProfileId::D6).stack, VendorStack::Btw);
-        assert_eq!(DeviceProfile::table5(ProfileId::D7).stack, VendorStack::Windows);
-        assert_eq!(DeviceProfile::table5(ProfileId::D8).stack, VendorStack::BlueZ);
+        assert_eq!(
+            DeviceProfile::table5(ProfileId::D7).stack,
+            VendorStack::Windows
+        );
+        assert_eq!(
+            DeviceProfile::table5(ProfileId::D8).stack,
+            VendorStack::BlueZ
+        );
     }
 
     #[test]
@@ -326,7 +350,10 @@ mod tests {
         assert_eq!(d5.service_ports, 6);
         let p_d8 = d8.vuln_probabilities[0].1;
         let p_d5 = d5.vuln_probabilities[0].1;
-        assert!(p_d8 < p_d5 / 100.0, "D8's trigger must be far narrower than D5's");
+        assert!(
+            p_d8 < p_d5 / 100.0,
+            "D8's trigger must be far narrower than D5's"
+        );
     }
 
     #[test]

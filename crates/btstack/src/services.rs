@@ -22,7 +22,11 @@ pub struct ServiceRecord {
 impl ServiceRecord {
     /// Creates a service record.
     pub fn new(psm: Psm, name: impl Into<String>, requires_pairing: bool) -> Self {
-        ServiceRecord { psm, name: name.into(), requires_pairing }
+        ServiceRecord {
+            psm,
+            name: name.into(),
+            requires_pairing,
+        }
     }
 }
 
@@ -115,7 +119,11 @@ impl ServiceTable {
     /// The ports that do not require pairing (potentially exploitable ports
     /// in the paper's terminology).
     pub fn pairing_free_ports(&self) -> Vec<Psm> {
-        self.records.iter().filter(|r| !r.requires_pairing).map(|r| r.psm).collect()
+        self.records
+            .iter()
+            .filter(|r| !r.requires_pairing)
+            .map(|r| r.psm)
+            .collect()
     }
 
     /// Every offered port.

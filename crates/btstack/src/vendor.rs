@@ -164,13 +164,21 @@ mod tests {
 
     #[test]
     fn hardened_stacks_filter_malformed_packets() {
-        for stack in [VendorStack::AppleIos, VendorStack::Windows, VendorStack::Btw] {
+        for stack in [
+            VendorStack::AppleIos,
+            VendorStack::Windows,
+            VendorStack::Btw,
+        ] {
             assert!(
                 stack.default_quirks().strict_malformed_filtering,
                 "{stack} should filter malformed packets"
             );
         }
-        assert!(!VendorStack::BlueZ.default_quirks().strict_malformed_filtering);
+        assert!(
+            !VendorStack::BlueZ
+                .default_quirks()
+                .strict_malformed_filtering
+        );
     }
 
     #[test]

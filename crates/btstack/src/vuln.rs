@@ -132,7 +132,10 @@ impl VulnerabilitySpec {
                 .to_owned(),
             trigger: Trigger {
                 jobs: vec![Job::Configuration],
-                commands: vec![CommandCode::ConfigureRequest, CommandCode::ConfigureResponse],
+                commands: vec![
+                    CommandCode::ConfigureRequest,
+                    CommandCode::ConfigureResponse,
+                ],
                 requires_garbage: true,
                 requires_abnormal_psm: false,
                 requires_cidp_mismatch: true,
@@ -175,7 +178,10 @@ impl VulnerabilitySpec {
             description: "uncontrolled firmware termination on abnormal PSM value".to_owned(),
             trigger: Trigger {
                 jobs: vec![Job::Closed, Job::Open, Job::Connection],
-                commands: vec![CommandCode::ConnectionRequest, CommandCode::CreateChannelRequest],
+                commands: vec![
+                    CommandCode::ConnectionRequest,
+                    CommandCode::CreateChannelRequest,
+                ],
                 requires_garbage: false,
                 requires_abnormal_psm: true,
                 requires_cidp_mismatch: false,
@@ -198,7 +204,10 @@ impl VulnerabilitySpec {
                 .to_owned(),
             trigger: Trigger {
                 jobs: vec![Job::Configuration, Job::Open],
-                commands: vec![CommandCode::ConfigureRequest, CommandCode::ConfigureResponse],
+                commands: vec![
+                    CommandCode::ConfigureRequest,
+                    CommandCode::ConfigureResponse,
+                ],
                 requires_garbage: true,
                 requires_abnormal_psm: false,
                 requires_cidp_mismatch: true,
@@ -275,9 +284,15 @@ mod tests {
             length_consistent: true,
         };
         assert!(vuln.trigger.matches(&ctx));
-        let normal_psm = PacketContext { psm: Some(0x0001), ..ctx };
+        let normal_psm = PacketContext {
+            psm: Some(0x0001),
+            ..ctx
+        };
         assert!(!vuln.trigger.matches(&normal_psm));
-        let no_psm = PacketContext { psm: None, ..normal_psm };
+        let no_psm = PacketContext {
+            psm: None,
+            ..normal_psm
+        };
         assert!(!vuln.trigger.matches(&no_psm));
     }
 
@@ -295,7 +310,10 @@ mod tests {
             length_consistent: false,
         };
         assert!(vuln.trigger.matches(&ctx));
-        let wrong_cmd = PacketContext { code: Some(CommandCode::ConnectionRequest), ..ctx };
+        let wrong_cmd = PacketContext {
+            code: Some(CommandCode::ConnectionRequest),
+            ..ctx
+        };
         assert!(!vuln.trigger.matches(&wrong_cmd));
     }
 

@@ -8,9 +8,9 @@
 //! away (denial of service); the other errors indicate a crash.
 
 use btcore::{ConnectionError, Identifier, PingOutcome, TargetOracle};
+use hci::air::AclLink;
 use l2cap::command::{Command, EchoRequest};
 use l2cap::packet::{parse_signaling, signaling_frame};
-use hci::air::AclLink;
 use serde::{Deserialize, Serialize};
 
 /// Evidence collected when a test packet disturbed the target.
@@ -52,7 +52,10 @@ pub struct VulnerabilityDetector {
 impl VulnerabilityDetector {
     /// Creates a detector.
     pub fn new() -> Self {
-        VulnerabilityDetector { next_ping_id: 0x70, pings_sent: 0 }
+        VulnerabilityDetector {
+            next_ping_id: 0x70,
+            pings_sent: 0,
+        }
     }
 
     /// Number of ping packets this detector has sent.
@@ -62,15 +65,24 @@ impl VulnerabilityDetector {
 
     /// Performs the L2CAP ping test over the link.
     pub fn ping(&mut self, link: &mut AclLink) -> bool {
-        self.next_ping_id = if self.next_ping_id == 0xFF { 0x70 } else { self.next_ping_id + 1 };
+        self.next_ping_id = if self.next_ping_id == 0xFF {
+            0x70
+        } else {
+            self.next_ping_id + 1
+        };
         self.pings_sent += 1;
         let frame = signaling_frame(
             Identifier(self.next_ping_id),
-            Command::EchoRequest(EchoRequest { data: vec![0x4C, 0x32] }),
+            Command::EchoRequest(EchoRequest {
+                data: vec![0x4C, 0x32],
+            }),
         );
         let responses = link.send_frame(&frame);
         responses.iter().any(|f| {
-            matches!(parse_signaling(f).map(|p| p.command()), Ok(Command::EchoResponse(_)))
+            matches!(
+                parse_signaling(f).map(|p| p.command()),
+                Ok(Command::EchoResponse(_))
+            )
         })
     }
 
@@ -108,7 +120,11 @@ impl VulnerabilityDetector {
             }
             None => (ConnectionError::Timeout, false),
         };
-        let description = if error.indicates_dos() { "DoS" } else { "Crash" };
+        let description = if error.indicates_dos() {
+            "DoS"
+        } else {
+            "Crash"
+        };
         DetectionVerdict::Vulnerable(VulnerabilityEvidence {
             error,
             ping_failed: true,
@@ -123,9 +139,9 @@ mod tests {
     use super::*;
     use btcore::{Cid, FuzzRng, Psm, SimClock};
     use btstack::device::{share, DeviceOracle, SharedSimulatedDevice};
-    use hci::device::VirtualDevice;
     use btstack::profiles::{DeviceProfile, ProfileId};
     use hci::air::{AclLink, AirMedium};
+    use hci::device::VirtualDevice;
     use hci::link::LinkConfig;
     use l2cap::command::ConnectionRequest;
     use l2cap::packet::SignalingPacket;
@@ -136,7 +152,9 @@ mod tests {
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(9)));
         air.register(adapter);
-        let link = air.connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(10)).unwrap();
+        let link = air
+            .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(10))
+            .unwrap();
         (shared, link)
     }
 
@@ -157,7 +175,10 @@ mod tests {
         // seeded DoS fires (hit probability is < 1, so repeat).
         let connect = signaling_frame(
             Identifier(1),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
         );
         link.send_frame(&connect);
         for i in 0..2_000u16 {
@@ -172,7 +193,10 @@ mod tests {
             };
             link.send_frame(&packet.into_frame());
         }
-        assert!(!shared.lock().bluetooth_alive(), "the seeded DoS must eventually fire");
+        assert!(
+            !shared.lock().bluetooth_alive(),
+            "the seeded DoS must eventually fire"
+        );
 
         let mut oracle = DeviceOracle::new(shared);
         let mut det = VulnerabilityDetector::new();

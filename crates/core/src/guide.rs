@@ -8,6 +8,7 @@
 
 use btcore::{Cid, Identifier, Psm};
 
+use hci::air::AclLink;
 use l2cap::command::{
     Command, ConfigureRequest, ConfigureResponse, ConnectionRequest, CreateChannelRequest,
     DisconnectionRequest, MoveChannelRequest,
@@ -17,7 +18,6 @@ use l2cap::jobs::{job_of, Job};
 use l2cap::options::ConfigOption;
 use l2cap::packet::{parse_signaling, signaling_frame};
 use l2cap::state::ChannelState;
-use hci::air::AclLink;
 use serde::{Deserialize, Serialize};
 
 /// The fuzzer-side view of one channel opened on the target.
@@ -35,7 +35,11 @@ pub struct ChannelContext {
 impl ChannelContext {
     /// A context with no open channel (closed-state fuzzing).
     pub fn closed(psm: Psm) -> Self {
-        ChannelContext { scid: Cid::NULL, dcid: Cid::NULL, psm }
+        ChannelContext {
+            scid: Cid::NULL,
+            dcid: Cid::NULL,
+            psm,
+        }
     }
 
     /// Returns `true` if a channel is actually open on the target.
@@ -61,7 +65,11 @@ impl Default for StateGuide {
 impl StateGuide {
     /// Creates a guide; initiator CIDs are allocated from `0x0040` upward.
     pub fn new() -> Self {
-        StateGuide { next_scid: 0x0040, next_identifier: Identifier::FIRST, transition_packets_sent: 0 }
+        StateGuide {
+            next_scid: 0x0040,
+            next_identifier: Identifier::FIRST,
+            transition_packets_sent: 0,
+        }
     }
 
     /// Number of normal (state-transition) packets this guide has sent.
@@ -101,7 +109,11 @@ impl StateGuide {
     ) -> Option<ChannelContext> {
         let scid = self.next_scid();
         let command = if via_create {
-            Command::CreateChannelRequest(CreateChannelRequest { psm, scid, controller_id: 0 })
+            Command::CreateChannelRequest(CreateChannelRequest {
+                psm,
+                scid,
+                controller_id: 0,
+            })
         } else {
             Command::ConnectionRequest(ConnectionRequest { psm, scid })
         };
@@ -158,7 +170,10 @@ impl StateGuide {
     pub fn request_move(&mut self, link: &mut AclLink, ctx: ChannelContext) {
         self.send(
             link,
-            Command::MoveChannelRequest(MoveChannelRequest { icid: ctx.scid, dest_controller_id: 1 }),
+            Command::MoveChannelRequest(MoveChannelRequest {
+                icid: ctx.scid,
+                dest_controller_id: 1,
+            }),
         );
     }
 
@@ -167,7 +182,10 @@ impl StateGuide {
         if ctx.has_channel() {
             self.send(
                 link,
-                Command::DisconnectionRequest(DisconnectionRequest { dcid: ctx.dcid, scid: ctx.scid }),
+                Command::DisconnectionRequest(DisconnectionRequest {
+                    dcid: ctx.dcid,
+                    scid: ctx.scid,
+                }),
             );
         }
     }
@@ -246,7 +264,9 @@ mod tests {
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
         air.register(adapter);
-        let link = air.connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(6)).unwrap();
+        let link = air
+            .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(6))
+            .unwrap();
         (shared, link)
     }
 
@@ -254,7 +274,9 @@ mod tests {
     fn open_channel_captures_the_allocated_dcid() {
         let (_dev, mut link) = link_to(ProfileId::D2);
         let mut guide = StateGuide::new();
-        let ctx = guide.open_channel(&mut link, Psm::SDP, false).expect("SDP connect must work");
+        let ctx = guide
+            .open_channel(&mut link, Psm::SDP, false)
+            .expect("SDP connect must work");
         assert!(ctx.has_channel());
         assert!(ctx.dcid.is_dynamic());
         assert_eq!(ctx.psm, Psm::SDP);
@@ -265,7 +287,9 @@ mod tests {
     fn drive_to_open_reaches_open_on_the_target() {
         let (dev, mut link) = link_to(ProfileId::D2);
         let mut guide = StateGuide::new();
-        let ctx = guide.drive_to(&mut link, Psm::SDP, ChannelState::Open).unwrap();
+        let ctx = guide
+            .drive_to(&mut link, Psm::SDP, ChannelState::Open)
+            .unwrap();
         assert!(ctx.has_channel());
         // White-box check against the simulated stack.
         let visited = dev.lock().fired_vulnerabilities().len();
@@ -284,17 +308,25 @@ mod tests {
     fn responder_only_states_are_not_drivable() {
         let (_dev, mut link) = link_to(ProfileId::D2);
         let mut guide = StateGuide::new();
-        assert!(guide.drive_to(&mut link, Psm::SDP, ChannelState::WaitConnectRsp).is_none());
-        assert!(guide.drive_to(&mut link, Psm::SDP, ChannelState::WaitFinalRsp).is_none());
+        assert!(guide
+            .drive_to(&mut link, Psm::SDP, ChannelState::WaitConnectRsp)
+            .is_none());
+        assert!(guide
+            .drive_to(&mut link, Psm::SDP, ChannelState::WaitFinalRsp)
+            .is_none());
     }
 
     #[test]
     fn closed_and_connection_jobs_fuzz_without_a_channel() {
         let (_dev, mut link) = link_to(ProfileId::D5);
         let mut guide = StateGuide::new();
-        let ctx = guide.drive_to(&mut link, Psm::SDP, ChannelState::Closed).unwrap();
+        let ctx = guide
+            .drive_to(&mut link, Psm::SDP, ChannelState::Closed)
+            .unwrap();
         assert!(!ctx.has_channel());
-        let ctx = guide.drive_to(&mut link, Psm::SDP, ChannelState::WaitConnect).unwrap();
+        let ctx = guide
+            .drive_to(&mut link, Psm::SDP, ChannelState::WaitConnect)
+            .unwrap();
         assert!(!ctx.has_channel());
     }
 

@@ -24,14 +24,40 @@
 //!
 //! # Quickstart
 //!
-//! The crate-level test suite and the `quickstart` workspace example show the
-//! full wiring; in short:
-//!
-//! ```text
-//! build a simulated device  ->  register it on the AirMedium
-//! connect an AclLink        ->  L2FuzzSession::new(config, clock).run(link, meta, oracle)
-//! inspect the FuzzReport    ->  findings, elapsed time, states tested
 //! ```
+//! use btcore::{FuzzRng, SimClock};
+//! use btstack::device::{share, DeviceOracle};
+//! use btstack::profiles::{DeviceProfile, ProfileId};
+//! use hci::air::AirMedium;
+//! use hci::device::VirtualDevice;
+//! use hci::link::LinkConfig;
+//! use l2fuzz::config::FuzzConfig;
+//! use l2fuzz::session::L2FuzzSession;
+//!
+//! // Build a simulated device and register it on the virtual air medium.
+//! let clock = SimClock::new();
+//! let mut air = AirMedium::new(clock.clone());
+//! let profile = DeviceProfile::table5(ProfileId::D2);
+//! let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(11)));
+//! air.register(adapter);
+//! let meta = device.lock().meta();
+//!
+//! // Connect an ACL link and run the four-phase session against it.
+//! let mut link = air
+//!     .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(12))
+//!     .unwrap();
+//! let mut oracle = DeviceOracle::new(device.clone());
+//! let config = FuzzConfig { seed: 11, ..FuzzConfig::default() };
+//! let report = L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut oracle));
+//!
+//! // Inspect the report: findings, packets sent, states tested.
+//! assert!(report.vulnerable());
+//! assert!(report.packets_sent > 0);
+//! assert!(!report.states_tested.is_empty());
+//! ```
+//!
+//! The `quickstart` workspace example and the crate-level test suite show the
+//! same wiring with tracing and metrics attached.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -29,7 +29,12 @@ pub struct CoreFieldMutator {
 impl CoreFieldMutator {
     /// Creates a mutator following the paper's technique.
     pub fn new(rng: FuzzRng) -> Self {
-        CoreFieldMutator { rng, core_fields_only: true, append_garbage: true, max_garbage_len: 16 }
+        CoreFieldMutator {
+            rng,
+            core_fields_only: true,
+            append_garbage: true,
+            max_garbage_len: 16,
+        }
     }
 
     /// Creates a mutator with explicit ablation switches (see
@@ -40,7 +45,12 @@ impl CoreFieldMutator {
         append_garbage: bool,
         max_garbage_len: usize,
     ) -> Self {
-        CoreFieldMutator { rng, core_fields_only, append_garbage, max_garbage_len }
+        CoreFieldMutator {
+            rng,
+            core_fields_only,
+            append_garbage,
+            max_garbage_len,
+        }
     }
 
     /// Builds one malformed packet for `code` in the given channel context
@@ -105,7 +115,12 @@ impl CoreFieldMutator {
             data.extend_from_slice(&self.rng.bytes(garbage_len));
         }
 
-        let mut packet = SignalingPacket { identifier, code: code.value(), declared_data_len, data };
+        let mut packet = SignalingPacket {
+            identifier,
+            code: code.value(),
+            declared_data_len,
+            data,
+        };
         if !self.core_fields_only {
             // Ablation: dumb mutation also corrupts the dependent length
             // field, which conforming stacks answer with "command not
@@ -148,7 +163,9 @@ impl CoreFieldMutator {
             identifier: Identifier(0x06),
             code: CommandCode::ConfigureRequest.value(),
             declared_data_len: 0x0008,
-            data: vec![0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![
+                0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
+            ],
         };
         (original, mutated)
     }
@@ -177,7 +194,11 @@ mod tests {
     }
 
     fn ctx_with_channel() -> ChannelContext {
-        ChannelContext { scid: Cid(0x0040), dcid: Cid(0x0041), psm: Psm::SDP }
+        ChannelContext {
+            scid: Cid(0x0040),
+            dcid: Cid(0x0041),
+            psm: Psm::SDP,
+        }
     }
 
     #[test]
@@ -205,7 +226,10 @@ mod tests {
         let mut m = mutator();
         for code in Job::Configuration.valid_commands() {
             let pkt = m.mutate(code, &ctx_with_channel(), Identifier(1));
-            assert!(sniffer_is_malformed(&pkt), "{code} mutation must look malformed");
+            assert!(
+                sniffer_is_malformed(&pkt),
+                "{code} mutation must look malformed"
+            );
         }
     }
 
@@ -216,7 +240,9 @@ mod tests {
         if pkt.garbage_len() > 0 || !pkt.is_length_consistent() {
             return true;
         }
-        let Some(code) = CommandCode::from_u8(pkt.code) else { return true };
+        let Some(code) = CommandCode::from_u8(pkt.code) else {
+            return true;
+        };
         let core = fields::extract_core_values(code, &pkt.data);
         core.psm.map(ranges::is_abnormal_psm).unwrap_or(false)
             || matches!(pkt.command(), Command::Raw { .. })
@@ -225,7 +251,11 @@ mod tests {
     #[test]
     fn application_fields_keep_defaults_in_core_only_mode() {
         let mut m = mutator();
-        let pkt = m.mutate(CommandCode::ConnectionResponse, &ChannelContext::closed(Psm::SDP), Identifier(1));
+        let pkt = m.mutate(
+            CommandCode::ConnectionResponse,
+            &ChannelContext::closed(Psm::SDP),
+            Identifier(1),
+        );
         // Result and status (offsets 4..8) stay at default zero.
         assert_eq!(&pkt.data[4..8], &[0, 0, 0, 0]);
     }
@@ -235,18 +265,29 @@ mod tests {
         let mut m = CoreFieldMutator::with_options(FuzzRng::seed_from(1), false, true, 8);
         let mut saw_wrong_len = false;
         for i in 1..=50u8 {
-            let pkt = m.mutate(CommandCode::ConnectionRequest, &ChannelContext::closed(Psm::SDP), Identifier(i));
+            let pkt = m.mutate(
+                CommandCode::ConnectionRequest,
+                &ChannelContext::closed(Psm::SDP),
+                Identifier(i),
+            );
             if usize::from(pkt.declared_data_len) != 4 {
                 saw_wrong_len = true;
             }
         }
-        assert!(saw_wrong_len, "dumb mutation must corrupt the DATA LEN field");
+        assert!(
+            saw_wrong_len,
+            "dumb mutation must corrupt the DATA LEN field"
+        );
     }
 
     #[test]
     fn no_garbage_when_disabled() {
         let mut m = CoreFieldMutator::with_options(FuzzRng::seed_from(1), true, false, 16);
-        let pkt = m.mutate(CommandCode::ConnectionRequest, &ChannelContext::closed(Psm::SDP), Identifier(1));
+        let pkt = m.mutate(
+            CommandCode::ConnectionRequest,
+            &ChannelContext::closed(Psm::SDP),
+            Identifier(1),
+        );
         assert_eq!(pkt.garbage_len(), 0);
         assert!(pkt.is_length_consistent());
     }
@@ -274,7 +315,10 @@ mod tests {
                     .contains(&ctx.dcid.value())
             })
             .count();
-        assert!(reused > 0, "some packets should target the allocated channel");
+        assert!(
+            reused > 0,
+            "some packets should target the allocated channel"
+        );
         assert!(reused < 64, "some packets should ignore the allocation");
     }
 

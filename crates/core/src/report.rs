@@ -95,7 +95,9 @@ impl FuzzReport {
         match self.findings.first() {
             Some(f) => format!(
                 "{:<12} Vuln: Yes  ({})  elapsed {}",
-                self.target.name, f.evidence.description, f.elapsed_display()
+                self.target.name,
+                f.evidence.description,
+                f.elapsed_display()
             ),
             None => format!("{:<12} Vuln: No", self.target.name),
         }
@@ -114,7 +116,11 @@ mod tests {
     use btcore::{BdAddr, ConnectionError, DeviceClass, Psm};
 
     fn sample_report(with_finding: bool) -> FuzzReport {
-        let meta = DeviceMeta::new(BdAddr::new([1, 2, 3, 4, 5, 6]), "Pixel 3", DeviceClass::Smartphone);
+        let meta = DeviceMeta::new(
+            BdAddr::new([1, 2, 3, 4, 5, 6]),
+            "Pixel 3",
+            DeviceClass::Smartphone,
+        );
         let findings = if with_finding {
             vec![VulnerabilityFinding {
                 state: ChannelState::WaitConfigReqRsp,
@@ -137,7 +143,10 @@ mod tests {
             target: meta.clone(),
             scan: ScanReport {
                 meta,
-                probes: vec![PortProbe { psm: Psm::SDP, status: PortStatus::OpenWithoutPairing }],
+                probes: vec![PortProbe {
+                    psm: Psm::SDP,
+                    status: PortStatus::OpenWithoutPairing,
+                }],
                 chosen_port: Some(Psm::SDP),
             },
             states_tested: vec![ChannelState::Closed, ChannelState::WaitConfigReqRsp],

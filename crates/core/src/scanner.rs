@@ -7,10 +7,10 @@
 //! back to SDP, which is always pairing-free.
 
 use btcore::{Cid, DeviceMeta, Identifier, Psm};
+use hci::air::AclLink;
 use l2cap::command::{Command, ConnectionRequest, DisconnectionRequest};
 use l2cap::consts::ConnectionResult;
 use l2cap::packet::{parse_signaling, signaling_frame};
-use hci::air::AclLink;
 use serde::{Deserialize, Serialize};
 
 /// Classification of one probed port.
@@ -61,7 +61,10 @@ impl ScanReport {
         self.probes
             .iter()
             .filter(|p| {
-                matches!(p.status, PortStatus::OpenWithoutPairing | PortStatus::RequiresPairing)
+                matches!(
+                    p.status,
+                    PortStatus::OpenWithoutPairing | PortStatus::RequiresPairing
+                )
             })
             .map(|p| p.psm)
             .collect()
@@ -87,7 +90,10 @@ impl TargetScanner {
     pub fn scan(&mut self, meta: DeviceMeta, link: &mut AclLink) -> ScanReport {
         let mut probes = Vec::new();
         for psm in Psm::well_known() {
-            probes.push(PortProbe { psm: *psm, status: self.probe_port(link, *psm) });
+            probes.push(PortProbe {
+                psm: *psm,
+                status: self.probe_port(link, *psm),
+            });
         }
         let chosen_port = probes
             .iter()
@@ -96,7 +102,11 @@ impl TargetScanner {
             // SDP never requires pairing and is supported by every device; it
             // is the paper's fallback when everything else is locked down.
             .or(Some(Psm::SDP));
-        ScanReport { meta, probes, chosen_port }
+        ScanReport {
+            meta,
+            probes,
+            chosen_port,
+        }
     }
 
     fn probe_port(&mut self, link: &mut AclLink, psm: Psm) -> PortStatus {
@@ -148,10 +158,13 @@ mod tests {
         let clock = SimClock::new();
         let mut air = AirMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
-        let (_, adapter) = btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
+        let (_, adapter) =
+            btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
         air.register(adapter);
         let meta = air.inquiry().pop().expect("device must be discoverable");
-        let mut link = air.connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(4)).unwrap();
+        let mut link = air
+            .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(4))
+            .unwrap();
         TargetScanner::new().scan(meta, &mut link)
     }
 
@@ -159,7 +172,10 @@ mod tests {
     fn scan_finds_sdp_without_pairing_on_every_profile() {
         for id in ProfileId::ALL {
             let report = scan_profile(id);
-            assert!(report.pairing_free_ports().contains(&Psm::SDP), "{id}: SDP must be open");
+            assert!(
+                report.pairing_free_ports().contains(&Psm::SDP),
+                "{id}: SDP must be open"
+            );
             assert_eq!(report.chosen_port, Some(Psm::SDP));
         }
     }
@@ -192,13 +208,17 @@ mod tests {
             btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
         air.register(adapter);
         let meta = air.inquiry().pop().unwrap();
-        let mut link =
-            air.connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(4)).unwrap();
+        let mut link = air
+            .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(4))
+            .unwrap();
         TargetScanner::new().scan(meta, &mut link);
         assert_eq!(shared.lock().status(), btstack::device::HostStatus::Running);
         let frame = signaling_frame(
             Identifier(5),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0100) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0100),
+            }),
         );
         let responses = link.send_frame(&frame);
         let accepted = responses.iter().any(|f| {

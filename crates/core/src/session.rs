@@ -1,9 +1,9 @@
 //! The L2Fuzz session: orchestration of the four phases (Fig. 5).
 
 use btcore::{DeviceMeta, FuzzRng, SimClock, TargetOracle};
+use hci::air::AclLink;
 use l2cap::jobs::job_of;
 use l2cap::state::ChannelState;
-use hci::air::AclLink;
 
 use crate::config::FuzzConfig;
 use crate::detector::{DetectionVerdict, VulnerabilityDetector};
@@ -103,8 +103,12 @@ impl L2FuzzSession {
                 // packet (dumb strategy used by the ablation).
                 l2cap::code::CommandCode::ALL.to_vec()
             };
-            let packets =
-                mutator.generate(&commands, self.config.packets_per_command, &ctx, guide.next_identifier());
+            let packets = mutator.generate(
+                &commands,
+                self.config.packets_per_command,
+                &ctx,
+                guide.next_identifier(),
+            );
 
             // Phase 4: transmit and detect.
             for packet in packets {
@@ -160,7 +164,11 @@ pub struct L2FuzzTool {
 impl L2FuzzTool {
     /// Creates the comparison-mode tool.
     pub fn new(config: FuzzConfig, clock: SimClock, meta: DeviceMeta) -> Self {
-        L2FuzzTool { config, clock, meta }
+        L2FuzzTool {
+            config,
+            clock,
+            meta,
+        }
     }
 }
 
@@ -210,7 +218,13 @@ mod tests {
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(seed)));
         air.register(adapter);
         let meta = air.inquiry().pop().unwrap();
-        let link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(seed + 1)).unwrap();
+        let link = air
+            .connect(
+                profile.addr,
+                LinkConfig::default(),
+                FuzzRng::seed_from(seed + 1),
+            )
+            .unwrap();
         (shared, link, meta, clock)
     }
 
@@ -255,7 +269,11 @@ mod tests {
     #[test]
     fn disabling_state_guiding_tests_only_the_closed_state() {
         let (_shared, mut link, meta, clock) = setup(ProfileId::D4, 400);
-        let config = FuzzConfig { max_packets: 300, ..FuzzConfig::default() }.without_state_guiding();
+        let config = FuzzConfig {
+            max_packets: 300,
+            ..FuzzConfig::default()
+        }
+        .without_state_guiding();
         let mut session = L2FuzzSession::new(config, clock);
         let report = session.run(&mut link, meta, None);
         assert_eq!(report.states_tested, vec![ChannelState::Closed]);
@@ -265,8 +283,11 @@ mod tests {
     fn report_elapsed_time_is_positive_and_grows_with_port_count() {
         let (shared_a, mut link_a, meta_a, clock_a) = setup(ProfileId::D5, 500);
         let mut oracle_a = DeviceOracle::new(shared_a);
-        let report_a =
-            L2FuzzSession::new(FuzzConfig::default(), clock_a).run(&mut link_a, meta_a, Some(&mut oracle_a));
+        let report_a = L2FuzzSession::new(FuzzConfig::default(), clock_a).run(
+            &mut link_a,
+            meta_a,
+            Some(&mut oracle_a),
+        );
         assert!(report_a.vulnerable());
         assert!(report_a.findings[0].elapsed_secs < 24 * 3600);
     }

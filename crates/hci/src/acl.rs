@@ -105,10 +105,18 @@ impl AclPacket {
         let broadcast = ((handle_and_flags >> 14) & 0b11) as u8;
         let len = r.read_u16()? as usize;
         if r.remaining() < len {
-            return Err(CodecError::LengthMismatch { declared: len, actual: r.remaining() });
+            return Err(CodecError::LengthMismatch {
+                declared: len,
+                actual: r.remaining(),
+            });
         }
         let data = r.read_bytes(len)?.to_vec();
-        Ok(AclPacket { handle, boundary, broadcast, data })
+        Ok(AclPacket {
+            handle,
+            boundary,
+            broadcast,
+            data,
+        })
     }
 }
 
@@ -145,7 +153,10 @@ pub fn fragment(handle: ConnectionHandle, l2cap_bytes: &[u8]) -> Vec<AclPacket> 
 /// Returns a [`CodecError`] if the sequence is empty, does not start with a
 /// first-fragment, or contains an unexpected first-fragment in the middle.
 pub fn reassemble(packets: &[AclPacket]) -> Result<Vec<u8>, CodecError> {
-    let first = packets.first().ok_or(CodecError::UnexpectedEnd { wanted: 1, available: 0 })?;
+    let first = packets.first().ok_or(CodecError::UnexpectedEnd {
+        wanted: 1,
+        available: 0,
+    })?;
     if !first.boundary.is_first() {
         return Err(CodecError::InvalidValue {
             field: "packet_boundary_flag".to_owned(),
@@ -205,7 +216,10 @@ mod tests {
         }
         .to_bytes();
         bytes.truncate(bytes.len() - 3);
-        assert!(matches!(AclPacket::parse(&bytes), Err(CodecError::LengthMismatch { .. })));
+        assert!(matches!(
+            AclPacket::parse(&bytes),
+            Err(CodecError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -234,7 +248,9 @@ mod tests {
         let frags = fragment(ConnectionHandle(7), &payload);
         assert_eq!(frags.len(), payload.len().div_ceil(ACL_FRAGMENT_SIZE));
         assert!(frags[0].boundary.is_first());
-        assert!(frags[1..].iter().all(|f| f.boundary == BoundaryFlag::Continuation));
+        assert!(frags[1..]
+            .iter()
+            .all(|f| f.boundary == BoundaryFlag::Continuation));
         assert_eq!(reassemble(&frags).unwrap(), payload);
     }
 

@@ -27,7 +27,11 @@ pub struct AirMedium {
 impl AirMedium {
     /// Creates an empty medium driven by `clock`.
     pub fn new(clock: SimClock) -> Self {
-        AirMedium { devices: Vec::new(), clock, next_handle: 0x0001 }
+        AirMedium {
+            devices: Vec::new(),
+            clock,
+            next_handle: 0x0001,
+        }
     }
 
     /// Registers a device (consumes a boxed implementation).
@@ -79,7 +83,9 @@ impl AirMedium {
             .iter()
             .find(|d| d.lock().meta().addr == addr)
             .cloned()
-            .ok_or(BtError::UnknownDevice { addr: addr.to_string() })?;
+            .ok_or(BtError::UnknownDevice {
+                addr: addr.to_string(),
+            })?;
         if !device.lock().bluetooth_alive() {
             return Err(BtError::Connection(ConnectionError::Refused));
         }
@@ -195,7 +201,8 @@ impl AclLink {
         // Fragment/reassemble through the ACL layer; this exercises the same
         // path a real controller buffer would.
         let fragments = acl::fragment(self.handle, &frame.to_bytes());
-        self.clock.advance_micros(self.config.latency_micros * fragments.len() as u64);
+        self.clock
+            .advance_micros(self.config.latency_micros * fragments.len() as u64);
 
         if self.config.loss_probability > 0.0 && self.rng.chance(self.config.loss_probability) {
             // Frame lost on the air: the target never sees it.
@@ -259,8 +266,11 @@ mod tests {
     #[test]
     fn connect_unknown_device_fails() {
         let (mut air, _) = setup();
-        match air.connect(BdAddr::new([9, 9, 9, 9, 9, 9]), LinkConfig::ideal(), FuzzRng::seed_from(1))
-        {
+        match air.connect(
+            BdAddr::new([9, 9, 9, 9, 9, 9]),
+            LinkConfig::ideal(),
+            FuzzRng::seed_from(1),
+        ) {
             Err(err) => assert!(matches!(err, BtError::UnknownDevice { .. })),
             Ok(_) => panic!("connecting to an unknown address must fail"),
         }
@@ -269,7 +279,9 @@ mod tests {
     #[test]
     fn send_frame_roundtrips_through_echo_device() {
         let (mut air, addr) = setup();
-        let mut link = air.connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1)).unwrap();
+        let mut link = air
+            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
+            .unwrap();
         let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
         let responses = link.send_frame(&frame);
         assert_eq!(responses, vec![frame]);
@@ -281,7 +293,9 @@ mod tests {
     #[test]
     fn taps_see_both_directions() {
         let (mut air, addr) = setup();
-        let mut link = air.connect(addr, LinkConfig::default(), FuzzRng::seed_from(1)).unwrap();
+        let mut link = air
+            .connect(addr, LinkConfig::default(), FuzzRng::seed_from(1))
+            .unwrap();
         let tap = new_tap();
         link.attach_tap(tap.clone());
         let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
@@ -298,7 +312,9 @@ mod tests {
         let (mut air, addr) = setup();
         let clock = air.clock();
         let before = clock.now_micros();
-        let mut link = air.connect(addr, LinkConfig::default(), FuzzRng::seed_from(1)).unwrap();
+        let mut link = air
+            .connect(addr, LinkConfig::default(), FuzzRng::seed_from(1))
+            .unwrap();
         let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
         link.send_frame(&frame);
         assert!(clock.now_micros() > before);
@@ -307,7 +323,9 @@ mod tests {
     #[test]
     fn total_loss_drops_every_frame() {
         let (mut air, addr) = setup();
-        let mut link = air.connect(addr, LinkConfig::lossy(1.0), FuzzRng::seed_from(1)).unwrap();
+        let mut link = air
+            .connect(addr, LinkConfig::lossy(1.0), FuzzRng::seed_from(1))
+            .unwrap();
         let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
         for _ in 0..10 {
             assert!(link.send_frame(&frame).is_empty());
@@ -319,7 +337,9 @@ mod tests {
     #[test]
     fn large_frame_survives_fragmentation() {
         let (mut air, addr) = setup();
-        let mut link = air.connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1)).unwrap();
+        let mut link = air
+            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
+            .unwrap();
         let payload = vec![0x5A; 3000];
         let frame = L2capFrame::new(Cid::SIGNALING, payload);
         let responses = link.send_frame(&frame);

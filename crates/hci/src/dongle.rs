@@ -23,12 +23,22 @@ impl HciDongle {
     /// Creates a dongle over `air` with the default link configuration and a
     /// fixed RNG seed (use [`HciDongle::with_config`] to override both).
     pub fn new(air: AirMedium, clock: SimClock) -> Self {
-        HciDongle { air, clock, link_config: LinkConfig::default(), rng: FuzzRng::seed_from(0x0d0e) }
+        HciDongle {
+            air,
+            clock,
+            link_config: LinkConfig::default(),
+            rng: FuzzRng::seed_from(0x0d0e),
+        }
     }
 
     /// Creates a dongle with an explicit link configuration and RNG.
     pub fn with_config(air: AirMedium, clock: SimClock, config: LinkConfig, rng: FuzzRng) -> Self {
-        HciDongle { air, clock, link_config: config, rng }
+        HciDongle {
+            air,
+            clock,
+            link_config: config,
+            rng,
+        }
     }
 
     /// Scans for nearby devices (inquiry), returning their metadata.
@@ -98,8 +108,7 @@ mod tests {
     fn with_config_uses_custom_link_config() {
         let clock = SimClock::new();
         let air = AirMedium::new(clock.clone());
-        let dongle =
-            HciDongle::with_config(air, clock, LinkConfig::ideal(), FuzzRng::seed_from(7));
+        let dongle = HciDongle::with_config(air, clock, LinkConfig::ideal(), FuzzRng::seed_from(7));
         assert_eq!(dongle.link_config(), LinkConfig::ideal());
     }
 }

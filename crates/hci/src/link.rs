@@ -59,19 +59,30 @@ impl Default for LinkConfig {
         // Roughly 500-600 packets/second end-to-end for a simple exchange,
         // matching the order of magnitude the paper reports for L2Fuzz
         // (524 pps).
-        LinkConfig { latency_micros: 400, loss_probability: 0.0, tx_overhead_micros: 800 }
+        LinkConfig {
+            latency_micros: 400,
+            loss_probability: 0.0,
+            tx_overhead_micros: 800,
+        }
     }
 }
 
 impl LinkConfig {
     /// A perfectly reliable, zero-latency link; useful in unit tests.
     pub fn ideal() -> Self {
-        LinkConfig { latency_micros: 0, loss_probability: 0.0, tx_overhead_micros: 0 }
+        LinkConfig {
+            latency_micros: 0,
+            loss_probability: 0.0,
+            tx_overhead_micros: 0,
+        }
     }
 
     /// A lossy link dropping the given fraction of transmitted frames.
     pub fn lossy(loss_probability: f64) -> Self {
-        LinkConfig { loss_probability, ..LinkConfig::default() }
+        LinkConfig {
+            loss_probability,
+            ..LinkConfig::default()
+        }
     }
 }
 

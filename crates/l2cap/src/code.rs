@@ -283,7 +283,10 @@ mod tests {
             if c == CommandCode::FlowControlCreditInd {
                 assert!(!c.is_request() && !c.is_response());
             } else {
-                assert!(c.is_request() ^ c.is_response(), "{c} must be exactly one of req/rsp");
+                assert!(
+                    c.is_request() ^ c.is_response(),
+                    "{c} must be exactly one of req/rsp"
+                );
             }
         }
     }

@@ -368,12 +368,8 @@ impl Command {
             }
             Command::FlowControlCreditInd(_) => CommandCode::FlowControlCreditInd,
             Command::CreditBasedConnectionRequest(_) => CommandCode::CreditBasedConnectionRequest,
-            Command::CreditBasedConnectionResponse(_) => {
-                CommandCode::CreditBasedConnectionResponse
-            }
-            Command::CreditBasedReconfigureRequest(_) => {
-                CommandCode::CreditBasedReconfigureRequest
-            }
+            Command::CreditBasedConnectionResponse(_) => CommandCode::CreditBasedConnectionResponse,
+            Command::CreditBasedReconfigureRequest(_) => CommandCode::CreditBasedReconfigureRequest,
             Command::CreditBasedReconfigureResponse(_) => {
                 CommandCode::CreditBasedReconfigureResponse
             }
@@ -385,7 +381,10 @@ impl Command {
     pub fn code_byte(&self) -> u8 {
         match self {
             Command::Raw { code, .. } => *code,
-            other => other.code().expect("non-raw commands always have a code").value(),
+            other => other
+                .code()
+                .expect("non-raw commands always have a code")
+                .value(),
         }
     }
 
@@ -526,7 +525,10 @@ impl Command {
     pub fn decode(code: u8, data: &[u8]) -> Command {
         match Self::try_decode(code, data) {
             Some(cmd) => cmd,
-            None => Command::Raw { code, data: data.to_vec() },
+            None => Command::Raw {
+                code,
+                data: data.to_vec(),
+            },
         }
     }
 
@@ -552,14 +554,23 @@ impl Command {
                 let dcid = Cid(r.read_u16().ok()?);
                 let flags = r.read_u16().ok()?;
                 let options = ConfigOption::decode_all(&mut r).ok()?;
-                Command::ConfigureRequest(ConfigureRequest { dcid, flags, options })
+                Command::ConfigureRequest(ConfigureRequest {
+                    dcid,
+                    flags,
+                    options,
+                })
             }
             CommandCode::ConfigureResponse => {
                 let scid = Cid(r.read_u16().ok()?);
                 let flags = r.read_u16().ok()?;
                 let result = ConfigureResult::from_u16(r.read_u16().ok()?)?;
                 let options = ConfigOption::decode_all(&mut r).ok()?;
-                Command::ConfigureResponse(ConfigureResponse { scid, flags, result, options })
+                Command::ConfigureResponse(ConfigureResponse {
+                    scid,
+                    flags,
+                    result,
+                    options,
+                })
             }
             CommandCode::DisconnectionRequest => {
                 Command::DisconnectionRequest(DisconnectionRequest {
@@ -573,22 +584,20 @@ impl Command {
                     scid: Cid(r.read_u16().ok()?),
                 })
             }
-            CommandCode::EchoRequest => {
-                Command::EchoRequest(EchoRequest { data: r.read_rest().to_vec() })
-            }
-            CommandCode::EchoResponse => {
-                Command::EchoResponse(EchoResponse { data: r.read_rest().to_vec() })
-            }
-            CommandCode::InformationRequest => {
-                Command::InformationRequest(InformationRequest { info_type: r.read_u16().ok()? })
-            }
-            CommandCode::InformationResponse => {
-                Command::InformationResponse(InformationResponse {
-                    info_type: r.read_u16().ok()?,
-                    result: r.read_u16().ok()?,
-                    data: r.read_rest().to_vec(),
-                })
-            }
+            CommandCode::EchoRequest => Command::EchoRequest(EchoRequest {
+                data: r.read_rest().to_vec(),
+            }),
+            CommandCode::EchoResponse => Command::EchoResponse(EchoResponse {
+                data: r.read_rest().to_vec(),
+            }),
+            CommandCode::InformationRequest => Command::InformationRequest(InformationRequest {
+                info_type: r.read_u16().ok()?,
+            }),
+            CommandCode::InformationResponse => Command::InformationResponse(InformationResponse {
+                info_type: r.read_u16().ok()?,
+                result: r.read_u16().ok()?,
+                data: r.read_rest().to_vec(),
+            }),
             CommandCode::CreateChannelRequest => {
                 Command::CreateChannelRequest(CreateChannelRequest {
                     psm: Psm(r.read_u16().ok()?),
@@ -608,12 +617,10 @@ impl Command {
                 icid: Cid(r.read_u16().ok()?),
                 dest_controller_id: r.read_u8().ok()?,
             }),
-            CommandCode::MoveChannelResponse => {
-                Command::MoveChannelResponse(MoveChannelResponse {
-                    icid: Cid(r.read_u16().ok()?),
-                    result: MoveResult::from_u16(r.read_u16().ok()?)?,
-                })
-            }
+            CommandCode::MoveChannelResponse => Command::MoveChannelResponse(MoveChannelResponse {
+                icid: Cid(r.read_u16().ok()?),
+                result: MoveResult::from_u16(r.read_u16().ok()?)?,
+            }),
             CommandCode::MoveChannelConfirmationRequest => {
                 Command::MoveChannelConfirmationRequest(MoveChannelConfirmationRequest {
                     icid: Cid(r.read_u16().ok()?),
@@ -729,7 +736,10 @@ mod tests {
                 reason: RejectReason::InvalidCidInRequest,
                 data: vec![0x40, 0x00, 0x41, 0x00],
             }),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
             Command::ConnectionResponse(ConnectionResponse {
                 dcid: Cid(0x0041),
                 scid: Cid(0x0040),
@@ -755,7 +765,9 @@ mod tests {
                 dcid: Cid(0x0041),
                 scid: Cid(0x0040),
             }),
-            Command::EchoRequest(EchoRequest { data: vec![1, 2, 3] }),
+            Command::EchoRequest(EchoRequest {
+                data: vec![1, 2, 3],
+            }),
             Command::EchoResponse(EchoResponse { data: vec![] }),
             Command::InformationRequest(InformationRequest { info_type: 2 }),
             Command::InformationResponse(InformationResponse {
@@ -812,7 +824,10 @@ mod tests {
                 initial_credits: 10,
                 result: 0,
             }),
-            Command::FlowControlCreditInd(FlowControlCreditInd { cid: Cid(0x0040), credits: 5 }),
+            Command::FlowControlCreditInd(FlowControlCreditInd {
+                cid: Cid(0x0040),
+                credits: 5,
+            }),
             Command::CreditBasedConnectionRequest(CreditBasedConnectionRequest {
                 spsm: 0x0080,
                 mtu: 512,
@@ -849,7 +864,10 @@ mod tests {
 
     #[test]
     fn connection_request_wire_format() {
-        let cmd = Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) });
+        let cmd = Command::ConnectionRequest(ConnectionRequest {
+            psm: Psm::SDP,
+            scid: Cid(0x0040),
+        });
         assert_eq!(cmd.encode_data(), vec![0x01, 0x00, 0x40, 0x00]);
         assert_eq!(cmd.code_byte(), 0x02);
     }
@@ -857,7 +875,13 @@ mod tests {
     #[test]
     fn unknown_code_decodes_to_raw() {
         let cmd = Command::decode(0x7F, &[1, 2, 3]);
-        assert_eq!(cmd, Command::Raw { code: 0x7F, data: vec![1, 2, 3] });
+        assert_eq!(
+            cmd,
+            Command::Raw {
+                code: 0x7F,
+                data: vec![1, 2, 3]
+            }
+        );
         assert_eq!(cmd.code(), None);
         assert_eq!(cmd.code_byte(), 0x7F);
     }
@@ -886,7 +910,10 @@ mod tests {
         let cmd = Command::decode(0x02, &data);
         assert_eq!(
             cmd,
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) })
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040)
+            })
         );
     }
 
@@ -895,7 +922,10 @@ mod tests {
         let cmd = Command::ConfigureRequest(ConfigureRequest {
             dcid: Cid(0x0040),
             flags: 0x0001,
-            options: vec![ConfigOption::Mtu(0x2000), ConfigOption::FlushTimeout(0xFFFF)],
+            options: vec![
+                ConfigOption::Mtu(0x2000),
+                ConfigOption::FlushTimeout(0xFFFF),
+            ],
         });
         let data = cmd.encode_data();
         assert_eq!(Command::decode(0x04, &data), cmd);
@@ -908,7 +938,13 @@ mod tests {
             mtu: 256,
             mps: 64,
             initial_credits: 1,
-            scids: vec![Cid(0x0040), Cid(0x0041), Cid(0x0042), Cid(0x0043), Cid(0x0044)],
+            scids: vec![
+                Cid(0x0040),
+                Cid(0x0041),
+                Cid(0x0042),
+                Cid(0x0043),
+                Cid(0x0044),
+            ],
         });
         let data = cmd.encode_data();
         match Command::decode(0x17, &data) {

@@ -299,8 +299,14 @@ mod tests {
             assert_eq!(r.value(), v);
         }
         assert_eq!(RejectReason::from_u16(3), None);
-        assert_eq!(RejectReason::InvalidCidInRequest.to_string(), "invalid CID in request");
-        assert_eq!(RejectReason::SignalingMtuExceeded.to_string(), "signaling MTU exceeded");
+        assert_eq!(
+            RejectReason::InvalidCidInRequest.to_string(),
+            "invalid CID in request"
+        );
+        assert_eq!(
+            RejectReason::SignalingMtuExceeded.to_string(),
+            "signaling MTU exceeded"
+        );
     }
 
     #[test]

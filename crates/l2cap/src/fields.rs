@@ -101,7 +101,10 @@ impl FieldName {
     /// Returns `true` if the field is one of the "Channel ID in Payload"
     /// (CIDP) fields: SCID, DCID, ICID or the controller ID.
     pub const fn is_cidp(&self) -> bool {
-        matches!(self, FieldName::Scid | FieldName::Dcid | FieldName::Icid | FieldName::ContId)
+        matches!(
+            self,
+            FieldName::Scid | FieldName::Dcid | FieldName::Icid | FieldName::ContId
+        )
     }
 }
 
@@ -151,11 +154,19 @@ pub struct FieldSpec {
 
 impl FieldSpec {
     const fn fixed(name: FieldName, offset: usize, len: usize) -> FieldSpec {
-        FieldSpec { name, offset, len: Some(len) }
+        FieldSpec {
+            name,
+            offset,
+            len: Some(len),
+        }
     }
 
     const fn tail(name: FieldName, offset: usize) -> FieldSpec {
-        FieldSpec { name, offset, len: None }
+        FieldSpec {
+            name,
+            offset,
+            len: None,
+        }
     }
 
     /// Returns the classification of this field.
@@ -289,12 +300,18 @@ pub fn mutable_core_fields(code: CommandCode) -> Vec<FieldSpec> {
 
 /// Returns `true` if the command carries a PSM field.
 pub fn has_psm(code: CommandCode) -> bool {
-    data_field_layout(code).iter().any(|s| s.name == FieldName::Psm)
+    data_field_layout(code)
+        .iter()
+        .any(|s| s.name == FieldName::Psm)
 }
 
 /// Returns the CIDP fields (SCID/DCID/ICID/controller-ID) of a command.
 pub fn cidp_fields(code: CommandCode) -> Vec<FieldSpec> {
-    data_field_layout(code).iter().copied().filter(|s| s.name.is_cidp()).collect()
+    data_field_layout(code)
+        .iter()
+        .copied()
+        .filter(|s| s.name.is_cidp())
+        .collect()
 }
 
 /// The mutable-core values carried by one encoded command payload.
@@ -390,26 +407,45 @@ mod tests {
             FieldName::QoS,
             FieldName::Data,
         ];
-        let fixed: Vec<_> = all.iter().filter(|f| f.class() == FieldClass::Fixed).collect();
+        let fixed: Vec<_> = all
+            .iter()
+            .filter(|f| f.class() == FieldClass::Fixed)
+            .collect();
         assert_eq!(fixed, vec![&FieldName::HeaderCid]);
     }
 
     #[test]
     fn dependent_fields_match_paper_figure6() {
-        for f in [FieldName::PayloadLen, FieldName::Code, FieldName::Id, FieldName::DataLen] {
+        for f in [
+            FieldName::PayloadLen,
+            FieldName::Code,
+            FieldName::Id,
+            FieldName::DataLen,
+        ] {
             assert_eq!(f.class(), FieldClass::Dependent, "{f} must be dependent");
         }
     }
 
     #[test]
     fn mutable_core_set_matches_paper_figure6() {
-        let mc = [FieldName::Psm, FieldName::Scid, FieldName::Dcid, FieldName::Icid, FieldName::ContId];
+        let mc = [
+            FieldName::Psm,
+            FieldName::Scid,
+            FieldName::Dcid,
+            FieldName::Icid,
+            FieldName::ContId,
+        ];
         for f in mc {
             assert_eq!(f.class(), FieldClass::MutableCore, "{f} must be MC");
         }
         // CIDP = MC minus PSM.
         assert!(!FieldName::Psm.is_cidp());
-        for f in [FieldName::Scid, FieldName::Dcid, FieldName::Icid, FieldName::ContId] {
+        for f in [
+            FieldName::Scid,
+            FieldName::Dcid,
+            FieldName::Icid,
+            FieldName::ContId,
+        ] {
             assert!(f.is_cidp());
         }
     }
@@ -442,7 +478,10 @@ mod tests {
             let layout = data_field_layout(code);
             let mut prev_end = 0usize;
             for (i, spec) in layout.iter().enumerate() {
-                assert!(spec.offset >= prev_end, "{code}: field {i} overlaps previous");
+                assert!(
+                    spec.offset >= prev_end,
+                    "{code}: field {i} overlaps previous"
+                );
                 if let Some(len) = spec.len {
                     prev_end = spec.offset + len;
                 } else {
@@ -457,8 +496,11 @@ mod tests {
         use crate::command::{Command, ConnectionRequest, ConnectionResponse};
         use btcore::{Cid, Psm};
         // Connection request is 4 bytes of data; its layout says so too.
-        let data = Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x40) })
-            .encode_data();
+        let data = Command::ConnectionRequest(ConnectionRequest {
+            psm: Psm::SDP,
+            scid: Cid(0x40),
+        })
+        .encode_data();
         assert_eq!(data.len(), min_data_len(CommandCode::ConnectionRequest));
         let data = Command::ConnectionResponse(ConnectionResponse {
             dcid: Cid(0x41),
@@ -491,11 +533,17 @@ mod tests {
 
     #[test]
     fn commands_with_psm_are_exactly_the_connection_like_ones() {
-        let with_psm: Vec<CommandCode> =
-            CommandCode::ALL.iter().copied().filter(|c| has_psm(*c)).collect();
+        let with_psm: Vec<CommandCode> = CommandCode::ALL
+            .iter()
+            .copied()
+            .filter(|c| has_psm(*c))
+            .collect();
         assert_eq!(
             with_psm,
-            vec![CommandCode::ConnectionRequest, CommandCode::CreateChannelRequest]
+            vec![
+                CommandCode::ConnectionRequest,
+                CommandCode::CreateChannelRequest
+            ]
         );
     }
 
@@ -553,7 +601,10 @@ mod tests {
         assert_eq!(min_data_len(CommandCode::ConnectionResponse), 8);
         assert_eq!(min_data_len(CommandCode::ConfigureRequest), 4);
         assert_eq!(min_data_len(CommandCode::CreateChannelRequest), 5);
-        assert_eq!(min_data_len(CommandCode::MoveChannelConfirmationResponse), 2);
+        assert_eq!(
+            min_data_len(CommandCode::MoveChannelConfirmationResponse),
+            2
+        );
         assert_eq!(min_data_len(CommandCode::EchoRequest), 0);
     }
 }

@@ -80,15 +80,27 @@ impl Job {
     pub fn valid_commands(&self) -> Vec<CommandCode> {
         match self {
             Job::Closed | Job::Open => CommandCode::ALL.to_vec(),
-            Job::Connection => vec![CommandCode::ConnectionRequest, CommandCode::ConnectionResponse],
+            Job::Connection => vec![
+                CommandCode::ConnectionRequest,
+                CommandCode::ConnectionResponse,
+            ],
             Job::Creation => {
-                vec![CommandCode::CreateChannelRequest, CommandCode::CreateChannelResponse]
+                vec![
+                    CommandCode::CreateChannelRequest,
+                    CommandCode::CreateChannelResponse,
+                ]
             }
             Job::Configuration => {
-                vec![CommandCode::ConfigureRequest, CommandCode::ConfigureResponse]
+                vec![
+                    CommandCode::ConfigureRequest,
+                    CommandCode::ConfigureResponse,
+                ]
             }
             Job::Disconnection => {
-                vec![CommandCode::DisconnectionRequest, CommandCode::DisconnectionResponse]
+                vec![
+                    CommandCode::DisconnectionRequest,
+                    CommandCode::DisconnectionResponse,
+                ]
             }
             Job::Move => vec![
                 CommandCode::MoveChannelRequest,
@@ -199,19 +211,31 @@ mod tests {
         assert_eq!(Job::Open.valid_commands().len(), 26);
         assert_eq!(
             Job::Connection.valid_commands(),
-            vec![CommandCode::ConnectionRequest, CommandCode::ConnectionResponse]
+            vec![
+                CommandCode::ConnectionRequest,
+                CommandCode::ConnectionResponse
+            ]
         );
         assert_eq!(
             Job::Creation.valid_commands(),
-            vec![CommandCode::CreateChannelRequest, CommandCode::CreateChannelResponse]
+            vec![
+                CommandCode::CreateChannelRequest,
+                CommandCode::CreateChannelResponse
+            ]
         );
         assert_eq!(
             Job::Configuration.valid_commands(),
-            vec![CommandCode::ConfigureRequest, CommandCode::ConfigureResponse]
+            vec![
+                CommandCode::ConfigureRequest,
+                CommandCode::ConfigureResponse
+            ]
         );
         assert_eq!(
             Job::Disconnection.valid_commands(),
-            vec![CommandCode::DisconnectionRequest, CommandCode::DisconnectionResponse]
+            vec![
+                CommandCode::DisconnectionRequest,
+                CommandCode::DisconnectionResponse
+            ]
         );
         assert_eq!(Job::Move.valid_commands().len(), 4);
     }
@@ -221,7 +245,10 @@ mod tests {
         for job in Job::ALL {
             let strict: BTreeSet<_> = job.valid_commands().into_iter().collect();
             let generous: BTreeSet<_> = job.generous_valid_commands().into_iter().collect();
-            assert!(generous.is_superset(&strict), "{job}: generous must contain strict");
+            assert!(
+                generous.is_superset(&strict),
+                "{job}: generous must contain strict"
+            );
             assert!(generous.contains(&CommandCode::EchoRequest));
         }
         // For Closed/Open the generous set adds nothing (already all 26).

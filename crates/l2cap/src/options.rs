@@ -201,7 +201,10 @@ impl ConfigOption {
             (0x05, 1) => ConfigOption::Fcs(br.read_u8()?),
             (0x06, _) => ConfigOption::ExtendedFlowSpec(body.to_vec()),
             (0x07, 2) => ConfigOption::ExtendedWindowSize(br.read_u16()?),
-            _ => ConfigOption::Unknown { option_type, body: body.to_vec() },
+            _ => ConfigOption::Unknown {
+                option_type,
+                body: body.to_vec(),
+            },
         };
         Ok(opt)
     }
@@ -252,23 +255,32 @@ mod tests {
     fn all_structured_options_roundtrip() {
         roundtrip(ConfigOption::FlushTimeout(0xFFFF));
         roundtrip(ConfigOption::QoS(QoSFlowSpec::default()));
-        roundtrip(ConfigOption::RetransmissionAndFlowControl(RetransmissionConfig {
-            mode: 3,
-            tx_window: 8,
-            max_transmit: 3,
-            retransmission_timeout: 2000,
-            monitor_timeout: 12000,
-            mps: 1010,
-        }));
+        roundtrip(ConfigOption::RetransmissionAndFlowControl(
+            RetransmissionConfig {
+                mode: 3,
+                tx_window: 8,
+                max_transmit: 3,
+                retransmission_timeout: 2000,
+                monitor_timeout: 12000,
+                mps: 1010,
+            },
+        ));
         roundtrip(ConfigOption::Fcs(1));
         roundtrip(ConfigOption::ExtendedWindowSize(64));
         roundtrip(ConfigOption::ExtendedFlowSpec(vec![1, 2, 3, 4]));
-        roundtrip(ConfigOption::Unknown { option_type: 0x55, body: vec![0xAA, 0xBB] });
+        roundtrip(ConfigOption::Unknown {
+            option_type: 0x55,
+            body: vec![0xAA, 0xBB],
+        });
     }
 
     #[test]
     fn decode_all_handles_multiple_options() {
-        let opts = vec![ConfigOption::Mtu(672), ConfigOption::FlushTimeout(0xFFFF), ConfigOption::Fcs(0)];
+        let opts = vec![
+            ConfigOption::Mtu(672),
+            ConfigOption::FlushTimeout(0xFFFF),
+            ConfigOption::Fcs(0),
+        ];
         let bytes = ConfigOption::encode_all(&opts);
         let mut r = ByteReader::new(&bytes);
         let back = ConfigOption::decode_all(&mut r).unwrap();

@@ -43,7 +43,11 @@ pub struct L2capFrame {
 impl L2capFrame {
     /// Builds a well-formed frame whose declared length matches the payload.
     pub fn new(cid: Cid, payload: Vec<u8>) -> Self {
-        L2capFrame { declared_payload_len: payload.len() as u16, cid, payload }
+        L2capFrame {
+            declared_payload_len: payload.len() as u16,
+            cid,
+            payload,
+        }
     }
 
     /// Returns `true` if the declared payload length matches the bytes
@@ -72,7 +76,11 @@ impl L2capFrame {
         let declared_payload_len = r.read_u16()?;
         let cid = Cid(r.read_u16()?);
         let payload = r.read_rest().to_vec();
-        Ok(L2capFrame { declared_payload_len, cid, payload })
+        Ok(L2capFrame {
+            declared_payload_len,
+            cid,
+            payload,
+        })
     }
 
     /// Total number of bytes this frame occupies on the air.
@@ -109,7 +117,12 @@ impl SignalingPacket {
 
     /// Builds a packet from raw parts, declaring exactly `data.len()`.
     pub fn from_raw(identifier: Identifier, code: u8, data: Vec<u8>) -> Self {
-        SignalingPacket { identifier, code, declared_data_len: data.len() as u16, data }
+        SignalingPacket {
+            identifier,
+            code,
+            declared_data_len: data.len() as u16,
+            data,
+        }
     }
 
     /// Decodes the typed command carried by this packet (never fails; see
@@ -134,7 +147,10 @@ impl SignalingPacket {
         let structural = crate::code::CommandCode::from_u8(self.code)
             .map(|code| crate::fields::garbage_len(code, &self.data))
             .unwrap_or(0);
-        let beyond_declared = self.data.len().saturating_sub(usize::from(self.declared_data_len));
+        let beyond_declared = self
+            .data
+            .len()
+            .saturating_sub(usize::from(self.declared_data_len));
         structural.max(beyond_declared)
     }
 
@@ -160,7 +176,12 @@ impl SignalingPacket {
         let identifier = Identifier(r.read_u8()?);
         let declared_data_len = r.read_u16()?;
         let data = r.read_rest().to_vec();
-        Ok(SignalingPacket { identifier, code, declared_data_len, data })
+        Ok(SignalingPacket {
+            identifier,
+            code,
+            declared_data_len,
+            data,
+        })
     }
 
     /// Wraps this signalling packet in an L2CAP frame on the signalling
@@ -216,7 +237,10 @@ mod tests {
 
     #[test]
     fn signaling_packet_roundtrip() {
-        let cmd = Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) });
+        let cmd = Command::ConnectionRequest(ConnectionRequest {
+            psm: Psm::SDP,
+            scid: Cid(0x0040),
+        });
         let pkt = SignalingPacket::new(Identifier(1), cmd.clone());
         let back = SignalingPacket::parse(&pkt.to_bytes()).unwrap();
         assert_eq!(pkt, back);
@@ -328,6 +352,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_are_sane() {
         assert!(MIN_SIGNALING_MTU < DEFAULT_SIGNALING_MTU);
         assert_eq!(MAX_PAYLOAD_LEN, 0xFFFF);

@@ -31,7 +31,7 @@ pub const CIDP_RANGE: RangeInclusive<u16> = 0x0040..=0xFFFF;
 /// Returns `true` if `psm` belongs to Table IV's abnormal PSM space: one of
 /// the odd-MSB blocks, or any even value.
 pub fn is_abnormal_psm(psm: u16) -> bool {
-    if psm % 2 == 0 {
+    if psm.is_multiple_of(2) {
         return true;
     }
     ABNORMAL_PSM_BLOCKS.iter().any(|block| block.contains(&psm))
@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn well_known_psms_are_not_abnormal() {
         for psm in btcore::Psm::well_known() {
-            assert!(!is_abnormal_psm(psm.value()), "{psm} must not be in the abnormal space");
+            assert!(
+                !is_abnormal_psm(psm.value()),
+                "{psm} must not be in the abnormal space"
+            );
         }
         // A valid dynamic PSM is also normal.
         assert!(!is_abnormal_psm(0x1001));
@@ -106,9 +109,21 @@ mod tests {
     fn abnormal_psms_are_never_structurally_valid_or_scannable() {
         // The abnormal space and the structurally valid space are disjoint:
         // abnormal values would never appear in a port scan.
-        for psm in [0x0100u16, 0x0300, 0x0505, 0x0707, 0x0009 * 2, 0x0B0B, 0x0D01, 0x0002] {
+        for psm in [
+            0x0100u16,
+            0x0300,
+            0x0505,
+            0x0707,
+            0x0009 * 2,
+            0x0B0B,
+            0x0D01,
+            0x0002,
+        ] {
             assert!(is_abnormal_psm(psm));
-            assert!(!btcore::Psm(psm).is_valid() || ABNORMAL_PSM_BLOCKS.iter().any(|b| b.contains(&psm)));
+            assert!(
+                !btcore::Psm(psm).is_valid()
+                    || ABNORMAL_PSM_BLOCKS.iter().any(|b| b.contains(&psm))
+            );
         }
     }
 
@@ -143,7 +158,7 @@ mod tests {
         let mut saw_block = false;
         for _ in 0..500 {
             let v = random_abnormal_psm(&mut rng);
-            if v % 2 == 0 {
+            if v.is_multiple_of(2) {
                 saw_even = true;
             }
             if ABNORMAL_PSM_BLOCKS.iter().any(|b| b.contains(&v)) {

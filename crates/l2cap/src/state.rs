@@ -173,7 +173,11 @@ pub struct Transition {
 
 impl Transition {
     fn stay(state: ChannelState, action: Action) -> Transition {
-        Transition { action, passes_through: Vec::new(), next: state }
+        Transition {
+            action,
+            passes_through: Vec::new(),
+            next: state,
+        }
     }
 
     fn reject(state: ChannelState, reason: RejectReason) -> Transition {
@@ -231,7 +235,9 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
             passes_through: vec![S::WaitConfig],
             next: S::WaitConfig,
         },
-        (S::WaitConnect, _) => Transition::reject(S::WaitConnect, RejectReason::CommandNotUnderstood),
+        (S::WaitConnect, _) => {
+            Transition::reject(S::WaitConnect, RejectReason::CommandNotUnderstood)
+        }
         (S::WaitCreate, C::CreateChannelRequest) => Transition {
             action: Action::Respond(C::CreateChannelResponse),
             passes_through: vec![S::WaitConfig],
@@ -411,13 +417,20 @@ impl StateMachine {
     /// Creates a machine in `CLOSED` with eager configuration enabled (the
     /// behaviour of every mainstream stack).
     pub fn new() -> Self {
-        StateMachine { state: ChannelState::Closed, visited: vec![ChannelState::Closed], eager_config: true }
+        StateMachine {
+            state: ChannelState::Closed,
+            visited: vec![ChannelState::Closed],
+            eager_config: true,
+        }
     }
 
     /// Creates a machine with eager configuration disabled: the device never
     /// initiates its own Configuration Request and simply waits.
     pub fn without_eager_config() -> Self {
-        StateMachine { eager_config: false, ..StateMachine::new() }
+        StateMachine {
+            eager_config: false,
+            ..StateMachine::new()
+        }
     }
 
     /// Current channel state.
@@ -451,8 +464,10 @@ impl StateMachine {
 
         // Refused connection / creation: pass through the deciding state and
         // fall back to CLOSED with a refusal response.
-        if matches!(code, CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest)
-            && self.state == ChannelState::Closed
+        if matches!(
+            code,
+            CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
+        ) && self.state == ChannelState::Closed
             && !accept
         {
             let deciding = if code == CommandCode::ConnectionRequest {
@@ -461,7 +476,9 @@ impl StateMachine {
                 ChannelState::WaitCreate
             };
             self.visit(deciding, &mut visited);
-            actions.push(Action::Respond(code.expected_response().expect("requests have responses")));
+            actions.push(Action::Respond(
+                code.expected_response().expect("requests have responses"),
+            ));
             self.visit(ChannelState::Closed, &mut visited);
             return Reaction { actions, visited };
         }
@@ -521,7 +538,10 @@ mod tests {
             ChannelState::WaitFinalRsp,
             ChannelState::WaitControlInd,
         ] {
-            assert!(!s.reachable_from_initiator(), "{s} must not be initiator-reachable");
+            assert!(
+                !s.reachable_from_initiator(),
+                "{s} must not be initiator-reachable"
+            );
         }
         assert!(ChannelState::Open.reachable_from_initiator());
     }
@@ -547,8 +567,15 @@ mod tests {
             CommandCode::MoveChannelConfirmationResponse,
         ] {
             let t = spec_transition(ChannelState::WaitConnect, code);
-            assert!(matches!(t.action, Action::Reject(_)), "{code} must be rejected in WAIT_CONNECT");
-            assert_eq!(t.next, ChannelState::WaitConnect, "{code} must not transition");
+            assert!(
+                matches!(t.action, Action::Reject(_)),
+                "{code} must be rejected in WAIT_CONNECT"
+            );
+            assert_eq!(
+                t.next,
+                ChannelState::WaitConnect,
+                "{code} must not transition"
+            );
         }
     }
 
@@ -566,7 +593,10 @@ mod tests {
 
     #[test]
     fn le_only_commands_are_rejected_on_br_edr() {
-        let t = spec_transition(ChannelState::Open, CommandCode::LeCreditBasedConnectionRequest);
+        let t = spec_transition(
+            ChannelState::Open,
+            CommandCode::LeCreditBasedConnectionRequest,
+        );
         assert_eq!(t.action, Action::Reject(RejectReason::CommandNotUnderstood));
     }
 
@@ -574,15 +604,21 @@ mod tests {
     fn connect_then_full_config_reaches_open() {
         let mut sm = StateMachine::new();
         let r = sm.on_command(CommandCode::ConnectionRequest, true);
-        assert!(r.actions.contains(&Action::Respond(CommandCode::ConnectionResponse)));
+        assert!(r
+            .actions
+            .contains(&Action::Respond(CommandCode::ConnectionResponse)));
         assert_eq!(sm.state(), ChannelState::WaitConfig);
 
         // Peer sends its Configuration Request -> the eager device first
         // fires its own Configuration Request, then answers, and waits for
         // the response to its own request.
         let r = sm.on_command(CommandCode::ConfigureRequest, true);
-        assert!(r.actions.contains(&Action::Initiate(CommandCode::ConfigureRequest)));
-        assert!(r.actions.contains(&Action::Respond(CommandCode::ConfigureResponse)));
+        assert!(r
+            .actions
+            .contains(&Action::Initiate(CommandCode::ConfigureRequest)));
+        assert!(r
+            .actions
+            .contains(&Action::Respond(CommandCode::ConfigureResponse)));
         assert!(r.visited.contains(&ChannelState::WaitConfigReqRsp));
         assert_eq!(sm.state(), ChannelState::WaitConfigRsp);
 
@@ -685,8 +721,10 @@ mod tests {
         sm.on_command(CommandCode::MoveChannelConfirmationRequest, true);
 
         let visited: BTreeSet<ChannelState> = sm.visited().iter().copied().collect();
-        let reachable: BTreeSet<ChannelState> =
-            ChannelState::REACHABLE_FROM_INITIATOR.iter().copied().collect();
+        let reachable: BTreeSet<ChannelState> = ChannelState::REACHABLE_FROM_INITIATOR
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(visited, reachable);
         assert_eq!(visited.len(), 13);
     }

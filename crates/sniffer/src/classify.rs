@@ -81,17 +81,26 @@ mod tests {
     fn well_formed_packets_are_not_malformed() {
         let frame = signaling_frame(
             Identifier(1),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x0040) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
         );
         assert!(!is_malformed(&frame));
         let frame = signaling_frame(
             Identifier(2),
-            Command::EchoRequest(EchoRequest { data: vec![1, 2, 3] }),
+            Command::EchoRequest(EchoRequest {
+                data: vec![1, 2, 3],
+            }),
         );
         assert!(!is_malformed(&frame));
         let frame = signaling_frame(
             Identifier(3),
-            Command::ConfigureRequest(ConfigureRequest { dcid: Cid(0x0040), flags: 0, options: vec![] }),
+            Command::ConfigureRequest(ConfigureRequest {
+                dcid: Cid(0x0040),
+                flags: 0,
+                options: vec![],
+            }),
         );
         assert!(!is_malformed(&frame));
     }
@@ -111,7 +120,10 @@ mod tests {
     fn abnormal_psm_is_malformed() {
         let frame = signaling_frame(
             Identifier(1),
-            Command::ConnectionRequest(ConnectionRequest { psm: Psm(0x0101), scid: Cid(0x0040) }),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm(0x0101),
+                scid: Cid(0x0040),
+            }),
         );
         assert!(is_malformed(&frame));
     }

@@ -46,8 +46,12 @@ impl StateCoverage {
             if !record.frame.cid.is_signaling() {
                 continue;
             }
-            let Ok(packet) = parse_signaling(&record.frame) else { continue };
-            let Some(code) = CommandCode::from_u8(packet.code) else { continue };
+            let Ok(packet) = parse_signaling(&record.frame) else {
+                continue;
+            };
+            let Some(code) = CommandCode::from_u8(packet.code) else {
+                continue;
+            };
             let command = packet.command();
 
             match record.direction {
@@ -83,12 +87,26 @@ impl StateCoverage {
                 },
                 Direction::Rx => match &command {
                     Command::ConnectionResponse(rsp) => {
-                        settle_connect(&mut channels, &mut pending_connects, &mut covered,
-                            rsp.scid, rsp.dcid, rsp.result.is_refusal(), false);
+                        settle_connect(
+                            &mut channels,
+                            &mut pending_connects,
+                            &mut covered,
+                            rsp.scid,
+                            rsp.dcid,
+                            rsp.result.is_refusal(),
+                            false,
+                        );
                     }
                     Command::CreateChannelResponse(rsp) => {
-                        settle_connect(&mut channels, &mut pending_connects, &mut covered,
-                            rsp.scid, rsp.dcid, rsp.result.is_refusal(), true);
+                        settle_connect(
+                            &mut channels,
+                            &mut pending_connects,
+                            &mut covered,
+                            rsp.scid,
+                            rsp.dcid,
+                            rsp.result.is_refusal(),
+                            true,
+                        );
                     }
                     _ => {}
                 },
@@ -103,7 +121,11 @@ impl StateCoverage {
 
     /// The covered states in specification order.
     pub fn states(&self) -> Vec<ChannelState> {
-        ChannelState::ALL.iter().copied().filter(|s| self.covered.contains(s)).collect()
+        ChannelState::ALL
+            .iter()
+            .copied()
+            .filter(|s| self.covered.contains(s))
+            .collect()
     }
 
     /// Number of covered states (of 19).
@@ -136,7 +158,13 @@ fn resolve_machine<'a>(
     let idx = channels
         .iter()
         .position(|(cids, _)| cidp.iter().any(|v| cids.contains(v)))
-        .or_else(|| if channels.is_empty() { None } else { Some(channels.len() - 1) })?;
+        .or_else(|| {
+            if channels.is_empty() {
+                None
+            } else {
+                Some(channels.len() - 1)
+            }
+        })?;
     Some(&mut channels[idx].1)
 }
 
@@ -150,10 +178,15 @@ fn settle_connect(
     refused: bool,
     is_create: bool,
 ) {
-    let code =
-        if is_create { CommandCode::CreateChannelRequest } else { CommandCode::ConnectionRequest };
+    let code = if is_create {
+        CommandCode::CreateChannelRequest
+    } else {
+        CommandCode::ConnectionRequest
+    };
     // Match the response to the oldest pending request of the same kind.
-    let pos = pending.iter().position(|(s, c)| *c == is_create && *s == scid.value());
+    let pos = pending
+        .iter()
+        .position(|(s, c)| *c == is_create && *s == scid.value());
     if let Some(pos) = pos {
         pending.remove(pos);
     }
@@ -199,7 +232,13 @@ mod tests {
 
     fn connect_exchange(scid: u16, dcid: u16, base_ts: u64) -> Vec<PacketRecord> {
         vec![
-            tx(base_ts, Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(scid) })),
+            tx(
+                base_ts,
+                Command::ConnectionRequest(ConnectionRequest {
+                    psm: Psm::SDP,
+                    scid: Cid(scid),
+                }),
+            ),
             rx(
                 base_ts + 1,
                 Command::ConnectionResponse(ConnectionResponse {
@@ -236,7 +275,11 @@ mod tests {
         let mut records = connect_exchange(0x0040, 0x0041, 0);
         records.push(tx(
             10,
-            Command::ConfigureRequest(ConfigureRequest { dcid: Cid(0x0041), flags: 0, options: vec![] }),
+            Command::ConfigureRequest(ConfigureRequest {
+                dcid: Cid(0x0041),
+                flags: 0,
+                options: vec![],
+            }),
         ));
         records.push(tx(
             20,
@@ -249,7 +292,10 @@ mod tests {
         ));
         records.push(tx(
             30,
-            Command::DisconnectionRequest(DisconnectionRequest { dcid: Cid(0x0041), scid: Cid(0x0040) }),
+            Command::DisconnectionRequest(DisconnectionRequest {
+                dcid: Cid(0x0041),
+                scid: Cid(0x0040),
+            }),
         ));
         let cov = StateCoverage::from_trace(&Trace::from_records(records));
         assert!(cov.covers(ChannelState::Open));
@@ -261,7 +307,13 @@ mod tests {
     #[test]
     fn refused_connection_still_covers_wait_connect() {
         let records = vec![
-            tx(0, Command::ConnectionRequest(ConnectionRequest { psm: Psm(0x0F0F), scid: Cid(0x0040) })),
+            tx(
+                0,
+                Command::ConnectionRequest(ConnectionRequest {
+                    psm: Psm(0x0F0F),
+                    scid: Cid(0x0040),
+                }),
+            ),
             rx(
                 1,
                 Command::ConnectionResponse(ConnectionResponse {

@@ -47,15 +47,21 @@ impl MetricsSummary {
     /// Computes the summary over a trace.
     pub fn from_trace(trace: &Trace) -> MetricsSummary {
         let transmitted = trace.transmitted_count();
-        let malformed = trace.transmitted().filter(|r| is_malformed(&r.frame)).count();
+        let malformed = trace
+            .transmitted()
+            .filter(|r| is_malformed(&r.frame))
+            .count();
         let received = trace.received_count();
         let rejections = trace.received().filter(|r| is_rejection(&r.frame)).count();
 
         let mp_ratio = ratio(malformed, transmitted);
         let pr_ratio = ratio(rejections, received);
         let duration_secs = trace.duration_micros() as f64 / 1_000_000.0;
-        let packets_per_second =
-            if duration_secs > 0.0 { transmitted as f64 / duration_secs } else { 0.0 };
+        let packets_per_second = if duration_secs > 0.0 {
+            transmitted as f64 / duration_secs
+        } else {
+            0.0
+        };
 
         MetricsSummary {
             transmitted,
@@ -92,13 +98,13 @@ fn ratio(num: usize, den: usize) -> f64 {
 /// Cumulative malformed-packet series over transmitted packets (Fig. 8),
 /// sampled every `step` packets.
 pub fn malformed_series(trace: &Trace, step: usize) -> Vec<CumulativePoint> {
-    cumulative(trace, Direction::Tx, step, |frame| is_malformed(frame))
+    cumulative(trace, Direction::Tx, step, is_malformed)
 }
 
 /// Cumulative rejection series over received packets (Fig. 9), sampled every
 /// `step` packets.
 pub fn rejection_series(trace: &Trace, step: usize) -> Vec<CumulativePoint> {
-    cumulative(trace, Direction::Rx, step, |frame| is_rejection(frame))
+    cumulative(trace, Direction::Rx, step, is_rejection)
 }
 
 fn cumulative(
@@ -116,11 +122,11 @@ fn cumulative(
         if pred(&record.frame) {
             matching += 1;
         }
-        if packets % step == 0 {
+        if packets.is_multiple_of(step) {
             points.push(CumulativePoint { packets, matching });
         }
     }
-    if packets % step != 0 {
+    if !packets.is_multiple_of(step) {
         points.push(CumulativePoint { packets, matching });
     }
     points
@@ -141,7 +147,10 @@ mod tests {
             timestamp_micros: ts,
             frame: signaling_frame(
                 Identifier(1),
-                Command::ConnectionRequest(ConnectionRequest { psm: Psm::SDP, scid: Cid(0x40) }),
+                Command::ConnectionRequest(ConnectionRequest {
+                    psm: Psm::SDP,
+                    scid: Cid(0x40),
+                }),
             ),
         }
     }
@@ -153,7 +162,11 @@ mod tests {
             declared_data_len: 8,
             data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A],
         };
-        PacketRecord { direction: Direction::Tx, timestamp_micros: ts, frame: packet.into_frame() }
+        PacketRecord {
+            direction: Direction::Tx,
+            timestamp_micros: ts,
+            frame: packet.into_frame(),
+        }
     }
 
     fn rx_reject(ts: u64) -> PacketRecord {

@@ -17,7 +17,9 @@ impl Trace {
 
     /// Builds a trace by draining the records accumulated in a link tap.
     pub fn from_tap(tap: &SharedTap) -> Self {
-        Trace { records: tap.lock().clone() }
+        Trace {
+            records: tap.lock().clone(),
+        }
     }
 
     /// Builds a trace from raw records.
@@ -68,7 +70,9 @@ impl Trace {
     /// Virtual time spanned by the capture, in microseconds.
     pub fn duration_micros(&self) -> u64 {
         match (self.records.first(), self.records.last()) {
-            (Some(first), Some(last)) => last.timestamp_micros.saturating_sub(first.timestamp_micros),
+            (Some(first), Some(last)) => {
+                last.timestamp_micros.saturating_sub(first.timestamp_micros)
+            }
             _ => 0,
         }
     }

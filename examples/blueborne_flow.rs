@@ -20,14 +20,21 @@ fn main() {
     let profile = DeviceProfile::table5(ProfileId::D8);
     let (_device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
     air.register(adapter);
-    let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(6)).unwrap();
+    let mut link = air
+        .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(6))
+        .unwrap();
     let tap = new_tap();
     link.attach_tap(tap.clone());
 
     // ConnectionRequest (PSM: SDP) -> state transition without pairing.
     let mut guide = StateGuide::new();
-    let ctx = guide.open_channel(&mut link, Psm::SDP, false).expect("SDP connect");
-    println!("CLOSED -> configuration job without pairing (DCID {})", ctx.dcid);
+    let ctx = guide
+        .open_channel(&mut link, Psm::SDP, false)
+        .expect("SDP connect");
+    println!(
+        "CLOSED -> configuration job without pairing (DCID {})",
+        ctx.dcid
+    );
 
     // Normal Configuration Request.
     guide.send_configure_request(&mut link, ctx);
@@ -38,9 +45,17 @@ fn main() {
     data.extend_from_slice(&[0x04, 0x00]); // result: pending
     let declared = data.len() as u16;
     data.extend_from_slice(&[0x41; 24]); // overflow bytes
-    let malformed = SignalingPacket { identifier: Identifier(9), code: 0x05, declared_data_len: declared, data };
+    let malformed = SignalingPacket {
+        identifier: Identifier(9),
+        code: 0x05,
+        declared_data_len: declared,
+        data,
+    };
     let responses = link.send_frame(&malformed.into_frame());
-    println!("malformed Configuration Response sent; {} response frame(s)", responses.len());
+    println!(
+        "malformed Configuration Response sent; {} response frame(s)",
+        responses.len()
+    );
     for frame in &responses {
         if let Ok(sig) = parse_signaling(frame) {
             println!("  target answered with {:?}", sig.command().code());
@@ -48,5 +63,10 @@ fn main() {
     }
 
     let trace = Trace::from_tap(&tap);
-    println!("exchange captured: {} packets ({} tx / {} rx)", trace.len(), trace.transmitted_count(), trace.received_count());
+    println!(
+        "exchange captured: {} packets ({} tx / {} rx)",
+        trace.len(),
+        trace.transmitted_count(),
+        trace.received_count()
+    );
 }

@@ -22,13 +22,20 @@ fn main() {
     let profile = DeviceProfile::table5(ProfileId::D2);
     let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
     air.register(adapter);
-    let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(4)).unwrap();
+    let mut link = air
+        .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(4))
+        .unwrap();
 
     // Step 1: connection to the SDP port (no pairing), entering the
     // configuration job.
     let mut guide = StateGuide::new();
-    let ctx = guide.open_channel(&mut link, Psm::SDP, false).expect("SDP connect");
-    println!("connected: our SCID {} / target DCID {}", ctx.scid, ctx.dcid);
+    let ctx = guide
+        .open_channel(&mut link, Psm::SDP, false)
+        .expect("SDP connect");
+    println!(
+        "connected: our SCID {} / target DCID {}",
+        ctx.scid, ctx.dcid
+    );
 
     // Step 2: malformed Configuration Requests — DCID value from the normal
     // range but ignoring the allocation, plus a garbage tail (Fig. 7).
@@ -39,7 +46,9 @@ fn main() {
             identifier: Identifier((attempts % 250 + 1) as u8),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![
+                0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
+            ],
         };
         link.send_frame(&packet.into_frame());
         if attempts > 10_000 {

@@ -5,14 +5,18 @@
 //! Run with: `cargo run --example compare_fuzzers` (set `L2FUZZ_BUDGET` to
 //! change the per-fuzzer packet budget).
 
-
 fn main() {
     // The heavy lifting lives in the bench crate's harness; this example
     // keeps the budget small so it finishes quickly.
-    let budget: usize =
-        std::env::var("L2FUZZ_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(3_000);
+    let budget: usize = std::env::var("L2FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_000);
     println!("Comparing four fuzzers on D2 (Pixel 3), {budget} packets each\n");
-    println!("{:<12}{:>9}{:>9}{:>9}{:>11}{:>9}", "Fuzzer", "MP", "PR", "ME", "pps", "states");
+    println!(
+        "{:<12}{:>9}{:>9}{:>9}{:>11}{:>9}",
+        "Fuzzer", "MP", "PR", "ME", "pps", "states"
+    );
     for run in bench::run_comparison(budget, 0xC0FE) {
         let m = &run.metrics;
         println!(

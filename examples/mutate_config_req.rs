@@ -16,7 +16,11 @@ fn main() {
     println!("garbage bytes   : {}", mutated.garbage_len());
 
     let mut mutator = CoreFieldMutator::new(FuzzRng::seed_from(7));
-    let ctx = ChannelContext { scid: Cid(0x0040), dcid: Cid(0x0040), psm: Psm::SDP };
+    let ctx = ChannelContext {
+        scid: Cid(0x0040),
+        dcid: Cid(0x0040),
+        psm: Psm::SDP,
+    };
     println!("\nGenerated Config Req mutations:");
     for i in 1..=5u8 {
         let pkt = mutator.mutate(CommandCode::ConfigureRequest, &ctx, Identifier(i));

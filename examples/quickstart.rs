@@ -38,10 +38,16 @@ fn main() {
     println!("target        : {}", report.target);
     println!("chosen port   : {:?}", report.scan.chosen_port);
     println!("states tested : {}", report.states_tested.len());
-    println!("packets sent  : {} ({} malformed)", report.packets_sent, report.malformed_sent);
+    println!(
+        "packets sent  : {} ({} malformed)",
+        report.packets_sent, report.malformed_sent
+    );
     println!("vulnerable    : {}", report.vulnerable());
     if let Some(finding) = report.findings.first() {
-        println!("finding       : {} in {} ({})", finding.evidence.description, finding.state, finding.command);
+        println!(
+            "finding       : {} in {} ({})",
+            finding.evidence.description, finding.state, finding.command
+        );
         println!("elapsed       : {}", finding.elapsed_display());
     }
     for dump in device.lock().crash_dumps() {
@@ -51,6 +57,9 @@ fn main() {
     let trace = Trace::from_tap(&tap);
     let metrics = MetricsSummary::from_trace(&trace);
     println!("{}", metrics.table_row("L2Fuzz"));
-    println!("state coverage: {}/19", StateCoverage::from_trace(&trace).count());
+    println!(
+        "state coverage: {}/19",
+        StateCoverage::from_trace(&trace).count()
+    );
     let _ = device.lock().meta();
 }

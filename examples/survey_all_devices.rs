@@ -8,9 +8,14 @@ use bench::run_table6_campaign;
 use btstack::profiles::ProfileId;
 
 fn main() {
-    let max_campaigns: usize =
-        std::env::var("L2FUZZ_MAX_CAMPAIGNS").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
-    println!("{:<5}{:<16}{:<7}{:<10}{:<12}{:<10}", "Dev", "Name", "Vuln?", "Kind", "Elapsed", "Packets");
+    let max_campaigns: usize = std::env::var("L2FUZZ_MAX_CAMPAIGNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    println!(
+        "{:<5}{:<16}{:<7}{:<10}{:<12}{:<10}",
+        "Dev", "Name", "Vuln?", "Kind", "Elapsed", "Packets"
+    );
     for (i, id) in ProfileId::ALL.iter().enumerate() {
         let report = run_table6_campaign(*id, 77 + i as u64, max_campaigns);
         let (vuln, kind, elapsed) = match report.findings.first() {
@@ -19,7 +24,12 @@ fn main() {
         };
         println!(
             "{:<5}{:<16}{:<7}{:<10}{:<12}{:<10}",
-            id.to_string(), report.target.name, vuln, kind, elapsed, report.packets_sent
+            id.to_string(),
+            report.target.name,
+            vuln,
+            kind,
+            elapsed,
+            report.packets_sent
         );
     }
 }

@@ -3,10 +3,23 @@
 //! This crate only exists to host the runnable examples under `examples/` and
 //! the cross-crate integration tests under `tests/`; the functionality lives
 //! in the member crates (`btcore`, `l2cap`, `hci`, `btstack`, `l2fuzz`,
-//! `baselines`, `sniffer`).
+//! `baselines`, `sniffer`, `bench`).
+//!
+//! Every member is re-exported, so depending on `l2fuzz-repro` alone gives
+//! access to the whole reproduction:
+//!
+//! ```
+//! use l2fuzz_repro::{btcore, l2cap, l2fuzz};
+//!
+//! let addr: btcore::BdAddr = "AA:BB:CC:11:22:33".parse().unwrap();
+//! assert_eq!(addr.oui().to_string(), "AA:BB:CC");
+//! assert!(l2cap::ranges::is_abnormal_psm(btcore::Psm(0x0002).0));
+//! assert_eq!(l2fuzz::FuzzConfig::default().seed, l2fuzz::FuzzConfig::default().seed);
+//! ```
 
 #![forbid(unsafe_code)]
 
+pub use ::bench;
 pub use baselines;
 pub use btcore;
 pub use btstack;

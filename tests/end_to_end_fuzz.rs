@@ -20,11 +20,20 @@ fn fuzz_device(id: ProfileId, seed: u64) -> (FuzzReport, Trace, HostStatus) {
     let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(seed)));
     air.register(adapter);
     let meta = device.lock().meta();
-    let mut link = air.connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(seed + 1)).unwrap();
+    let mut link = air
+        .connect(
+            profile.addr,
+            LinkConfig::default(),
+            FuzzRng::seed_from(seed + 1),
+        )
+        .unwrap();
     let tap = new_tap();
     link.attach_tap(tap.clone());
     let mut oracle = DeviceOracle::new(device.clone());
-    let config = FuzzConfig { seed, ..FuzzConfig::default() };
+    let config = FuzzConfig {
+        seed,
+        ..FuzzConfig::default()
+    };
     let report = L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut oracle));
     let status = device.lock().status();
     (report, Trace::from_tap(&tap), status)
@@ -59,11 +68,18 @@ fn airpods_crash_is_found_quickly() {
 
 #[test]
 fn hardened_devices_survive_a_full_campaign() {
-    for (id, seed) in [(ProfileId::D4, 31), (ProfileId::D6, 32), (ProfileId::D7, 33)] {
+    for (id, seed) in [
+        (ProfileId::D4, 31),
+        (ProfileId::D6, 32),
+        (ProfileId::D7, 33),
+    ] {
         let (report, trace, status) = fuzz_device(id, seed);
         assert!(!report.vulnerable(), "{id} must survive");
         assert_eq!(status, HostStatus::Running);
-        assert!(trace.transmitted_count() > 300, "{id} must have been exercised");
+        assert!(
+            trace.transmitted_count() > 300,
+            "{id} must have been exercised"
+        );
     }
 }
 

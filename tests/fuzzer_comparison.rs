@@ -5,15 +5,18 @@
 #[test]
 fn comparison_ordering_matches_table7_and_fig10() {
     let runs = bench::run_comparison(3_000, 7);
-    let by_name: std::collections::HashMap<_, _> =
-        runs.iter().map(|r| (r.name, r)).collect();
+    let by_name: std::collections::HashMap<_, _> = runs.iter().map(|r| (r.name, r)).collect();
     let l2fuzz = &by_name["L2Fuzz"];
     let defensics = &by_name["Defensics"];
     let bfuzz = &by_name["BFuzz"];
     let bss = &by_name["BSS"];
 
     // Table VII shape.
-    assert!(l2fuzz.metrics.mp_ratio > 0.3, "L2Fuzz MP {:.2}", l2fuzz.metrics.mp_ratio);
+    assert!(
+        l2fuzz.metrics.mp_ratio > 0.3,
+        "L2Fuzz MP {:.2}",
+        l2fuzz.metrics.mp_ratio
+    );
     assert!(defensics.metrics.mp_ratio < 0.1);
     assert!(bss.metrics.mp_ratio == 0.0);
     assert!(bfuzz.metrics.pr_ratio > 0.6);

@@ -26,12 +26,18 @@ fn table2_style_rejections_hold_for_every_wait_state() {
         (ChannelState::WaitConnect, CommandCode::MoveChannelRequest),
         (ChannelState::WaitCreate, CommandCode::ConfigureRequest),
         (ChannelState::WaitDisconnect, CommandCode::ConnectionRequest),
-        (ChannelState::WaitMoveConfirm, CommandCode::ConnectionRequest),
+        (
+            ChannelState::WaitMoveConfirm,
+            CommandCode::ConnectionRequest,
+        ),
         (ChannelState::WaitConfigRsp, CommandCode::MoveChannelRequest),
     ];
     for (state, code) in cases {
         let t = spec_transition(state, code);
-        assert!(matches!(t.action, Action::Reject(_)), "{code} in {state} must be rejected");
+        assert!(
+            matches!(t.action, Action::Reject(_)),
+            "{code} in {state} must be rejected"
+        );
         assert_eq!(t.next, state);
     }
 }
