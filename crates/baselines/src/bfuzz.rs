@@ -12,36 +12,45 @@ use hci::air::AclLink;
 use l2cap::command::{Command, ConfigureRequest, ConnectionRequest, DisconnectionRequest};
 use l2cap::options::ConfigOption;
 use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
-use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
+use l2fuzz::report::FuzzReport;
 use std::time::Duration;
 
 /// Replay-and-mutate baseline fuzzer.
+#[derive(Debug)]
 pub struct BFuzzFuzzer {
-    clock: SimClock,
-    rng: FuzzRng,
     next_scid: u16,
 }
 
+impl Default for BFuzzFuzzer {
+    fn default() -> Self {
+        BFuzzFuzzer::new()
+    }
+}
+
 impl BFuzzFuzzer {
-    /// Creates the fuzzer.
-    pub fn new(clock: SimClock, rng: FuzzRng) -> Self {
-        BFuzzFuzzer {
-            clock,
-            rng,
-            next_scid: 0x0240,
-        }
+    /// Creates the fuzzer; clock, link and RNG stream come from the campaign
+    /// context.
+    pub fn new() -> Self {
+        BFuzzFuzzer { next_scid: 0x0240 }
     }
 
-    fn send_cmd(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
-        self.clock.advance(Duration::from_micros(1_200));
+    fn send_cmd(
+        &mut self,
+        clock: &SimClock,
+        link: &mut AclLink,
+        id: u8,
+        command: Command,
+    ) -> Vec<Command> {
+        clock.advance(Duration::from_micros(1_200));
         link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
             .iter()
             .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
             .collect()
     }
 
-    fn send_raw(&mut self, link: &mut AclLink, packet: SignalingPacket) {
-        self.clock.advance(Duration::from_micros(1_200));
+    fn send_raw(&mut self, clock: &SimClock, link: &mut AclLink, packet: SignalingPacket) {
+        clock.advance(Duration::from_micros(1_200));
         let _ = link.send_frame(&packet.into_frame());
     }
 }
@@ -51,9 +60,10 @@ impl Fuzzer for BFuzzFuzzer {
         "BFuzz"
     }
 
-    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
-        let start = link.frames_sent();
-        while (link.frames_sent() - start) < max_packets as u64 {
+    fn fuzz(&mut self, ctx: &mut FuzzCtx<'_>) -> Option<FuzzReport> {
+        let clock = ctx.clock.clone();
+        let mut rng: FuzzRng = ctx.rng(0xBF);
+        while !ctx.budget_exhausted() {
             let scid = Cid(self.next_scid);
             self.next_scid = self.next_scid.wrapping_add(1).max(0x0240);
 
@@ -61,7 +71,8 @@ impl Fuzzer for BFuzzFuzzer {
             // the seed exchange its corpus was captured from.  BFuzz never
             // completes the handshake.
             let responses = self.send_cmd(
-                link,
+                &clock,
+                ctx.link,
                 1,
                 Command::ConnectionRequest(ConnectionRequest {
                     psm: Psm::SDP,
@@ -76,7 +87,8 @@ impl Fuzzer for BFuzzFuzzer {
                 })
                 .unwrap_or(scid);
             self.send_cmd(
-                link,
+                &clock,
+                ctx.link,
                 2,
                 Command::ConfigureRequest(ConfigureRequest {
                     dcid,
@@ -88,18 +100,18 @@ impl Fuzzer for BFuzzFuzzer {
             // Replay barrage: mutations of the seed corpus.  Almost all of
             // them are turned away by the target.
             for i in 0..96u16 {
-                if (link.frames_sent() - start) >= max_packets as u64 {
+                if ctx.budget_exhausted() {
                     break;
                 }
-                let roll = self.rng.next_u8() % 100;
+                let roll = rng.next_u8() % 100;
                 let packet = if roll < 90 {
                     // Disconnection requests for channels that were valid in
                     // the corpus but do not exist here -> "invalid CID".
                     SignalingPacket::new(
                         Identifier((i % 250 + 1) as u8),
                         Command::DisconnectionRequest(DisconnectionRequest {
-                            dcid: Cid(self.rng.range_u16(0x0040, 0xFFFF)),
-                            scid: Cid(self.rng.range_u16(0x0040, 0xFFFF)),
+                            dcid: Cid(rng.range_u16(0x0040, 0xFFFF)),
+                            scid: Cid(rng.range_u16(0x0040, 0xFFFF)),
                         }),
                     )
                 } else if roll < 97 {
@@ -107,56 +119,50 @@ impl Fuzzer for BFuzzFuzzer {
                     // "command not understood".
                     SignalingPacket::from_raw(
                         Identifier((i % 250 + 1) as u8),
-                        0x1B + (self.rng.next_u8() % 0x40),
-                        self.rng.bytes(8),
+                        0x1B + (rng.next_u8() % 0x40),
+                        rng.bytes(8),
                     )
                 } else {
                     // Field-blind mutation that truncates a known command.
-                    SignalingPacket::from_raw(
-                        Identifier((i % 250 + 1) as u8),
-                        0x02,
-                        self.rng.bytes(1),
-                    )
+                    SignalingPacket::from_raw(Identifier((i % 250 + 1) as u8), 0x02, rng.bytes(1))
                 };
-                self.send_raw(link, packet);
+                self.send_raw(&clock, ctx.link, packet);
             }
 
             self.send_cmd(
-                link,
+                &clock,
+                ctx.link,
                 3,
                 Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
             );
-            if !link.device_alive() {
+            if !ctx.link.device_alive() {
                 break;
             }
         }
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btstack::device::share;
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::AirMedium;
-    use hci::link::{new_tap, LinkConfig};
+    use l2fuzz::campaign::{Campaign, OraclePolicy};
+    use l2fuzz::fuzzer::TxBudget;
     use sniffer::{MetricsSummary, StateCoverage, Trace};
 
-    fn run(max_packets: usize) -> Trace {
-        let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
-        let profile = DeviceProfile::table5(ProfileId::D2);
-        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(7));
-        device.set_auto_restart(true);
-        let (_, adapter) = share(device);
-        air.register(adapter);
-        let mut link = air
-            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8))
-            .unwrap();
-        let tap = new_tap();
-        link.attach_tap(tap.clone());
-        BFuzzFuzzer::new(clock, FuzzRng::seed_from(9)).fuzz(&mut link, max_packets);
-        Trace::from_tap(&tap)
+    fn run(max_packets: u64) -> Trace {
+        Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D2))
+            .fuzzer(|| Box::new(BFuzzFuzzer::new()))
+            .budget(TxBudget::packets(max_packets))
+            .oracle(OraclePolicy::None)
+            .auto_restart(true)
+            .seed(9)
+            .run()
+            .expect("campaign runs")
+            .into_single()
+            .trace
     }
 
     #[test]

@@ -11,30 +11,33 @@ use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
 use hci::air::AclLink;
 use l2cap::command::{Command, ConnectionRequest, EchoRequest, InformationRequest};
 use l2cap::packet::{parse_signaling, signaling_frame};
-use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
+use l2fuzz::report::FuzzReport;
 use std::time::Duration;
 
 /// Single-field-mutation baseline fuzzer.
+#[derive(Debug, Default)]
 pub struct BssFuzzer {
-    clock: SimClock,
-    rng: FuzzRng,
     connected: bool,
 }
 
 impl BssFuzzer {
-    /// Creates the fuzzer.
-    pub fn new(clock: SimClock, rng: FuzzRng) -> Self {
-        BssFuzzer {
-            clock,
-            rng,
-            connected: false,
-        }
+    /// Creates the fuzzer; clock, link and RNG stream come from the campaign
+    /// context.
+    pub fn new() -> Self {
+        BssFuzzer { connected: false }
     }
 
-    fn send(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
+    fn send(
+        &mut self,
+        clock: &SimClock,
+        link: &mut AclLink,
+        id: u8,
+        command: Command,
+    ) -> Vec<Command> {
         // BSS builds each packet interactively; roughly half a second of
         // virtual time per test case reproduces its ~2 packets/second pace.
-        self.clock.advance(Duration::from_millis(505));
+        clock.advance(Duration::from_millis(505));
         link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
             .iter()
             .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
@@ -47,13 +50,15 @@ impl Fuzzer for BssFuzzer {
         "BSS"
     }
 
-    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
-        let start = link.frames_sent();
+    fn fuzz(&mut self, ctx: &mut FuzzCtx<'_>) -> Option<FuzzReport> {
+        let clock = ctx.clock.clone();
+        let mut rng: FuzzRng = ctx.rng(0xB5);
         // BSS opens one L2CAP connection at startup (its raw socket) and then
         // keeps throwing template packets at the signalling channel.
         if !self.connected {
             self.send(
-                link,
+                &clock,
+                ctx.link,
                 1,
                 Command::ConnectionRequest(ConnectionRequest {
                     psm: Psm::SDP,
@@ -63,54 +68,51 @@ impl Fuzzer for BssFuzzer {
             self.connected = true;
         }
         let mut i: u8 = 2;
-        while (link.frames_sent() - start) < max_packets as u64 {
+        while !ctx.budget_exhausted() {
             // Single-field mutation of a BT 2.1 template: the mutated field is
             // the echo payload length or the information type — values the
             // receiver parses happily, which is why BSS registers neither
             // malformed packets nor rejections.
-            let command = if self.rng.chance(0.5) {
-                let len = self.rng.range_usize(0, 32);
+            let command = if rng.chance(0.5) {
+                let len = rng.range_usize(0, 32);
                 Command::EchoRequest(EchoRequest {
-                    data: self.rng.bytes(len),
+                    data: rng.bytes(len),
                 })
             } else {
                 Command::InformationRequest(InformationRequest {
-                    info_type: u16::from(self.rng.next_u8() % 3) + 1,
+                    info_type: u16::from(rng.next_u8() % 3) + 1,
                 })
             };
-            self.send(link, i, command);
+            self.send(&clock, ctx.link, i, command);
             i = if i == 0xFF { 2 } else { i + 1 };
-            if !link.device_alive() {
+            if !ctx.link.device_alive() {
                 break;
             }
         }
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btstack::device::share;
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::AirMedium;
-    use hci::link::{new_tap, LinkConfig};
+    use l2fuzz::campaign::{Campaign, OraclePolicy};
+    use l2fuzz::fuzzer::TxBudget;
     use sniffer::{MetricsSummary, StateCoverage, Trace};
 
-    fn run(max_packets: usize) -> Trace {
-        let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
-        let profile = DeviceProfile::table5(ProfileId::D2);
-        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(7));
-        device.set_auto_restart(true);
-        let (_, adapter) = share(device);
-        air.register(adapter);
-        let mut link = air
-            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8))
-            .unwrap();
-        let tap = new_tap();
-        link.attach_tap(tap.clone());
-        BssFuzzer::new(clock, FuzzRng::seed_from(9)).fuzz(&mut link, max_packets);
-        Trace::from_tap(&tap)
+    fn run(max_packets: u64) -> Trace {
+        Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D2))
+            .fuzzer(|| Box::new(BssFuzzer::new()))
+            .budget(TxBudget::packets(max_packets))
+            .oracle(OraclePolicy::None)
+            .auto_restart(true)
+            .seed(9)
+            .run()
+            .expect("campaign runs")
+            .into_single()
+            .trace
     }
 
     #[test]

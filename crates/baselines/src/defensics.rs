@@ -14,12 +14,13 @@ use l2cap::command::{
 use l2cap::consts::ConfigureResult;
 use l2cap::options::ConfigOption;
 use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
-use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
+use l2fuzz::report::FuzzReport;
 use std::time::Duration;
 
 /// Template-driven baseline fuzzer.
+#[derive(Debug)]
 pub struct DefensicsFuzzer {
-    clock: SimClock,
     /// Extra virtual time spent generating each test case (what makes the
     /// tool slow).
     think_time: Duration,
@@ -27,27 +28,38 @@ pub struct DefensicsFuzzer {
     anomaly_counter: u64,
 }
 
+impl Default for DefensicsFuzzer {
+    fn default() -> Self {
+        DefensicsFuzzer::new()
+    }
+}
+
 impl DefensicsFuzzer {
-    /// Creates the fuzzer; `clock` is the shared virtual clock.
-    pub fn new(clock: SimClock) -> Self {
+    /// Creates the fuzzer; clock and link come from the campaign context.
+    pub fn new() -> Self {
         DefensicsFuzzer {
-            clock,
             think_time: Duration::from_millis(295),
             next_scid: 0x0140,
             anomaly_counter: 0,
         }
     }
 
-    fn send(&mut self, link: &mut AclLink, id: u8, command: Command) -> Vec<Command> {
-        self.clock.advance(self.think_time);
+    fn send(
+        &mut self,
+        clock: &SimClock,
+        link: &mut AclLink,
+        id: u8,
+        command: Command,
+    ) -> Vec<Command> {
+        clock.advance(self.think_time);
         link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
             .iter()
             .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
             .collect()
     }
 
-    fn send_raw(&mut self, link: &mut AclLink, packet: SignalingPacket) {
-        self.clock.advance(self.think_time);
+    fn send_raw(&mut self, clock: &SimClock, link: &mut AclLink, packet: SignalingPacket) {
+        clock.advance(self.think_time);
         let _ = link.send_frame(&packet.into_frame());
     }
 }
@@ -57,15 +69,16 @@ impl Fuzzer for DefensicsFuzzer {
         "Defensics"
     }
 
-    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
-        let start = link.frames_sent();
-        while (link.frames_sent() - start) < max_packets as u64 {
+    fn fuzz(&mut self, ctx: &mut FuzzCtx<'_>) -> Option<FuzzReport> {
+        let clock = ctx.clock.clone();
+        while !ctx.budget_exhausted() {
             let scid = Cid(self.next_scid);
             self.next_scid = self.next_scid.wrapping_add(1).max(0x0140);
 
             // One fully conformant exchange per test cycle.
             let responses = self.send(
-                link,
+                &clock,
+                ctx.link,
                 1,
                 Command::ConnectionRequest(ConnectionRequest {
                     psm: Psm::SDP,
@@ -90,7 +103,8 @@ impl Fuzzer for DefensicsFuzzer {
                 let declared = data.len() as u16;
                 data.extend_from_slice(&[0x41; 6]);
                 self.send_raw(
-                    link,
+                    &clock,
+                    ctx.link,
                     SignalingPacket {
                         identifier: Identifier(2),
                         code: 0x04,
@@ -100,7 +114,8 @@ impl Fuzzer for DefensicsFuzzer {
                 );
             } else {
                 self.send(
-                    link,
+                    &clock,
+                    ctx.link,
                     2,
                     Command::ConfigureRequest(ConfigureRequest {
                         dcid,
@@ -110,7 +125,8 @@ impl Fuzzer for DefensicsFuzzer {
                 );
             }
             self.send(
-                link,
+                &clock,
+                ctx.link,
                 3,
                 Command::ConfigureResponse(ConfigureResponse {
                     scid: dcid,
@@ -120,42 +136,39 @@ impl Fuzzer for DefensicsFuzzer {
                 }),
             );
             self.send(
-                link,
+                &clock,
+                ctx.link,
                 4,
                 Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
             );
-            if !link.device_alive() {
+            if !ctx.link.device_alive() {
                 break;
             }
         }
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btcore::FuzzRng;
-    use btstack::device::share;
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::AirMedium;
-    use hci::link::{new_tap, LinkConfig};
+    use l2fuzz::campaign::{Campaign, OraclePolicy};
+    use l2fuzz::fuzzer::TxBudget;
     use sniffer::{MetricsSummary, StateCoverage, Trace};
 
-    fn run(max_packets: usize) -> Trace {
-        let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
-        let profile = DeviceProfile::table5(ProfileId::D2);
-        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(7));
-        device.set_auto_restart(true);
-        let (_, adapter) = share(device);
-        air.register(adapter);
-        let mut link = air
-            .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(8))
-            .unwrap();
-        let tap = new_tap();
-        link.attach_tap(tap.clone());
-        DefensicsFuzzer::new(clock).fuzz(&mut link, max_packets);
-        Trace::from_tap(&tap)
+    fn run(max_packets: u64) -> Trace {
+        Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D2))
+            .fuzzer(|| Box::new(DefensicsFuzzer::new()))
+            .budget(TxBudget::packets(max_packets))
+            .oracle(OraclePolicy::None)
+            .auto_restart(true)
+            .seed(7)
+            .run()
+            .expect("campaign runs")
+            .into_single()
+            .trace
     }
 
     #[test]

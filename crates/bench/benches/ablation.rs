@@ -1,40 +1,41 @@
 //! Criterion bench: ablation of L2Fuzz design choices (state guiding,
 //! core-field-only mutation, garbage tail) measured as a short campaign.
-use bench::TestBench;
-use btstack::profiles::ProfileId;
+use btstack::profiles::{DeviceProfile, ProfileId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use l2fuzz::campaign::{Campaign, OraclePolicy};
 use l2fuzz::config::FuzzConfig;
-use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::fuzzer::TxBudget;
 use l2fuzz::session::L2FuzzTool;
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_500_packets");
     let variants: Vec<(&str, FuzzConfig)> = vec![
-        ("full", FuzzConfig::comparison(usize::MAX, 1)),
+        ("full", FuzzConfig::budget_driven()),
         (
             "no_state_guiding",
-            FuzzConfig::comparison(usize::MAX, 2).without_state_guiding(),
+            FuzzConfig::budget_driven().without_state_guiding(),
         ),
         (
             "all_field_mutation",
-            FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction(),
+            FuzzConfig::budget_driven().without_core_field_restriction(),
         ),
-        (
-            "no_garbage",
-            FuzzConfig::comparison(usize::MAX, 4).without_garbage(),
-        ),
+        ("no_garbage", FuzzConfig::budget_driven().without_garbage()),
     ];
     for (name, config) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
             b.iter(|| {
-                let mut bench = TestBench::new(ProfileId::D2, 0xA11A, true);
-                let meta = {
-                    use hci::device::VirtualDevice;
-                    bench.device.lock().meta()
-                };
-                let mut tool = L2FuzzTool::new(config.clone(), bench.clock.clone(), meta);
-                tool.fuzz(&mut bench.link, 500);
-                std::hint::black_box(bench.trace().len())
+                let config = config.clone();
+                let outcome = Campaign::builder()
+                    .target(DeviceProfile::table5(ProfileId::D2))
+                    .fuzzer(move || Box::new(L2FuzzTool::new(config.clone())))
+                    .budget(TxBudget::packets(500))
+                    .oracle(OraclePolicy::None)
+                    .auto_restart(true)
+                    .seed(0xA11A)
+                    .run()
+                    .expect("ablation campaign runs")
+                    .into_single();
+                std::hint::black_box(outcome.trace.len())
             })
         });
     }

@@ -2,32 +2,33 @@
 //!
 //! Four configurations are compared on the Pixel 3 target: full L2Fuzz,
 //! without state guiding, without core-field-only mutation (dumb mutation of
-//! every field), and without the garbage tail.
-use bench::TestBench;
-use btstack::profiles::ProfileId;
+//! every field), and without the garbage tail.  Each variant runs in its own
+//! isolated campaign environment.
+use btstack::profiles::{DeviceProfile, ProfileId};
+use l2fuzz::campaign::{Campaign, OraclePolicy};
 use l2fuzz::config::FuzzConfig;
-use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::fuzzer::TxBudget;
 use l2fuzz::session::L2FuzzTool;
 use sniffer::{MetricsSummary, StateCoverage};
 
 fn main() {
-    let budget: usize = std::env::var("L2FUZZ_BUDGET")
+    let budget: u64 = std::env::var("L2FUZZ_BUDGET")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4_000);
     let variants: Vec<(&str, FuzzConfig)> = vec![
-        ("full L2Fuzz", FuzzConfig::comparison(usize::MAX, 1)),
+        ("full L2Fuzz", FuzzConfig::budget_driven()),
         (
             "no state guiding",
-            FuzzConfig::comparison(usize::MAX, 2).without_state_guiding(),
+            FuzzConfig::budget_driven().without_state_guiding(),
         ),
         (
             "all-field mutation",
-            FuzzConfig::comparison(usize::MAX, 3).without_core_field_restriction(),
+            FuzzConfig::budget_driven().without_core_field_restriction(),
         ),
         (
             "no garbage tail",
-            FuzzConfig::comparison(usize::MAX, 4).without_garbage(),
+            FuzzConfig::budget_driven().without_garbage(),
         ),
     ];
     println!("Ablation on D2 (Pixel 3), {budget} packets per variant");
@@ -36,16 +37,21 @@ fn main() {
         "Variant", "MP", "PR", "ME", "states"
     );
     for (name, config) in variants {
-        let mut bench = TestBench::new(ProfileId::D2, 0xAB1A, true);
-        let meta = {
-            use hci::device::VirtualDevice;
-            bench.device.lock().meta()
-        };
-        let mut tool = L2FuzzTool::new(config, bench.clock.clone(), meta);
-        tool.fuzz(&mut bench.link, budget);
-        let trace = bench.trace();
-        let m = MetricsSummary::from_trace(&trace);
-        let cov = StateCoverage::from_trace(&trace);
+        // One constant campaign seed across variants: the device, the link
+        // and the per-target seed stream stay fixed, so the printed deltas
+        // isolate the ablated configuration switch.
+        let outcome = Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D2))
+            .fuzzer(move || Box::new(L2FuzzTool::new(config.clone())))
+            .budget(TxBudget::packets(budget))
+            .oracle(OraclePolicy::None)
+            .auto_restart(true)
+            .seed(0xAB1A)
+            .run()
+            .expect("ablation campaign runs")
+            .into_single();
+        let m = MetricsSummary::from_trace(&outcome.trace);
+        let cov = StateCoverage::from_trace(&outcome.trace);
         println!(
             "{:<22}{:>7.1}%{:>7.1}%{:>7.1}%{:>10}",
             name,

@@ -1,6 +1,7 @@
 //! Regenerates Table VI: vulnerability detection results of L2Fuzz on D1-D8.
-use bench::run_table6_campaign;
-use btstack::profiles::ProfileId;
+//! The eight per-device campaigns run sharded across four worker threads;
+//! results are identical to a serial run of the same seed.
+use bench::table6_survey;
 
 fn main() {
     let max_campaigns: usize = std::env::var("L2FUZZ_MAX_CAMPAIGNS")
@@ -12,8 +13,9 @@ fn main() {
         "{:<5}{:<16}{:<8}{:<14}{:<14}",
         "Dev", "Name", "Vuln?", "Description", "Elapsed"
     );
-    for (i, id) in ProfileId::ALL.iter().enumerate() {
-        let report = run_table6_campaign(*id, 1000 + i as u64, max_campaigns);
+    for outcome in table6_survey(1000, max_campaigns, 4).targets {
+        let id = outcome.profile.id;
+        let report = &outcome.report;
         match report.findings.first() {
             Some(f) => println!(
                 "{:<5}{:<16}{:<8}{:<14}{:<14}",

@@ -4,107 +4,52 @@
 //! Every table and figure of the paper's evaluation has a corresponding
 //! binary in `src/bin/`; the functions here do the actual work so the
 //! binaries stay thin and the Criterion benches can reuse the same code
-//! paths.
+//! paths.  All of them drive fuzzing through the unified
+//! [`l2fuzz::campaign::Campaign`] API — no experiment wires an `AirMedium`
+//! by hand anymore.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use btcore::{FuzzRng, SimClock};
-use btstack::device::{share, DeviceOracle, SharedSimulatedDevice};
 use btstack::profiles::{DeviceProfile, ProfileId};
-use hci::air::{AclLink, AirMedium};
-use hci::link::{new_tap, LinkConfig, SharedTap};
+use l2fuzz::campaign::{Campaign, CampaignOutcome, OraclePolicy, ShardedExecutor};
 use l2fuzz::config::FuzzConfig;
-use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::fuzzer::{Fuzzer, TxBudget};
 use l2fuzz::report::FuzzReport;
-use l2fuzz::session::{L2FuzzSession, L2FuzzTool};
+use l2fuzz::session::L2FuzzTool;
 use sniffer::{MetricsSummary, StateCoverage, Trace};
 
 use baselines::{BFuzzFuzzer, BssFuzzer, DefensicsFuzzer};
-
-/// A fully wired test bench: one simulated device on a virtual air medium,
-/// one ACL link with a packet tap attached.
-pub struct TestBench {
-    /// The shared handle to the simulated device (for oracle access).
-    pub device: SharedSimulatedDevice,
-    /// The established ACL link.
-    pub link: AclLink,
-    /// The packet tap capturing the traffic.
-    pub tap: SharedTap,
-    /// The shared virtual clock.
-    pub clock: SimClock,
-    /// The device profile that was instantiated.
-    pub profile: DeviceProfile,
-}
-
-impl TestBench {
-    /// Builds a bench around the given Table V device.
-    ///
-    /// `auto_restart` keeps the target alive after a vulnerability fires
-    /// (needed for the long comparison runs).
-    pub fn new(id: ProfileId, seed: u64, auto_restart: bool) -> TestBench {
-        let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
-        let profile = DeviceProfile::table5(id);
-        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(seed));
-        device.set_auto_restart(auto_restart);
-        let (device, adapter) = share(device);
-        air.register(adapter);
-        let mut link = air
-            .connect(
-                profile.addr,
-                LinkConfig::default(),
-                FuzzRng::seed_from(seed ^ 0xA5A5),
-            )
-            .expect("profile device must be connectable");
-        let tap = new_tap();
-        link.attach_tap(tap.clone());
-        TestBench {
-            device,
-            link,
-            tap,
-            clock,
-            profile,
-        }
-    }
-
-    /// The trace captured so far.
-    pub fn trace(&self) -> Trace {
-        Trace::from_tap(&self.tap)
-    }
-}
 
 /// Runs the full L2Fuzz vulnerability-detection experiment against a device
 /// (Table VI methodology): campaigns repeat until a vulnerability is found or
 /// `max_campaigns` is reached.
 pub fn run_table6_campaign(id: ProfileId, seed: u64, max_campaigns: usize) -> FuzzReport {
-    let mut bench = TestBench::new(id, seed, false);
-    let meta = {
-        use hci::device::VirtualDevice;
-        bench.device.lock().meta()
-    };
-    let mut last = None;
-    for round in 0..max_campaigns {
-        let mut oracle = DeviceOracle::new(bench.device.clone());
-        let config = FuzzConfig {
-            seed: seed.wrapping_add(round as u64),
-            ..FuzzConfig::default()
-        };
-        let mut session = L2FuzzSession::new(config, bench.clock.clone());
-        let mut report = session.run(&mut bench.link, meta.clone(), Some(&mut oracle));
-        // Report elapsed time relative to the whole experiment, not just the
-        // last campaign.
-        report.elapsed_secs = bench.clock.now().as_secs();
-        if let Some(f) = report.findings.first_mut() {
-            f.elapsed_secs = bench.clock.now().as_secs();
-        }
-        let vulnerable = report.vulnerable();
-        last = Some(report);
-        if vulnerable {
-            break;
-        }
-    }
-    last.expect("at least one campaign ran")
+    Campaign::builder()
+        .target(DeviceProfile::table5(id))
+        .fuzzer(move || Box::new(L2FuzzTool::detection(FuzzConfig::default(), max_campaigns)))
+        .oracle(OraclePolicy::OutOfBand)
+        .seed(seed)
+        .run()
+        .expect("table 6 campaign runs")
+        .into_single()
+        .report
+}
+
+/// Runs the Table VI detection experiment against every Table V device at
+/// once, sharded across worker threads.  Per-target outcomes come back in
+/// Table V order and are bit-for-bit identical to a serial run of the same
+/// seed; the outcome's `elapsed` is the campaign wall-clock (longest
+/// per-device time).
+pub fn table6_survey(seed: u64, max_campaigns: usize, threads: usize) -> CampaignOutcome {
+    Campaign::builder()
+        .targets(DeviceProfile::all())
+        .fuzzer(move || Box::new(L2FuzzTool::detection(FuzzConfig::default(), max_campaigns)))
+        .oracle(OraclePolicy::OutOfBand)
+        .seed(seed)
+        .executor(ShardedExecutor::new(threads))
+        .run()
+        .expect("table 6 survey runs")
 }
 
 /// Result of running one fuzzer for the comparison experiments.
@@ -119,42 +64,50 @@ pub struct ComparisonRun {
     pub coverage: StateCoverage,
 }
 
-/// Runs all four fuzzers against a fresh Pixel 3 (D2) bench with the given
-/// per-fuzzer packet budget, reproducing the §IV-C/D comparison.
-pub fn run_comparison(budget: usize, seed: u64) -> Vec<ComparisonRun> {
-    let mut runs = Vec::new();
-    for (i, name) in ["L2Fuzz", "Defensics", "BFuzz", "BSS"].iter().enumerate() {
-        let mut bench = TestBench::new(ProfileId::D2, seed.wrapping_add(i as u64), true);
-        let meta = {
-            use hci::device::VirtualDevice;
-            bench.device.lock().meta()
-        };
-        let mut fuzzer: Box<dyn Fuzzer> = match i {
-            0 => Box::new(L2FuzzTool::new(
-                FuzzConfig::comparison(usize::MAX, seed),
-                bench.clock.clone(),
-                meta,
-            )),
-            1 => Box::new(DefensicsFuzzer::new(bench.clock.clone())),
-            2 => Box::new(BFuzzFuzzer::new(
-                bench.clock.clone(),
-                FuzzRng::seed_from(seed ^ 0xBF),
-            )),
-            _ => Box::new(BssFuzzer::new(
-                bench.clock.clone(),
-                FuzzRng::seed_from(seed ^ 0xB5),
-            )),
-        };
-        fuzzer.fuzz(&mut bench.link, budget);
-        let trace = bench.trace();
-        runs.push(ComparisonRun {
-            name,
-            metrics: MetricsSummary::from_trace(&trace),
-            coverage: StateCoverage::from_trace(&trace),
-            trace,
-        });
+/// The four tools of the §IV-C/D comparison, in the paper's order.
+pub const COMPARISON_TOOLS: [&str; 4] = ["L2Fuzz", "Defensics", "BFuzz", "BSS"];
+
+/// Spawns a fresh instance of a comparison tool by name.
+///
+/// # Panics
+/// Panics on a name outside [`COMPARISON_TOOLS`].
+pub fn spawn_tool(name: &str) -> Box<dyn Fuzzer> {
+    match name {
+        "L2Fuzz" => Box::new(L2FuzzTool::comparison()),
+        "Defensics" => Box::new(DefensicsFuzzer::new()),
+        "BFuzz" => Box::new(BFuzzFuzzer::new()),
+        "BSS" => Box::new(BssFuzzer::new()),
+        other => panic!("unknown comparison tool {other:?}"),
     }
-    runs
+}
+
+/// Runs all four fuzzers against a fresh Pixel 3 (D2) bench with the given
+/// per-fuzzer packet budget, reproducing the §IV-C/D comparison.  Each tool
+/// gets its own isolated campaign environment (auto-restarting target, no
+/// oracle — metrics come from the sniffed trace, as in the paper).
+pub fn run_comparison(budget: usize, seed: u64) -> Vec<ComparisonRun> {
+    COMPARISON_TOOLS
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(move || spawn_tool(name))
+                .budget(TxBudget::packets(budget as u64))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .seed(seed.wrapping_add(i as u64))
+                .run()
+                .expect("comparison campaign runs")
+                .into_single();
+            ComparisonRun {
+                name,
+                metrics: MetricsSummary::from_trace(&outcome.trace),
+                coverage: StateCoverage::from_trace(&outcome.trace),
+                trace: outcome.trace,
+            }
+        })
+        .collect()
 }
 
 /// Packet budget used by the experiment binaries.  The paper uses 100,000

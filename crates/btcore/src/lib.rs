@@ -46,4 +46,4 @@ pub use device::{DeviceClass, DeviceMeta};
 pub use error::{BtError, ConnectionError};
 pub use ids::{Cid, ConnectionHandle, Identifier, Psm};
 pub use oracle::{PingOutcome, TargetOracle};
-pub use rng::FuzzRng;
+pub use rng::{splitmix64, FuzzRng};

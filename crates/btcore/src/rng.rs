@@ -8,6 +8,17 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+/// SplitMix64 finalizer: cheap, well-distributed mixing for deriving
+/// independent seeds from one base value.  Used by the campaign harness for
+/// per-target seeds and per-tool RNG streams so no derived stream collides
+/// with the raw seed.
+pub fn splitmix64(input: u64) -> u64 {
+    let mut z = input.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A deterministic random number generator seeded from a single `u64`.
 ///
 /// # Example

@@ -61,7 +61,7 @@ impl SimulatedDevice {
         meta: DeviceMeta,
         quirks: Quirks,
         services: ServiceTable,
-        vulns: Vec<VulnerabilitySpec>,
+        vulns: impl Into<std::sync::Arc<[VulnerabilitySpec]>>,
         clock: SimClock,
         processing_cost_micros: u64,
         rng: FuzzRng,

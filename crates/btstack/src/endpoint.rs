@@ -21,6 +21,8 @@ use l2cap::options::ConfigOption;
 use l2cap::packet::{L2capFrame, SignalingPacket, DEFAULT_SIGNALING_MTU};
 use l2cap::state::{Action, ChannelState};
 
+use std::sync::Arc;
+
 use crate::ccb::CcbTable;
 use crate::services::ServiceTable;
 use crate::vendor::Quirks;
@@ -51,7 +53,10 @@ pub struct L2capEndpoint {
     signaling_mtu: u16,
     ccbs: CcbTable,
     next_identifier: Identifier,
-    vulns: Vec<VulnerabilitySpec>,
+    /// Shared, immutable vulnerability catalog.  An `Arc` slice (rather than
+    /// an owned `Vec`) lets every rebuilt device of a profile share one
+    /// allocation and guarantees the per-packet check never copies the specs.
+    vulns: Arc<[VulnerabilitySpec]>,
     rng: FuzzRng,
     packets_processed: u64,
     rejects_sent: u64,
@@ -63,7 +68,7 @@ impl L2capEndpoint {
     pub fn new(
         quirks: Quirks,
         services: ServiceTable,
-        vulns: Vec<VulnerabilitySpec>,
+        vulns: impl Into<Arc<[VulnerabilitySpec]>>,
         rng: FuzzRng,
     ) -> Self {
         L2capEndpoint {
@@ -72,7 +77,7 @@ impl L2capEndpoint {
             signaling_mtu: DEFAULT_SIGNALING_MTU,
             ccbs: CcbTable::new(),
             next_identifier: Identifier::FIRST,
-            vulns,
+            vulns: vulns.into(),
             rng,
             packets_processed: 0,
             rejects_sent: 0,

@@ -1,0 +1,701 @@
+//! The unified campaign API: one entry point for every experiment.
+//!
+//! Every experiment in the repository — the Table V device survey, the
+//! Table VI elapsed-time runs, the §IV-C/D fuzzer comparisons, the examples
+//! and the integration tests — used to hand-roll the same ritual: build an
+//! `AirMedium`, register devices, connect, attach a tap, construct a session
+//! and run it.  [`Campaign::builder`] replaces that ritual with one fluent
+//! entry point:
+//!
+//! ```
+//! use btstack::profiles::{DeviceProfile, ProfileId};
+//! use l2fuzz::campaign::Campaign;
+//!
+//! let outcome = Campaign::builder()
+//!     .target(DeviceProfile::table5(ProfileId::D2))
+//!     .seed(11)
+//!     .run()
+//!     .expect("campaign runs");
+//! assert!(outcome.targets[0].report.vulnerable());
+//! ```
+//!
+//! # Isolation and determinism
+//!
+//! Each target gets a fully isolated environment: its own [`SimClock`], its
+//! own [`AirMedium`], and RNG streams derived from the campaign seed and the
+//! target's position in the list.  Nothing is shared between targets, so the
+//! per-target [`FuzzReport`]s and traces are a pure function of the campaign
+//! seed — identical under [`SerialExecutor`] and under [`ShardedExecutor`]
+//! at any thread count.  `tests/deterministic_replay.rs` enforces this
+//! bit-for-bit.
+//!
+//! # Executors
+//!
+//! [`CampaignExecutor`] decides how the per-target environments are driven:
+//! [`SerialExecutor`] runs them one after another on the calling thread (the
+//! pre-campaign behaviour), [`ShardedExecutor`] partitions them across
+//! worker threads — each shard owns the environments it runs, so the survey
+//! and comparison experiments no longer serialize.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use btcore::{BtError, DeviceMeta, SimClock};
+use btstack::device::{share, DeviceOracle, SharedSimulatedDevice};
+use btstack::profiles::DeviceProfile;
+use hci::air::{AclLink, AirMedium};
+use hci::link::{new_tap, LinkConfig, SharedTap};
+use parking_lot::Mutex;
+use sniffer::Trace;
+
+use crate::config::FuzzConfig;
+use crate::fuzzer::{FuzzCtx, Fuzzer, TxBudget};
+use crate::report::FuzzReport;
+use crate::scanner::ScanReport;
+use crate::session::L2FuzzTool;
+
+use btcore::FuzzRng;
+
+/// Creates one fresh fuzzer instance per campaign target.
+pub type FuzzerSpawner = Arc<dyn Fn() -> Box<dyn Fuzzer> + Send + Sync>;
+
+/// What a finished builder decomposes into: the shareable plan, the executor
+/// driving it, and the optional observer clock.
+type PlanParts = (CampaignPlan, Box<dyn CampaignExecutor>, Option<SimClock>);
+
+/// Whether campaign targets are observed out of band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OraclePolicy {
+    /// Attach a [`DeviceOracle`] to every target (crash dumps + service
+    /// status), as the original tool does via `adb`/`ssh`.
+    #[default]
+    OutOfBand,
+    /// Fuzz blind: detection works from on-air behaviour alone.
+    None,
+}
+
+/// Errors surfaced while setting up or running a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// `run()` was called without any target device.
+    NoTargets,
+    /// `env()` was called on a campaign with more than one target.
+    MultipleTargets {
+        /// How many targets the builder held.
+        count: usize,
+    },
+    /// A target environment could not establish its ACL link.
+    Connect {
+        /// The target that failed.
+        profile: Box<DeviceProfile>,
+        /// The underlying connection error.
+        source: BtError,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::NoTargets => write!(f, "campaign has no target devices"),
+            CampaignError::MultipleTargets { count } => {
+                write!(f, "manual env() needs exactly one target, got {count}")
+            }
+            CampaignError::Connect { profile, source } => {
+                write!(
+                    f,
+                    "cannot connect to {} ({}): {source}",
+                    profile.id, profile.name
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A fully wired, isolated environment for one campaign target.
+///
+/// Campaign executors build one of these per target; hand-driven flows (the
+/// BlueBorne replay, the Pixel 3 case study) obtain one through
+/// [`CampaignBuilder::env`] instead of wiring an `AirMedium` by hand.
+pub struct TargetEnv {
+    /// The profile this environment instantiates.
+    pub profile: DeviceProfile,
+    /// Typed handle to the simulated device (for oracle access and crash
+    /// dump inspection).
+    pub device: SharedSimulatedDevice,
+    /// The established ACL link, tap already attached.
+    pub link: AclLink,
+    /// The packet tap capturing all traffic on the link.
+    pub tap: SharedTap,
+    /// The environment's virtual clock (starts at zero).
+    pub clock: SimClock,
+    /// The target's metadata.
+    pub meta: DeviceMeta,
+    /// The per-target seed every RNG stream of this environment derives
+    /// from.
+    pub seed: u64,
+}
+
+impl TargetEnv {
+    /// The out-of-band oracle over this environment's device.
+    pub fn oracle(&self) -> DeviceOracle {
+        DeviceOracle::new(self.device.clone())
+    }
+
+    /// Snapshot of the traffic captured so far.
+    pub fn trace(&self) -> Trace {
+        Trace::from_tap(&self.tap)
+    }
+}
+
+/// The immutable description of a campaign, shared by every executor shard.
+pub struct CampaignPlan {
+    targets: Vec<DeviceProfile>,
+    spawner: FuzzerSpawner,
+    budget: TxBudget,
+    oracle: OraclePolicy,
+    link_config: LinkConfig,
+    seed: u64,
+    auto_restart: bool,
+}
+
+/// Per-target seed derivation: the campaign seed and the target's position
+/// feed one SplitMix64 step, so every target gets an independent stream.
+fn derive_seed(base: u64, index: u64) -> u64 {
+    btcore::splitmix64(base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+impl CampaignPlan {
+    /// Number of targets in the campaign.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn build_env(&self, index: usize) -> Result<TargetEnv, CampaignError> {
+        self.build_env_on(index, SimClock::new())
+    }
+
+    fn build_env_on(&self, index: usize, clock: SimClock) -> Result<TargetEnv, CampaignError> {
+        let profile = self.targets[index].clone();
+        let seed = derive_seed(self.seed, index as u64);
+        let mut air = AirMedium::new(clock.clone());
+        let mut device = profile.build(clock.clone(), FuzzRng::seed_from(seed));
+        device.set_auto_restart(self.auto_restart);
+        let (device, adapter) = share(device);
+        air.register(adapter);
+        let meta = {
+            use hci::device::VirtualDevice;
+            device.lock().meta()
+        };
+        let mut link = air
+            .connect(
+                profile.addr,
+                self.link_config,
+                FuzzRng::seed_from(seed ^ 0xA5A5),
+            )
+            .map_err(|source| CampaignError::Connect {
+                profile: Box::new(profile.clone()),
+                source,
+            })?;
+        let tap = new_tap();
+        link.attach_tap(tap.clone());
+        Ok(TargetEnv {
+            profile,
+            device,
+            link,
+            tap,
+            clock,
+            meta,
+            seed,
+        })
+    }
+
+    /// Builds the environment for target `index`, runs the campaign's fuzzer
+    /// in it and collects the outcome.  This is the unit of work executors
+    /// schedule; it touches no shared state, which is what makes sharding
+    /// deterministic.
+    pub fn run_target(&self, index: usize) -> Result<TargetOutcome, CampaignError> {
+        let mut env = self.build_env(index)?;
+        let mut oracle = match self.oracle {
+            OraclePolicy::OutOfBand => Some(env.oracle()),
+            OraclePolicy::None => None,
+        };
+        let mut fuzzer = (self.spawner)();
+        let mut ctx = FuzzCtx::new(
+            &mut env.link,
+            env.clock.clone(),
+            env.tap.clone(),
+            env.meta.clone(),
+            env.seed,
+            self.budget,
+            oracle.as_mut().map(|o| o as &mut dyn btcore::TargetOracle),
+        );
+        let report = fuzzer.fuzz(&mut ctx);
+        let report = report.unwrap_or_else(|| skeleton_report(fuzzer.name(), &env));
+        Ok(TargetOutcome {
+            elapsed: env.clock.now(),
+            trace: env.trace(),
+            report,
+            device: env.device,
+            profile: env.profile,
+        })
+    }
+}
+
+/// Skeleton report for trace-only tools (the baselines): link statistics
+/// only, no structured findings.
+fn skeleton_report(name: &str, env: &TargetEnv) -> FuzzReport {
+    FuzzReport {
+        fuzzer: name.to_owned(),
+        target: env.meta.clone(),
+        scan: ScanReport {
+            meta: env.meta.clone(),
+            probes: Vec::new(),
+            chosen_port: None,
+        },
+        states_tested: Vec::new(),
+        packets_sent: env.link.frames_sent(),
+        malformed_sent: 0,
+        findings: Vec::new(),
+        elapsed_secs: env.clock.now().as_secs(),
+    }
+}
+
+/// What one target produced.
+pub struct TargetOutcome {
+    /// The target's profile.
+    pub profile: DeviceProfile,
+    /// The tool's report (synthesized from link statistics for trace-only
+    /// baselines).
+    pub report: FuzzReport,
+    /// Every packet that crossed the target's link, in order.
+    pub trace: Trace,
+    /// Virtual time the target's environment consumed.
+    pub elapsed: Duration,
+    /// The simulated device, for post-campaign inspection (crash dumps,
+    /// fired vulnerabilities, host status).
+    pub device: SharedSimulatedDevice,
+}
+
+/// The result of a whole campaign, targets in the order they were added.
+pub struct CampaignOutcome {
+    /// One outcome per target.
+    pub targets: Vec<TargetOutcome>,
+    /// Campaign wall-clock: the longest per-target virtual time (targets run
+    /// in parallel in the modelled world).
+    pub elapsed: Duration,
+}
+
+impl CampaignOutcome {
+    /// The per-target reports, in target order.
+    pub fn reports(&self) -> impl Iterator<Item = &FuzzReport> {
+        self.targets.iter().map(|t| &t.report)
+    }
+
+    /// Number of targets with at least one finding.
+    pub fn vulnerable_count(&self) -> usize {
+        self.targets
+            .iter()
+            .filter(|t| t.report.vulnerable())
+            .count()
+    }
+
+    /// Consumes a single-target campaign's outcome.
+    ///
+    /// # Panics
+    /// Panics if the campaign had more than one target.
+    pub fn into_single(mut self) -> TargetOutcome {
+        assert_eq!(self.targets.len(), 1, "campaign has multiple targets");
+        self.targets.pop().expect("one target")
+    }
+}
+
+/// Strategy for driving the per-target environments of a campaign.
+pub trait CampaignExecutor: Send + Sync {
+    /// Executor name for logs.
+    fn name(&self) -> &'static str;
+
+    /// Runs every target of `plan` and returns the outcomes in target order.
+    ///
+    /// # Errors
+    /// Propagates the first [`CampaignError`] any target hit.
+    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<TargetOutcome>, CampaignError>;
+}
+
+/// Runs targets one after another on the calling thread; bit-for-bit the
+/// behaviour the hand-rolled experiment harnesses had.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl CampaignExecutor for SerialExecutor {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<TargetOutcome>, CampaignError> {
+        (0..plan.target_count())
+            .map(|i| plan.run_target(i))
+            .collect()
+    }
+}
+
+/// Distributes targets across worker threads.
+///
+/// Workers pull targets off a shared work index as they go idle, so skewed
+/// per-target runtimes balance out.  Each target still runs in its own
+/// isolated environment (own clock, own air medium, own RNG streams), so the
+/// per-target results are identical to [`SerialExecutor`]'s at any thread
+/// count — threading only changes wall-clock time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor {
+    threads: usize,
+}
+
+impl ShardedExecutor {
+    /// Creates an executor with the given number of worker threads (at least
+    /// one).
+    pub fn new(threads: usize) -> Self {
+        ShardedExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl CampaignExecutor for ShardedExecutor {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<TargetOutcome>, CampaignError> {
+        let n = plan.target_count();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return SerialExecutor.execute(plan);
+        }
+        let slots: Vec<Mutex<Option<Result<TargetOutcome, CampaignError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        // Dynamic work index rather than static striping: per-target runtimes
+        // are skewed by orders of magnitude (a hardened device burns its full
+        // round cap while a fragile one falls instantly), so idle workers
+        // pull the next pending target.  Determinism is untouched — each
+        // target's environment is isolated and its outcome is keyed by index.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let slots = &slots;
+                let next = &next;
+                let failed = &failed;
+                scope.spawn(move || loop {
+                    // Fail fast: once any target errors the whole campaign is
+                    // doomed, so don't burn the remaining targets' runtimes.
+                    if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let outcome = plan.run_target(index);
+                    if outcome.is_err() {
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    *slots[index].lock() = Some(outcome);
+                });
+            }
+        });
+        if failed.into_inner() {
+            // Return the first error in target order.
+            for slot in slots {
+                if let Some(Err(e)) = slot.into_inner() {
+                    return Err(e);
+                }
+            }
+            unreachable!("a failure was flagged but no slot holds an error");
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every worker fills its slots"))
+            .collect()
+    }
+}
+
+/// Marker type; use [`Campaign::builder`].
+pub struct Campaign;
+
+impl Campaign {
+    /// Starts describing a campaign.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::default()
+    }
+}
+
+/// Fluent description of a campaign; finish with [`CampaignBuilder::run`]
+/// (or [`CampaignBuilder::env`] for hand-driven flows).
+pub struct CampaignBuilder {
+    clock: Option<SimClock>,
+    targets: Vec<DeviceProfile>,
+    spawner: Option<FuzzerSpawner>,
+    budget: TxBudget,
+    oracle: OraclePolicy,
+    link_config: LinkConfig,
+    seed: u64,
+    auto_restart: bool,
+    executor: Box<dyn CampaignExecutor>,
+}
+
+impl Default for CampaignBuilder {
+    fn default() -> Self {
+        CampaignBuilder {
+            clock: None,
+            targets: Vec::new(),
+            spawner: None,
+            budget: TxBudget::unlimited(),
+            oracle: OraclePolicy::OutOfBand,
+            link_config: LinkConfig::default(),
+            seed: FuzzConfig::default().seed,
+            auto_restart: false,
+            executor: Box::new(SerialExecutor),
+        }
+    }
+}
+
+impl CampaignBuilder {
+    /// Observes the campaign on `clock`: after the run it is advanced by the
+    /// campaign's elapsed time (the longest per-target time — targets run on
+    /// isolated clocks, in parallel in the modelled world).
+    pub fn clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Adds one target device.
+    pub fn target(mut self, profile: DeviceProfile) -> Self {
+        self.targets.push(profile);
+        self
+    }
+
+    /// Adds several target devices.
+    pub fn targets(mut self, profiles: impl IntoIterator<Item = DeviceProfile>) -> Self {
+        self.targets.extend(profiles);
+        self
+    }
+
+    /// Sets the tool: `spawn` is called once per target so every environment
+    /// gets a fresh instance.  Defaults to a single L2Fuzz detection session
+    /// with the paper's configuration.
+    pub fn fuzzer(mut self, spawn: impl Fn() -> Box<dyn Fuzzer> + Send + Sync + 'static) -> Self {
+        self.spawner = Some(Arc::new(spawn));
+        self
+    }
+
+    /// Sets the per-target transmission budget (default: unlimited).
+    ///
+    /// The unlimited default suits the default tool (L2Fuzz detection, which
+    /// stops at a finding or its round cap); budget-driven tools — the
+    /// trace-only baselines and [`L2FuzzTool::comparison`] — run until the
+    /// budget is spent or the target dies, so give them a finite budget or
+    /// the campaign will not terminate.
+    pub fn budget(mut self, budget: TxBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the out-of-band oracle policy (default:
+    /// [`OraclePolicy::OutOfBand`]).
+    pub fn oracle(mut self, oracle: OraclePolicy) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the physical-layer link behaviour (default:
+    /// [`LinkConfig::default`]).
+    pub fn link_config(mut self, config: LinkConfig) -> Self {
+        self.link_config = config;
+        self
+    }
+
+    /// Sets the campaign seed; every per-target RNG stream derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restarts each target's Bluetooth service after a vulnerability fires
+    /// (the tester's "manual reset"; the long comparison runs need it).
+    pub fn auto_restart(mut self, enabled: bool) -> Self {
+        self.auto_restart = enabled;
+        self
+    }
+
+    /// Sets the executor (default: [`SerialExecutor`]).
+    pub fn executor(mut self, executor: impl CampaignExecutor + 'static) -> Self {
+        self.executor = Box::new(executor);
+        self
+    }
+
+    fn into_plan(self) -> Result<PlanParts, CampaignError> {
+        if self.targets.is_empty() {
+            return Err(CampaignError::NoTargets);
+        }
+        let spawner = self.spawner.unwrap_or_else(|| {
+            Arc::new(|| {
+                Box::new(L2FuzzTool::detection(FuzzConfig::default(), 1)) as Box<dyn Fuzzer>
+            })
+        });
+        Ok((
+            CampaignPlan {
+                targets: self.targets,
+                spawner,
+                budget: self.budget,
+                oracle: self.oracle,
+                link_config: self.link_config,
+                seed: self.seed,
+                auto_restart: self.auto_restart,
+            },
+            self.executor,
+            self.clock,
+        ))
+    }
+
+    /// Runs the campaign and collects every target's outcome.
+    ///
+    /// # Errors
+    /// Returns [`CampaignError::NoTargets`] for an empty target list and
+    /// [`CampaignError::Connect`] when a target's link cannot be
+    /// established.
+    pub fn run(self) -> Result<CampaignOutcome, CampaignError> {
+        let (plan, executor, clock) = self.into_plan()?;
+        let targets = executor.execute(&plan)?;
+        let elapsed = targets.iter().map(|t| t.elapsed).max().unwrap_or_default();
+        if let Some(clock) = clock {
+            clock.advance(elapsed);
+        }
+        Ok(CampaignOutcome { targets, elapsed })
+    }
+
+    /// Builds the isolated environment of the campaign's single target
+    /// without running a fuzzer — the entry point for hand-driven flows such
+    /// as the BlueBorne replay.  Fuzzer, budget, oracle and executor
+    /// settings do not apply (nothing is run); a clock set via
+    /// [`CampaignBuilder::clock`] *does* apply and becomes the environment's
+    /// clock, so an external handle observes the driven traffic's time.
+    ///
+    /// # Errors
+    /// Same conditions as [`CampaignBuilder::run`], plus
+    /// [`CampaignError::MultipleTargets`] when more than one target was
+    /// added — a manual harness drives exactly one device.
+    pub fn env(self) -> Result<TargetEnv, CampaignError> {
+        let (plan, _, clock) = self.into_plan()?;
+        if plan.target_count() > 1 {
+            return Err(CampaignError::MultipleTargets {
+                count: plan.target_count(),
+            });
+        }
+        plan.build_env_on(0, clock.unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::L2FuzzTool;
+    use btcore::TargetOracle;
+    use btstack::profiles::ProfileId;
+
+    #[test]
+    fn empty_campaign_is_rejected() {
+        assert!(matches!(
+            Campaign::builder().run(),
+            Err(CampaignError::NoTargets)
+        ));
+    }
+
+    #[test]
+    fn manual_env_rejects_multiple_targets() {
+        let result = Campaign::builder()
+            .targets([ProfileId::D1, ProfileId::D2].map(DeviceProfile::table5))
+            .env();
+        match result {
+            Err(CampaignError::MultipleTargets { count }) => assert_eq!(count, 2),
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("multi-target env() must be rejected"),
+        }
+    }
+
+    #[test]
+    fn default_fuzzer_finds_the_pixel3_dos() {
+        let outcome = Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D2))
+            .seed(11)
+            .run()
+            .expect("campaign runs");
+        assert_eq!(outcome.targets.len(), 1);
+        assert_eq!(outcome.vulnerable_count(), 1);
+        let target = outcome.into_single();
+        assert!(target.report.vulnerable());
+        assert_eq!(target.report.fuzzer, "L2Fuzz");
+        assert!(!target.trace.is_empty());
+        assert!(target.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn observer_clock_advances_by_the_campaign_elapsed_time() {
+        let clock = SimClock::new();
+        let outcome = Campaign::builder()
+            .clock(clock.clone())
+            .target(DeviceProfile::table5(ProfileId::D4))
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(clock.now(), outcome.elapsed);
+    }
+
+    #[test]
+    fn serial_and_sharded_executors_agree_bit_for_bit() {
+        fn run(sharded_threads: Option<usize>) -> Vec<String> {
+            let builder = Campaign::builder()
+                .targets([ProfileId::D2, ProfileId::D4, ProfileId::D5].map(DeviceProfile::table5))
+                .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 2)))
+                .seed(0xC0FFEE);
+            match sharded_threads {
+                None => builder.executor(SerialExecutor),
+                Some(n) => builder.executor(ShardedExecutor::new(n)),
+            }
+            .run()
+            .unwrap()
+            .reports()
+            .map(|r| r.to_json().unwrap())
+            .collect()
+        }
+        let serial = run(None);
+        assert_eq!(serial, run(Some(3)));
+        assert_eq!(serial, run(Some(2)));
+    }
+
+    #[test]
+    fn env_builds_a_manual_harness() {
+        let mut env = Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D8))
+            .seed(5)
+            .env()
+            .expect("env builds");
+        assert_eq!(env.meta.addr, env.profile.addr);
+        assert!(env.link.device_alive());
+        // The link is live: a ping crosses the air and lands in the trace.
+        let frame = l2cap::packet::signaling_frame(
+            btcore::Identifier(1),
+            l2cap::command::Command::EchoRequest(l2cap::command::EchoRequest { data: vec![1] }),
+        );
+        let responses = env.link.send_frame(&frame);
+        assert!(!responses.is_empty());
+        assert!(env.trace().len() >= 2);
+        assert!(env.oracle().ping().is_answered());
+    }
+}

@@ -37,7 +37,11 @@ pub struct FuzzConfig {
     pub stop_at_first_vulnerability: bool,
     /// Maximum number of packets to transmit before giving up (0 = no limit).
     pub max_packets: usize,
-    /// RNG seed for the whole campaign.
+    /// RNG seed for the whole campaign.  When the config runs under a
+    /// campaign (via `L2FuzzTool`), this seed is mixed with the campaign's
+    /// per-target stream rather than used verbatim, so campaigns stay
+    /// reproducible from their own seed while distinct config seeds still
+    /// produce distinct runs.
     pub seed: u64,
 }
 
@@ -62,9 +66,18 @@ impl FuzzConfig {
     /// bounded by an explicit packet budget.
     pub fn comparison(max_packets: usize, seed: u64) -> Self {
         FuzzConfig {
-            stop_at_first_vulnerability: false,
             max_packets,
             seed,
+            ..FuzzConfig::budget_driven()
+        }
+    }
+
+    /// The paper's technique with early stopping disabled — the base for
+    /// every budget-driven run (comparison and ablation experiments), where
+    /// the campaign's `TxBudget` decides when to stop.
+    pub fn budget_driven() -> Self {
+        FuzzConfig {
+            stop_at_first_vulnerability: false,
             ..FuzzConfig::default()
         }
     }

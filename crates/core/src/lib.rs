@@ -19,49 +19,68 @@
 //!    collect crash dumps through the out-of-band oracle.
 //!
 //! [`session::L2FuzzSession`] ties the four phases together and produces a
-//! [`report::FuzzReport`]; the [`fuzzer::Fuzzer`] trait is the common
-//! interface shared with the baseline fuzzers for the comparison experiments.
+//! [`report::FuzzReport`]; the [`campaign`] module is the single entry point
+//! that wires sessions (and the baseline tools, via the [`fuzzer::Fuzzer`]
+//! trait) to simulated targets.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use btcore::{FuzzRng, SimClock};
-//! use btstack::device::{share, DeviceOracle};
 //! use btstack::profiles::{DeviceProfile, ProfileId};
-//! use hci::air::AirMedium;
-//! use hci::device::VirtualDevice;
-//! use hci::link::LinkConfig;
-//! use l2fuzz::config::FuzzConfig;
-//! use l2fuzz::session::L2FuzzSession;
+//! use l2fuzz::campaign::Campaign;
 //!
-//! // Build a simulated device and register it on the virtual air medium.
-//! let clock = SimClock::new();
-//! let mut air = AirMedium::new(clock.clone());
-//! let profile = DeviceProfile::table5(ProfileId::D2);
-//! let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(11)));
-//! air.register(adapter);
-//! let meta = device.lock().meta();
+//! // Fuzz the simulated Pixel 3 (device D2 of Table V) with L2Fuzz.  The
+//! // builder wires the virtual air, the device, the link, the packet tap
+//! // and the out-of-band oracle; the default tool is one L2Fuzz detection
+//! // session with the paper's configuration.
+//! let outcome = Campaign::builder()
+//!     .target(DeviceProfile::table5(ProfileId::D2))
+//!     .seed(11)
+//!     .run()
+//!     .expect("campaign runs");
 //!
-//! // Connect an ACL link and run the four-phase session against it.
-//! let mut link = air
-//!     .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(12))
-//!     .unwrap();
-//! let mut oracle = DeviceOracle::new(device.clone());
-//! let config = FuzzConfig { seed: 11, ..FuzzConfig::default() };
-//! let report = L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut oracle));
-//!
-//! // Inspect the report: findings, packets sent, states tested.
-//! assert!(report.vulnerable());
-//! assert!(report.packets_sent > 0);
-//! assert!(!report.states_tested.is_empty());
+//! // Inspect the per-target outcome: report, trace, elapsed time, device.
+//! let target = outcome.into_single();
+//! assert!(target.report.vulnerable());
+//! assert!(target.report.packets_sent > 0);
+//! assert!(!target.report.states_tested.is_empty());
+//! assert!(!target.trace.is_empty());
 //! ```
 //!
-//! The `quickstart` workspace example and the crate-level test suite show the
-//! same wiring with tracing and metrics attached.
+//! Multi-device experiments add more [`campaign::CampaignBuilder::target`]s
+//! and, to spread them across worker threads, a
+//! [`campaign::ShardedExecutor`] — per-target results are bit-for-bit
+//! identical at any thread count because every target runs in an isolated
+//! environment seeded from the campaign seed.
+//!
+//! # Migrating from `L2FuzzSession::run`
+//!
+//! Code written before the campaign API built an `AirMedium`, registered a
+//! device, connected a link, attached a tap and called
+//! [`session::L2FuzzSession::run`] by hand.  That wiring now lives behind
+//! [`campaign::Campaign::builder`]:
+//!
+//! * `AirMedium::new` + `register` + `connect` + `new_tap` →
+//!   `.target(profile)` (the builder creates an isolated clock, air medium,
+//!   link and tap per target).
+//! * `L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut
+//!   oracle))` → `.fuzzer(|| Box::new(L2FuzzTool::detection(config, rounds)))`
+//!   plus `.oracle(OraclePolicy::OutOfBand)` (the default); the report comes
+//!   back in [`campaign::TargetOutcome::report`].
+//! * A raw packet budget (`Fuzzer::fuzz(&mut link, max_packets)`) →
+//!   `.budget(TxBudget::packets(n))`; the budget now reaches every tool
+//!   through [`fuzzer::FuzzCtx`].
+//! * Hand-driven flows that need the bare link keep working: swap the manual
+//!   wiring for [`campaign::CampaignBuilder::env`], which returns the
+//!   isolated [`campaign::TargetEnv`] (device, link, tap, clock).
+//!
+//! [`session::L2FuzzSession`] itself is unchanged and remains the four-phase
+//! engine; only the harness around it moved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod config;
 pub mod detector;
 pub mod fuzzer;
@@ -72,7 +91,11 @@ pub mod report;
 pub mod scanner;
 pub mod session;
 
+pub use campaign::{
+    Campaign, CampaignError, CampaignExecutor, CampaignOutcome, OraclePolicy, SerialExecutor,
+    ShardedExecutor, TargetEnv, TargetOutcome,
+};
 pub use config::FuzzConfig;
-pub use fuzzer::Fuzzer;
+pub use fuzzer::{FuzzCtx, Fuzzer, TxBudget};
 pub use report::{FuzzReport, VulnerabilityFinding};
-pub use session::L2FuzzSession;
+pub use session::{L2FuzzSession, L2FuzzTool};

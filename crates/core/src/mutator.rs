@@ -112,7 +112,11 @@ impl CoreFieldMutator {
         let declared_data_len = data.len() as u16;
         if self.append_garbage && self.max_garbage_len > 0 {
             let garbage_len = self.rng.range_usize(1, self.max_garbage_len);
-            data.extend_from_slice(&self.rng.bytes(garbage_len));
+            // Fill the tail in place instead of materializing a temporary
+            // `Vec<u8>` per packet (this is the mutation hot path).
+            let start = data.len();
+            data.resize(start + garbage_len, 0);
+            self.rng.fill_bytes(&mut data[start..]);
         }
 
         let mut packet = SignalingPacket {

@@ -152,23 +152,41 @@ impl L2FuzzSession {
     }
 }
 
-/// [`Fuzzer`]-trait adapter used by the comparison experiments: runs L2Fuzz
-/// campaigns back to back (without an oracle) until the packet budget is
-/// spent.
+/// [`Fuzzer`]-trait adapter over [`L2FuzzSession`], used by every campaign.
+///
+/// The tool runs sessions back to back inside its [`FuzzCtx`], deriving each
+/// round's seed from the context's per-target seed stream.  Two standing
+/// configurations cover the paper's experiments:
+///
+/// * [`L2FuzzTool::detection`] — Table VI methodology: repeat campaigns
+///   (with the out-of-band oracle from the context) until a vulnerability is
+///   found or the round cap is reached.
+/// * [`L2FuzzTool::comparison`] — §IV-C/D methodology: never stop early,
+///   keep fuzzing until the context's packet budget is spent.
 pub struct L2FuzzTool {
     config: FuzzConfig,
-    clock: SimClock,
-    meta: DeviceMeta,
+    max_rounds: usize,
 }
 
 impl L2FuzzTool {
-    /// Creates the comparison-mode tool.
-    pub fn new(config: FuzzConfig, clock: SimClock, meta: DeviceMeta) -> Self {
+    /// Creates a tool that runs sessions with `config` until the context's
+    /// budget is spent (no round cap).
+    pub fn new(config: FuzzConfig) -> Self {
         L2FuzzTool {
             config,
-            clock,
-            meta,
+            max_rounds: usize::MAX,
         }
+    }
+
+    /// Detection mode (Table VI): stop at the first vulnerability, give up
+    /// after `max_rounds` campaigns.
+    pub fn detection(config: FuzzConfig, max_rounds: usize) -> Self {
+        L2FuzzTool { config, max_rounds }
+    }
+
+    /// Comparison mode (§IV-C/D): never stop early, burn the whole budget.
+    pub fn comparison() -> Self {
+        L2FuzzTool::new(FuzzConfig::budget_driven())
     }
 }
 
@@ -177,28 +195,73 @@ impl Fuzzer for L2FuzzTool {
         "L2Fuzz"
     }
 
-    fn fuzz(&mut self, link: &mut AclLink, max_packets: usize) {
-        let start = link.frames_sent();
+    fn fuzz(&mut self, ctx: &mut crate::fuzzer::FuzzCtx<'_>) -> Option<FuzzReport> {
+        let mut merged: Option<FuzzReport> = None;
         let mut round = 0u64;
-        loop {
-            let sent = link.frames_sent().saturating_sub(start);
-            if sent >= max_packets as u64 {
+        while (round as usize) < self.max_rounds {
+            let remaining = ctx.remaining();
+            if remaining == Some(0) {
                 break;
             }
             let mut config = self.config.clone();
-            config.stop_at_first_vulnerability = false;
-            config.max_packets = (max_packets as u64 - sent) as usize;
-            config.seed = self.config.seed.wrapping_add(round);
-            let before = link.frames_sent();
-            let mut session = L2FuzzSession::new(config, self.clock.clone());
-            session.run(link, self.meta.clone(), None);
+            // Domain-separated session seed: the raw per-target seed drives
+            // the simulated device's own RNG, so round seeds come from an
+            // independent stream (0x4C32 = "L2").  The configured seed stays
+            // a real input — two tools with different config seeds diverge
+            // under the same campaign seed.
+            config.seed = ctx
+                .stream_seed(self.config.seed ^ 0x4C32)
+                .wrapping_add(round);
+            if let Some(remaining) = remaining {
+                config.max_packets = if config.max_packets == 0 {
+                    remaining as usize
+                } else {
+                    config.max_packets.min(remaining as usize)
+                };
+            }
+            let before = ctx.link.frames_sent();
+            let round_start_secs = ctx.clock.now().as_secs();
+            let meta = ctx.meta.clone();
+            let mut session = L2FuzzSession::new(config, ctx.clock.clone());
+            let (link, oracle) = ctx.link_and_oracle();
+            let mut report = session.run(link, meta, oracle);
+            // Report elapsed times relative to the whole experiment (the
+            // environment's clock), not just this round: the session stamped
+            // each finding with its round-relative detection time.
+            report.elapsed_secs = ctx.clock.now().as_secs();
+            for finding in &mut report.findings {
+                finding.elapsed_secs += round_start_secs;
+            }
+            let vulnerable = report.vulnerable();
+            let stalled = ctx.link.frames_sent() == before;
+            // Merge rounds instead of keeping only the last one: in
+            // comparison mode a finding from an early round must survive the
+            // budget-burning rounds that follow it.
+            match merged {
+                None => merged = Some(report),
+                Some(ref mut total) => {
+                    total.packets_sent += report.packets_sent;
+                    total.malformed_sent += report.malformed_sent;
+                    for state in report.states_tested {
+                        if !total.states_tested.contains(&state) {
+                            total.states_tested.push(state);
+                        }
+                    }
+                    total.findings.extend(report.findings);
+                    total.elapsed_secs = report.elapsed_secs;
+                }
+            }
             round += 1;
-            if link.frames_sent() == before {
+            if vulnerable && self.config.stop_at_first_vulnerability {
+                break;
+            }
+            if stalled {
                 // Nothing went out this round (target down) — stop burning
                 // the budget.
                 break;
             }
         }
+        merged
     }
 }
 

@@ -102,6 +102,7 @@ impl AirMedium {
             handle,
             frames_sent: 0,
             frames_received: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -140,6 +141,9 @@ pub struct AclLink {
     handle: ConnectionHandle,
     frames_sent: u64,
     frames_received: u64,
+    /// Reusable serialization buffer so the per-frame hot path does not
+    /// allocate a fresh `Vec<u8>` for every transmitted frame.
+    scratch: Vec<u8>,
 }
 
 impl AclLink {
@@ -198,22 +202,34 @@ impl AclLink {
         self.record(Direction::Tx, frame);
         self.frames_sent += 1;
 
-        // Fragment/reassemble through the ACL layer; this exercises the same
-        // path a real controller buffer would.
-        let fragments = acl::fragment(self.handle, &frame.to_bytes());
+        // Serialize into the reusable scratch buffer: the common case (one
+        // ACL fragment) must not allocate per frame.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        frame.encode_into(&mut scratch);
+        let fragment_count = scratch.len().div_ceil(acl::ACL_FRAGMENT_SIZE).max(1);
         self.clock
-            .advance_micros(self.config.latency_micros * fragments.len() as u64);
+            .advance_micros(self.config.latency_micros * fragment_count as u64);
 
         if self.config.loss_probability > 0.0 && self.rng.chance(self.config.loss_probability) {
             // Frame lost on the air: the target never sees it.
+            self.scratch = scratch;
             return Vec::new();
         }
 
-        let delivered = match acl::reassemble(&fragments) {
-            Ok(bytes) => bytes,
-            Err(_) => return Vec::new(),
+        // A single fragment crosses the air byte-for-byte; larger frames go
+        // through the full ACL fragmentation/reassembly path, exercising the
+        // same code a real controller buffer would.
+        let delivered_frame = if fragment_count == 1 {
+            L2capFrame::parse(&scratch)
+        } else {
+            let fragments = acl::fragment(self.handle, &scratch);
+            match acl::reassemble(&fragments) {
+                Ok(bytes) => L2capFrame::parse(&bytes),
+                Err(e) => Err(e),
+            }
         };
-        let delivered_frame = match L2capFrame::parse(&delivered) {
+        self.scratch = scratch;
+        let delivered_frame = match delivered_frame {
             Ok(f) => f,
             Err(_) => return Vec::new(),
         };

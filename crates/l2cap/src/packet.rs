@@ -58,11 +58,19 @@ impl L2capFrame {
 
     /// Serializes the frame: declared length, CID, then the payload bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(4 + self.payload.len());
-        w.write_u16(self.declared_payload_len);
-        w.write_u16(self.cid.value());
-        w.write_bytes(&self.payload);
-        w.into_bytes()
+        let mut out = Vec::with_capacity(4 + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the frame into `out` (cleared first).  Lets transmit hot
+    /// paths reuse one scratch buffer instead of allocating per frame.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(4 + self.payload.len());
+        out.extend_from_slice(&self.declared_payload_len.to_le_bytes());
+        out.extend_from_slice(&self.cid.value().to_le_bytes());
+        out.extend_from_slice(&self.payload);
     }
 
     /// Parses a frame from raw bytes.  The payload is everything after the
@@ -187,6 +195,12 @@ impl SignalingPacket {
     /// Wraps this signalling packet in an L2CAP frame on the signalling
     /// channel, with consistent length fields.
     pub fn into_frame(self) -> L2capFrame {
+        self.to_frame()
+    }
+
+    /// Borrowing variant of [`SignalingPacket::into_frame`]: builds the frame
+    /// without consuming (or cloning) the packet.
+    pub fn to_frame(&self) -> L2capFrame {
         L2capFrame::new(Cid::SIGNALING, self.to_bytes())
     }
 

@@ -3,33 +3,29 @@
 //! reach the configuration state, then send a normal Configuration Request
 //! followed by a malformed Configuration Response.
 //!
+//! Hand-driven flows obtain their wired target environment (device, link,
+//! tap, clock) from `Campaign::builder().env()` instead of assembling an
+//! `AirMedium` manually.
+//!
 //! Run with: `cargo run --example blueborne_flow`
 
-use btcore::{FuzzRng, Identifier, Psm, SimClock};
-use btstack::device::share;
+use btcore::{Identifier, Psm};
 use btstack::profiles::{DeviceProfile, ProfileId};
-use hci::air::AirMedium;
-use hci::link::{new_tap, LinkConfig};
 use l2cap::packet::{parse_signaling, SignalingPacket};
+use l2fuzz::campaign::Campaign;
 use l2fuzz::guide::StateGuide;
-use sniffer::Trace;
 
 fn main() {
-    let clock = SimClock::new();
-    let mut air = AirMedium::new(clock.clone());
-    let profile = DeviceProfile::table5(ProfileId::D8);
-    let (_device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
-    air.register(adapter);
-    let mut link = air
-        .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(6))
-        .unwrap();
-    let tap = new_tap();
-    link.attach_tap(tap.clone());
+    let mut env = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D8))
+        .seed(5)
+        .env()
+        .expect("target environment builds");
 
     // ConnectionRequest (PSM: SDP) -> state transition without pairing.
     let mut guide = StateGuide::new();
     let ctx = guide
-        .open_channel(&mut link, Psm::SDP, false)
+        .open_channel(&mut env.link, Psm::SDP, false)
         .expect("SDP connect");
     println!(
         "CLOSED -> configuration job without pairing (DCID {})",
@@ -37,7 +33,7 @@ fn main() {
     );
 
     // Normal Configuration Request.
-    guide.send_configure_request(&mut link, ctx);
+    guide.send_configure_request(&mut env.link, ctx);
 
     // Malformed Configuration Response - pending, with an overflowing tail.
     let mut data = ctx.dcid.value().to_le_bytes().to_vec();
@@ -51,7 +47,7 @@ fn main() {
         declared_data_len: declared,
         data,
     };
-    let responses = link.send_frame(&malformed.into_frame());
+    let responses = env.link.send_frame(&malformed.into_frame());
     println!(
         "malformed Configuration Response sent; {} response frame(s)",
         responses.len()
@@ -62,7 +58,7 @@ fn main() {
         }
     }
 
-    let trace = Trace::from_tap(&tap);
+    let trace = env.trace();
     println!(
         "exchange captured: {} packets ({} tx / {} rx)",
         trace.len(),

@@ -1,40 +1,26 @@
 //! Quickstart: fuzz the simulated Pixel 3 (device D2 of the paper's Table V)
 //! with L2Fuzz and print the resulting report.
 //!
+//! `Campaign::builder()` is the single entry point: it wires the virtual air
+//! medium, the simulated device, the ACL link, the packet tap and the
+//! out-of-band oracle, then runs the tool (one L2Fuzz detection session by
+//! default) and hands back the report, the sniffed trace and the device.
+//!
 //! Run with: `cargo run --example quickstart`
 
-use btcore::{FuzzRng, SimClock};
-use btstack::device::{share, DeviceOracle};
 use btstack::profiles::{DeviceProfile, ProfileId};
-use hci::air::AirMedium;
-use hci::device::VirtualDevice;
-use hci::link::{new_tap, LinkConfig};
-use l2fuzz::config::FuzzConfig;
-use l2fuzz::session::L2FuzzSession;
-use sniffer::{MetricsSummary, StateCoverage, Trace};
+use l2fuzz::campaign::Campaign;
+use sniffer::{MetricsSummary, StateCoverage};
 
 fn main() {
-    // 1. Build the virtual air and register the target device.
-    let clock = SimClock::new();
-    let mut air = AirMedium::new(clock.clone());
-    let profile = DeviceProfile::table5(ProfileId::D2);
-    let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(1)));
-    air.register(adapter);
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D2))
+        .seed(1)
+        .run()
+        .expect("campaign runs")
+        .into_single();
 
-    // 2. Discover and connect (no pairing involved).
-    let meta = air.inquiry().pop().expect("inquiry finds the target");
-    let mut link = air
-        .connect(profile.addr, LinkConfig::default(), FuzzRng::seed_from(2))
-        .expect("connect to target");
-    let tap = new_tap();
-    link.attach_tap(tap.clone());
-
-    // 3. Run the L2Fuzz campaign with an out-of-band oracle.
-    let mut oracle = DeviceOracle::new(device.clone());
-    let mut session = L2FuzzSession::new(FuzzConfig::default(), clock);
-    let report = session.run(&mut link, meta, Some(&mut oracle));
-
-    // 4. Inspect the results.
+    let report = &outcome.report;
     println!("target        : {}", report.target);
     println!("chosen port   : {:?}", report.scan.chosen_port);
     println!("states tested : {}", report.states_tested.len());
@@ -50,16 +36,14 @@ fn main() {
         );
         println!("elapsed       : {}", finding.elapsed_display());
     }
-    for dump in device.lock().crash_dumps() {
+    for dump in outcome.device.lock().crash_dumps() {
         println!("--- crash dump ---\n{}", dump.render());
     }
 
-    let trace = Trace::from_tap(&tap);
-    let metrics = MetricsSummary::from_trace(&trace);
+    let metrics = MetricsSummary::from_trace(&outcome.trace);
     println!("{}", metrics.table_row("L2Fuzz"));
     println!(
         "state coverage: {}/19",
-        StateCoverage::from_trace(&trace).count()
+        StateCoverage::from_trace(&outcome.trace).count()
     );
-    let _ = device.lock().meta();
 }

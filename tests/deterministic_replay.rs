@@ -1,44 +1,27 @@
-//! Reproducibility guarantee (paper §III): a fuzzing run is a pure function
-//! of its seed.  Two sessions with the same seed against freshly built
-//! simulated devices must produce byte-identical reports and traces; a
-//! different seed must actually change the campaign.
+//! Reproducibility guarantee (paper §III): a fuzzing campaign is a pure
+//! function of its seed.  Two campaigns with the same seed against freshly
+//! built simulated devices must produce byte-identical reports and traces; a
+//! different seed must actually change the campaign.  The same holds across
+//! executors: `ShardedExecutor` at any thread count must reproduce
+//! `SerialExecutor`'s per-device results bit-for-bit.
 
-use btcore::{FuzzRng, SimClock};
-use btstack::device::{share, DeviceOracle};
 use btstack::profiles::{DeviceProfile, ProfileId};
-use hci::air::AirMedium;
-use hci::device::VirtualDevice;
-use hci::link::{new_tap, LinkConfig};
+use l2fuzz::campaign::{Campaign, CampaignOutcome, SerialExecutor, ShardedExecutor};
 use l2fuzz::config::FuzzConfig;
 use l2fuzz::report::FuzzReport;
-use l2fuzz::session::L2FuzzSession;
+use l2fuzz::session::L2FuzzTool;
 use sniffer::Trace;
 
-/// One complete, self-contained fuzzing session: fresh clock, fresh air
-/// medium, fresh device — nothing shared with any other invocation.
-fn run_session(id: ProfileId, seed: u64) -> (FuzzReport, Trace) {
-    let clock = SimClock::new();
-    let mut air = AirMedium::new(clock.clone());
-    let profile = DeviceProfile::table5(id);
-    let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(seed)));
-    air.register(adapter);
-    let meta = device.lock().meta();
-    let mut link = air
-        .connect(
-            profile.addr,
-            LinkConfig::default(),
-            FuzzRng::seed_from(seed + 1),
-        )
-        .unwrap();
-    let tap = new_tap();
-    link.attach_tap(tap.clone());
-    let mut oracle = DeviceOracle::new(device.clone());
-    let config = FuzzConfig {
-        seed,
-        ..FuzzConfig::default()
-    };
-    let report = L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut oracle));
-    (report, Trace::from_tap(&tap))
+/// One complete, self-contained single-target campaign: fresh clock, fresh
+/// air medium, fresh device — nothing shared with any other invocation.
+fn run_campaign(id: ProfileId, seed: u64) -> (FuzzReport, Trace) {
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(id))
+        .seed(seed)
+        .run()
+        .expect("campaign runs")
+        .into_single();
+    (outcome.report, outcome.trace)
 }
 
 #[test]
@@ -47,8 +30,8 @@ fn same_seed_produces_identical_reports() {
     // device (campaign runs to completion) — determinism must hold on both
     // paths.
     for (id, seed) in [(ProfileId::D2, 0xD5EED), (ProfileId::D4, 0xD5EED)] {
-        let (first, first_trace) = run_session(id, seed);
-        let (second, second_trace) = run_session(id, seed);
+        let (first, first_trace) = run_campaign(id, seed);
+        let (second, second_trace) = run_campaign(id, seed);
         assert_eq!(first, second, "{id} seed {seed:#x}: reports diverged");
 
         // The serialized form is the artifact a user archives; it must be
@@ -67,19 +50,19 @@ fn same_seed_produces_identical_reports() {
 
 #[test]
 fn replayed_report_survives_a_json_round_trip() {
-    let (report, _) = run_session(ProfileId::D2, 0xD5EED);
+    let (report, _) = run_campaign(ProfileId::D2, 0xD5EED);
     let json = report.to_json().unwrap();
     let back = FuzzReport::from_json(&json).unwrap();
     assert_eq!(back, report);
     // And a re-run still matches the deserialized copy.
-    let (again, _) = run_session(ProfileId::D2, 0xD5EED);
+    let (again, _) = run_campaign(ProfileId::D2, 0xD5EED);
     assert_eq!(back, again);
 }
 
 #[test]
 fn different_seeds_change_the_campaign() {
-    let (a, trace_a) = run_session(ProfileId::D4, 1);
-    let (b, trace_b) = run_session(ProfileId::D4, 2);
+    let (a, trace_a) = run_campaign(ProfileId::D4, 1);
+    let (b, trace_b) = run_campaign(ProfileId::D4, 2);
     let frames =
         |t: &Trace| -> Vec<Vec<u8>> { t.records().iter().map(|r| r.frame.to_bytes()).collect() };
     assert_ne!(
@@ -89,4 +72,43 @@ fn different_seeds_change_the_campaign() {
     );
     // Campaign shape stays comparable even though the packets differ.
     assert_eq!(a.states_tested, b.states_tested);
+}
+
+/// Runs the full eight-device survey with the given executor and returns the
+/// serialized per-device reports plus the raw traces.
+fn survey(executor_threads: Option<usize>, seed: u64) -> (Vec<String>, Vec<Trace>) {
+    let builder = Campaign::builder()
+        .targets(DeviceProfile::all())
+        .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 3)))
+        .seed(seed);
+    let outcome: CampaignOutcome = match executor_threads {
+        None => builder.executor(SerialExecutor),
+        Some(n) => builder.executor(ShardedExecutor::new(n)),
+    }
+    .run()
+    .expect("survey runs");
+    let json = outcome.reports().map(|r| r.to_json().unwrap()).collect();
+    let traces = outcome.targets.into_iter().map(|t| t.trace).collect();
+    (json, traces)
+}
+
+#[test]
+fn sharded_executor_reproduces_serial_reports_at_any_thread_count() {
+    let seed = 0x5EED_CAFE;
+    let (serial_reports, serial_traces) = survey(None, seed);
+    assert_eq!(serial_reports.len(), 8);
+    for threads in [1, 2, 4] {
+        let (sharded_reports, sharded_traces) = survey(Some(threads), seed);
+        assert_eq!(
+            serial_reports, sharded_reports,
+            "per-device FuzzReport JSON diverged at {threads} thread(s)"
+        );
+        for (i, (a, b)) in serial_traces.iter().zip(&sharded_traces).enumerate() {
+            assert_eq!(
+                a.records(),
+                b.records(),
+                "trace of target #{i} diverged at {threads} thread(s)"
+            );
+        }
+    }
 }

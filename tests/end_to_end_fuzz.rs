@@ -1,42 +1,23 @@
-//! End-to-end integration tests: the full pipeline (air medium, simulated
-//! vendor stacks, L2Fuzz session, detection, reporting) across the Table V
-//! device profiles.
+//! End-to-end integration tests: the full pipeline (campaign harness, air
+//! medium, simulated vendor stacks, L2Fuzz session, detection, reporting)
+//! across the Table V device profiles — all driven through
+//! `Campaign::builder()`.
 
-use btcore::{FuzzRng, SimClock};
-use btstack::device::{share, DeviceOracle, HostStatus};
+use btstack::device::HostStatus;
 use btstack::profiles::{DeviceProfile, ProfileId};
-use hci::air::AirMedium;
-use hci::device::VirtualDevice;
-use hci::link::{new_tap, LinkConfig};
-use l2fuzz::config::FuzzConfig;
+use l2fuzz::campaign::Campaign;
 use l2fuzz::report::FuzzReport;
-use l2fuzz::session::L2FuzzSession;
 use sniffer::{MetricsSummary, StateCoverage, Trace};
 
 fn fuzz_device(id: ProfileId, seed: u64) -> (FuzzReport, Trace, HostStatus) {
-    let clock = SimClock::new();
-    let mut air = AirMedium::new(clock.clone());
-    let profile = DeviceProfile::table5(id);
-    let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(seed)));
-    air.register(adapter);
-    let meta = device.lock().meta();
-    let mut link = air
-        .connect(
-            profile.addr,
-            LinkConfig::default(),
-            FuzzRng::seed_from(seed + 1),
-        )
-        .unwrap();
-    let tap = new_tap();
-    link.attach_tap(tap.clone());
-    let mut oracle = DeviceOracle::new(device.clone());
-    let config = FuzzConfig {
-        seed,
-        ..FuzzConfig::default()
-    };
-    let report = L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut oracle));
-    let status = device.lock().status();
-    (report, Trace::from_tap(&tap), status)
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(id))
+        .seed(seed)
+        .run()
+        .expect("campaign runs")
+        .into_single();
+    let status = outcome.device.lock().status();
+    (outcome.report, outcome.trace, status)
 }
 
 #[test]
