@@ -11,7 +11,7 @@ use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
 use hci::air::AclLink;
 use l2cap::command::{Command, ConfigureRequest, ConnectionRequest, DisconnectionRequest};
 use l2cap::options::ConfigOption;
-use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
+use l2cap::packet::SignalingPacket;
 use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
 use l2fuzz::report::FuzzReport;
 use std::time::Duration;
@@ -42,16 +42,12 @@ impl BFuzzFuzzer {
         id: u8,
         command: Command,
     ) -> Vec<Command> {
-        clock.advance(Duration::from_micros(1_200));
-        link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
-            .iter()
-            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
-            .collect()
+        crate::send_command(clock, Duration::from_micros(1_200), link, id, &command)
     }
 
     fn send_raw(&mut self, clock: &SimClock, link: &mut AclLink, packet: SignalingPacket) {
         clock.advance(Duration::from_micros(1_200));
-        let _ = link.send_frame(&packet.into_frame());
+        let _ = link.send_frame(&packet.to_frame_in(link.arena()));
     }
 }
 

@@ -7,10 +7,9 @@
 //! packets the receiver actually counts as malformed and receiving no
 //! rejections (0 % MP, 0 % PR, three covered states), at a very low speed.
 
-use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
+use btcore::{Cid, FuzzRng, Psm, SimClock};
 use hci::air::AclLink;
 use l2cap::command::{Command, ConnectionRequest, EchoRequest, InformationRequest};
-use l2cap::packet::{parse_signaling, signaling_frame};
 use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
 use l2fuzz::report::FuzzReport;
 use std::time::Duration;
@@ -37,11 +36,7 @@ impl BssFuzzer {
     ) -> Vec<Command> {
         // BSS builds each packet interactively; roughly half a second of
         // virtual time per test case reproduces its ~2 packets/second pace.
-        clock.advance(Duration::from_millis(505));
-        link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
-            .iter()
-            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
-            .collect()
+        crate::send_command(clock, Duration::from_millis(505), link, id, &command)
     }
 }
 

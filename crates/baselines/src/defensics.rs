@@ -13,7 +13,7 @@ use l2cap::command::{
 };
 use l2cap::consts::ConfigureResult;
 use l2cap::options::ConfigOption;
-use l2cap::packet::{parse_signaling, signaling_frame, SignalingPacket};
+use l2cap::packet::SignalingPacket;
 use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
 use l2fuzz::report::FuzzReport;
 use std::time::Duration;
@@ -51,16 +51,12 @@ impl DefensicsFuzzer {
         id: u8,
         command: Command,
     ) -> Vec<Command> {
-        clock.advance(self.think_time);
-        link.send_frame(&signaling_frame(Identifier(id.max(1)), command))
-            .iter()
-            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
-            .collect()
+        crate::send_command(clock, self.think_time, link, id, &command)
     }
 
     fn send_raw(&mut self, clock: &SimClock, link: &mut AclLink, packet: SignalingPacket) {
         clock.advance(self.think_time);
-        let _ = link.send_frame(&packet.into_frame());
+        let _ = link.send_frame(&packet.to_frame_in(link.arena()));
     }
 }
 
@@ -109,7 +105,7 @@ impl Fuzzer for DefensicsFuzzer {
                         identifier: Identifier(2),
                         code: 0x04,
                         declared_data_len: declared,
-                        data,
+                        data: data.into(),
                     },
                 );
             } else {

@@ -24,3 +24,36 @@ pub mod defensics;
 pub use bfuzz::BFuzzFuzzer;
 pub use bss::BssFuzzer;
 pub use defensics::DefensicsFuzzer;
+
+use btcore::{Identifier, SimClock};
+use hci::air::AclLink;
+use l2cap::command::Command;
+use l2cap::packet::parse_signaling;
+use std::time::Duration;
+
+/// Shared transmit helper of the three baselines: charge the tool's
+/// per-test-case think time, frame the command into the link's buffer arena
+/// and send it.
+///
+/// Every baseline only ever inspects Connection Responses in the answers
+/// (to learn the allocated DCID), so only those are decoded — the rest of
+/// the response path stays allocation-free.
+pub(crate) fn send_command(
+    clock: &SimClock,
+    think_time: Duration,
+    link: &mut AclLink,
+    id: u8,
+    command: &Command,
+) -> Vec<Command> {
+    clock.advance(think_time);
+    link.send_frame(&l2cap::packet::signaling_frame_in(
+        link.arena(),
+        Identifier(id.max(1)),
+        command,
+    ))
+    .iter()
+    .filter_map(|f| parse_signaling(f).ok())
+    .filter(|p| p.code == l2cap::code::CommandCode::ConnectionResponse.value())
+    .map(|p| p.command())
+    .collect()
+}

@@ -1,11 +1,14 @@
 //! Criterion bench: end-to-end packets-per-second of each fuzzer against the
 //! simulated Pixel 3 (the §IV-C pps comparison).
-use bench::run_comparison;
+//!
+//! Deliberately measures the *serial* comparison so the tracked number is
+//! per-packet pipeline cost, not thread-level parallelism.
+use bench::run_comparison_serial;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_throughput(c: &mut Criterion) {
     c.bench_function("comparison_round_500_packets_all_fuzzers", |b| {
-        b.iter(|| std::hint::black_box(run_comparison(500, 0xBEEF)))
+        b.iter(|| std::hint::black_box(run_comparison_serial(500, 0xBEEF)))
     });
 }
 

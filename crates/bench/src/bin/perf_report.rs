@@ -1,0 +1,193 @@
+//! Quick-mode performance report: runs the workload of each of the five
+//! Criterion benches a fixed number of times, records the median wall-clock
+//! per iteration plus derived packets/second and measured heap allocations
+//! per packet, and writes the result as JSON.
+//!
+//! The committed `BENCH_PR3.json` at the repository root is the tracked
+//! baseline of this report; CI re-runs it on every change (non-gating) and
+//! uploads the fresh report as an artifact so perf regressions are visible
+//! in review.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_report [output.json]
+//! ```
+
+use std::time::Instant;
+
+use alloc_counter::{allocations, CountingAllocator};
+use bench::run_comparison_serial;
+use btcore::{Cid, FuzzRng, Identifier, Psm};
+use btstack::profiles::{DeviceProfile, ProfileId};
+use l2cap::code::CommandCode;
+use l2cap::command::{Command, ConnectionRequest};
+use l2cap::packet::{parse_signaling, signaling_frame, L2capFrame};
+use l2cap::state::StateMachine;
+use l2fuzz::campaign::{Campaign, OraclePolicy};
+use l2fuzz::config::FuzzConfig;
+use l2fuzz::fuzzer::TxBudget;
+use l2fuzz::guide::ChannelContext;
+use l2fuzz::mutator::CoreFieldMutator;
+use l2fuzz::session::L2FuzzTool;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One measured bench: median ns/iteration over `runs` runs, packets/s
+/// derived from the packets one iteration pushes through the pipeline, and
+/// heap allocations per packet.
+struct Measured {
+    name: &'static str,
+    median_ns: u64,
+    packets_per_iter: u64,
+    allocs_per_packet: f64,
+}
+
+impl Measured {
+    fn packets_per_sec(&self) -> f64 {
+        if self.median_ns == 0 {
+            0.0
+        } else {
+            self.packets_per_iter as f64 / (self.median_ns as f64 / 1e9)
+        }
+    }
+}
+
+fn measure(
+    name: &'static str,
+    runs: usize,
+    packets_per_iter: u64,
+    mut iter: impl FnMut(),
+) -> Measured {
+    // Warm-up: populate arenas, caches and the allocator.
+    iter();
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(runs);
+    let allocs_before = allocations();
+    for _ in 0..runs {
+        let t = Instant::now();
+        iter();
+        samples_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let total_allocs = allocations() - allocs_before;
+    samples_ns.sort_unstable();
+    Measured {
+        name,
+        median_ns: samples_ns[samples_ns.len() / 2],
+        packets_per_iter,
+        allocs_per_packet: total_allocs as f64 / (runs as u64 * packets_per_iter.max(1)) as f64,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+    let mut results: Vec<Measured> = Vec::new();
+
+    // 1. packet_codec — encode + decode of a Connection Request frame
+    //    (1000 codec round-trips per iteration).
+    {
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
+        );
+        let bytes = frame.to_bytes();
+        results.push(measure("packet_codec", 30, 1000, || {
+            for _ in 0..1000 {
+                let f = L2capFrame::parse(std::hint::black_box(&bytes)).unwrap();
+                std::hint::black_box(parse_signaling(&f).unwrap().command());
+                std::hint::black_box(frame.to_bytes());
+            }
+        }));
+    }
+
+    // 2. mutation — Algorithm 1 over the configuration job, 8 packets per
+    //    command per iteration (the Criterion bench's batch).
+    {
+        let mut mutator = CoreFieldMutator::new(FuzzRng::seed_from(1));
+        let ctx = ChannelContext {
+            scid: Cid(0x40),
+            dcid: Cid(0x41),
+            psm: Psm::SDP,
+        };
+        let commands = l2cap::jobs::Job::Configuration.generous_valid_commands();
+        let batch = (commands.len() * 8) as u64;
+        results.push(measure("mutation", 200, batch, || {
+            std::hint::black_box(mutator.generate(&commands, 8, &ctx, Identifier(1)));
+        }));
+    }
+
+    // 3. state_machine — one full channel lifecycle per iteration.
+    {
+        results.push(measure("state_machine", 200, 6, || {
+            let mut sm = StateMachine::new();
+            sm.on_command(CommandCode::ConnectionRequest, true);
+            sm.on_command(CommandCode::ConfigureRequest, true);
+            sm.on_command(CommandCode::ConfigureResponse, true);
+            sm.on_command(CommandCode::MoveChannelRequest, true);
+            sm.on_command(CommandCode::MoveChannelConfirmationRequest, true);
+            sm.on_command(CommandCode::DisconnectionRequest, true);
+            std::hint::black_box(sm.visited().len());
+        }));
+    }
+
+    // 4. packet_throughput — the §IV-C comparison round: 500 packets
+    //    through each of the four tools (2000 injected packets total),
+    //    serial so the number reflects pipeline cost, not parallelism.
+    {
+        results.push(measure("packet_throughput", 15, 2000, || {
+            std::hint::black_box(run_comparison_serial(500, 0xBEEF));
+        }));
+    }
+
+    // 5. ablation — one full-configuration 500-packet campaign.
+    {
+        results.push(measure("ablation", 15, 500, || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())))
+                .budget(TxBudget::packets(500))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .seed(0xA11A)
+                .run()
+                .expect("ablation campaign runs")
+                .into_single();
+            std::hint::black_box(outcome.trace.len());
+        }));
+    }
+
+    let mut obj: Vec<(String, serde::Value)> = Vec::new();
+    for m in &results {
+        obj.push((
+            m.name.to_owned(),
+            serde::Value::Object(vec![
+                ("median_ns".to_owned(), serde::Value::U64(m.median_ns)),
+                (
+                    "packets_per_iter".to_owned(),
+                    serde::Value::U64(m.packets_per_iter),
+                ),
+                (
+                    "packets_per_sec".to_owned(),
+                    serde::Value::F64((m.packets_per_sec() * 10.0).round() / 10.0),
+                ),
+                (
+                    "allocs_per_packet".to_owned(),
+                    serde::Value::F64((m.allocs_per_packet * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+        println!(
+            "{:<20} median {:>12} ns   {:>12.1} packets/s   {:>6.2} allocs/packet",
+            m.name,
+            m.median_ns,
+            m.packets_per_sec(),
+            m.allocs_per_packet
+        );
+    }
+    let json = serde_json::to_string_pretty(&serde::Value::Object(obj)).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("report written");
+    println!("wrote {out_path}");
+}

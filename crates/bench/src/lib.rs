@@ -17,7 +17,7 @@ use l2fuzz::config::FuzzConfig;
 use l2fuzz::fuzzer::{Fuzzer, TxBudget};
 use l2fuzz::report::FuzzReport;
 use l2fuzz::session::L2FuzzTool;
-use sniffer::{MetricsSummary, StateCoverage, Trace};
+use sniffer::{MetricsSummary, StateCoverage, Trace, TraceAnalysis};
 
 use baselines::{BFuzzFuzzer, BssFuzzer, DefensicsFuzzer};
 
@@ -81,33 +81,72 @@ pub fn spawn_tool(name: &str) -> Box<dyn Fuzzer> {
     }
 }
 
+fn run_comparison_tool(
+    budget: usize,
+    seed: u64,
+    index: usize,
+    name: &'static str,
+) -> ComparisonRun {
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D2))
+        .fuzzer(move || spawn_tool(name))
+        .budget(TxBudget::packets(budget as u64))
+        .oracle(OraclePolicy::None)
+        .auto_restart(true)
+        .seed(seed.wrapping_add(index as u64))
+        .run()
+        .expect("comparison campaign runs")
+        .into_single();
+    let analysis = TraceAnalysis::from_trace(&outcome.trace);
+    ComparisonRun {
+        name,
+        metrics: analysis.metrics,
+        coverage: analysis.coverage,
+        trace: outcome.trace,
+    }
+}
+
+/// Serial variant of [`run_comparison`]: the four campaigns run back to back
+/// on the calling thread.  This is what the `packet_throughput` Criterion
+/// bench and the `perf_report` baseline measure, so the tracked numbers
+/// reflect per-packet pipeline cost alone — never thread-level parallelism.
+pub fn run_comparison_serial(budget: usize, seed: u64) -> Vec<ComparisonRun> {
+    COMPARISON_TOOLS
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| run_comparison_tool(budget, seed, i, name))
+        .collect()
+}
+
 /// Runs all four fuzzers against a fresh Pixel 3 (D2) bench with the given
 /// per-fuzzer packet budget, reproducing the §IV-C/D comparison.  Each tool
 /// gets its own isolated campaign environment (auto-restarting target, no
 /// oracle — metrics come from the sniffed trace, as in the paper).
+///
+/// The four campaigns are fully isolated — own clock, own air medium, own
+/// RNG streams — so on a multi-core host they run concurrently, one worker
+/// thread per tool, and the per-tool traces and metrics are bit-for-bit what
+/// [`run_comparison_serial`] produces.  Results come back in
+/// [`COMPARISON_TOOLS`] order.
 pub fn run_comparison(budget: usize, seed: u64) -> Vec<ComparisonRun> {
-    COMPARISON_TOOLS
-        .into_iter()
-        .enumerate()
-        .map(|(i, name)| {
-            let outcome = Campaign::builder()
-                .target(DeviceProfile::table5(ProfileId::D2))
-                .fuzzer(move || spawn_tool(name))
-                .budget(TxBudget::packets(budget as u64))
-                .oracle(OraclePolicy::None)
-                .auto_restart(true)
-                .seed(seed.wrapping_add(i as u64))
-                .run()
-                .expect("comparison campaign runs")
-                .into_single();
-            ComparisonRun {
-                name,
-                metrics: MetricsSummary::from_trace(&outcome.trace),
-                coverage: StateCoverage::from_trace(&outcome.trace),
-                trace: outcome.trace,
-            }
-        })
-        .collect()
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if workers <= 1 {
+        // Single-core host: spawning threads only adds overhead.
+        return run_comparison_serial(budget, seed);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = COMPARISON_TOOLS
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| scope.spawn(move || run_comparison_tool(budget, seed, i, name)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("comparison worker panicked"))
+            .collect()
+    })
 }
 
 /// Packet budget used by the experiment binaries.  The paper uses 100,000

@@ -187,6 +187,13 @@ impl ByteWriter {
         }
     }
 
+    /// Wraps an existing vector; written bytes are appended after its current
+    /// contents.  Lets encoders write into reused (e.g. arena-checked-out)
+    /// buffers instead of allocating a fresh one per packet.
+    pub fn wrap(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
+
     /// Appends one byte.
     pub fn write_u8(&mut self, v: u8) {
         self.buf.push(v);

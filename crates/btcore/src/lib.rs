@@ -8,6 +8,8 @@
 //!   channel, port, link and signalling identifiers that the paper's *core
 //!   field mutating* technique targets.
 //! * [`codec`] — little-endian byte reader/writer used by every packet codec.
+//! * [`FrameBuf`], [`FrameArena`] — shared, sliceable frame buffers and their
+//!   recycling arena, the backbone of the zero-copy packet pipeline.
 //! * [`ConnectionError`] — the five connection-level error messages the
 //!   paper's vulnerability-detection phase distinguishes (§III-E).
 //! * [`SimClock`] — a deterministic virtual clock so "elapsed time" results
@@ -35,6 +37,7 @@ pub mod clock;
 pub mod codec;
 pub mod device;
 pub mod error;
+pub mod framebuf;
 pub mod ids;
 pub mod oracle;
 pub mod rng;
@@ -44,6 +47,7 @@ pub use clock::SimClock;
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use device::{DeviceClass, DeviceMeta};
 pub use error::{BtError, ConnectionError};
+pub use framebuf::{FrameArena, FrameBuf, FrameBufMut};
 pub use ids::{Cid, ConnectionHandle, Identifier, Psm};
 pub use oracle::{PingOutcome, TargetOracle};
 pub use rng::{splitmix64, FuzzRng};

@@ -146,11 +146,11 @@ impl VirtualDevice for SimulatedDevice {
         self.meta.clone()
     }
 
-    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame> {
+    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
         if self.status != HostStatus::Running {
             return Vec::new();
         }
-        let outcome = self.endpoint.handle_frame(&frame);
+        let outcome = self.endpoint.handle_frame(frame);
         if let Some(vuln) = outcome.triggered {
             self.apply_effect(&vuln);
             return Vec::new();
@@ -170,34 +170,16 @@ impl VirtualDevice for SimulatedDevice {
 /// Shared, lockable handle to a simulated device.
 pub type SharedSimulatedDevice = Arc<Mutex<SimulatedDevice>>;
 
-/// Wraps a device into a shared handle plus a forwarding adapter that can be
-/// registered on the air medium, keeping the typed handle available for
-/// out-of-band observation (the oracle).
-pub fn share(device: SimulatedDevice) -> (SharedSimulatedDevice, Box<dyn VirtualDevice>) {
+/// Wraps a device into a typed shared handle (for out-of-band observation —
+/// the oracle) plus the same handle as a [`hci::device::SharedDevice`] ready
+/// to register on the air medium.
+///
+/// Both handles are the *same* `Arc`: the air medium talks to the device
+/// through one mutex, not through a forwarding adapter that re-locks an
+/// inner one on every per-packet trait call.
+pub fn share(device: SimulatedDevice) -> (SharedSimulatedDevice, hci::device::SharedDevice) {
     let shared = Arc::new(Mutex::new(device));
-    let adapter = ForwardingDevice {
-        inner: shared.clone(),
-    };
-    (shared, Box::new(adapter))
-}
-
-struct ForwardingDevice {
-    inner: SharedSimulatedDevice,
-}
-
-impl VirtualDevice for ForwardingDevice {
-    fn meta(&self) -> DeviceMeta {
-        self.inner.lock().meta()
-    }
-    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame> {
-        self.inner.lock().receive(frame)
-    }
-    fn bluetooth_alive(&self) -> bool {
-        self.inner.lock().bluetooth_alive()
-    }
-    fn processing_cost_micros(&self) -> u64 {
-        self.inner.lock().processing_cost_micros()
-    }
+    (shared.clone(), shared)
 }
 
 /// Out-of-band observation of a simulated device (crash-dump collection and
@@ -266,7 +248,7 @@ mod tests {
                 scid: Cid(0x0040),
             }),
         );
-        assert!(!dev.receive(frame).is_empty());
+        assert!(!dev.receive(&frame).is_empty());
     }
 
     fn malformed_config(dev: &mut SimulatedDevice) -> Vec<L2capFrame> {
@@ -274,9 +256,9 @@ mod tests {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
         };
-        dev.receive(packet.into_frame())
+        dev.receive(&packet.into_frame())
     }
 
     #[test]
@@ -303,12 +285,12 @@ mod tests {
                 scid: Cid(0x0050),
             }),
         );
-        assert!(dev.receive(frame).is_empty());
+        assert!(dev.receive(&frame).is_empty());
     }
 
     #[test]
     fn oracle_reports_dos_and_crash_dumps() {
-        let (shared, mut adapter) = share(pixel_like(1.0));
+        let (shared, adapter) = share(pixel_like(1.0));
         let mut oracle = DeviceOracle::new(shared.clone());
         assert!(oracle.ping().is_answered());
         assert!(!oracle.take_crash_dump());
@@ -321,14 +303,14 @@ mod tests {
                 scid: Cid(0x0040),
             }),
         );
-        adapter.receive(frame);
+        adapter.lock().receive(&frame);
         let packet = SignalingPacket {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
         };
-        adapter.receive(packet.into_frame());
+        adapter.lock().receive(&packet.into_frame());
 
         assert!(!oracle.bluetooth_alive());
         assert_eq!(oracle.ping(), PingOutcome::Failed(ConnectionError::Failed));
@@ -369,7 +351,7 @@ mod tests {
                 Identifier(i.max(1)),
                 Command::EchoRequest(l2cap::command::EchoRequest { data: vec![i] }),
             );
-            assert!(!dev.receive(frame).is_empty());
+            assert!(!dev.receive(&frame).is_empty());
         }
         assert_eq!(dev.status(), HostStatus::Running);
         assert!(dev.fired_vulnerabilities().is_empty());

@@ -60,6 +60,9 @@ pub struct L2capEndpoint {
     rng: FuzzRng,
     packets_processed: u64,
     rejects_sent: u64,
+    /// Arena recycling response-frame buffers: a reply's payload buffer
+    /// returns here once the initiator (and any tap) is done with it.
+    arena: btcore::FrameArena,
 }
 
 impl L2capEndpoint {
@@ -81,6 +84,7 @@ impl L2capEndpoint {
             rng,
             packets_processed: 0,
             rejects_sent: 0,
+            arena: btcore::FrameArena::new(),
         }
     }
 
@@ -126,7 +130,7 @@ impl L2capEndpoint {
     }
 
     fn reply(&mut self, identifier: Identifier, command: Command) -> L2capFrame {
-        SignalingPacket::new(identifier, command).into_frame()
+        l2cap::packet::signaling_frame_in(&self.arena, identifier, &command)
     }
 
     fn reject(
@@ -150,7 +154,7 @@ impl L2capEndpoint {
             // services simply consume it.
             return EndpointOutcome::none();
         }
-        let packet = match SignalingPacket::parse(&frame.payload) {
+        let packet = match SignalingPacket::parse_buf(&frame.payload) {
             Ok(p) => p,
             Err(_) => return EndpointOutcome::none(),
         };
@@ -183,7 +187,6 @@ impl L2capEndpoint {
 
     fn handle_signaling(&mut self, packet: &SignalingPacket) -> EndpointOutcome {
         let code = CommandCode::from_u8(packet.code);
-        let command = packet.command();
 
         // Undefined command codes: "command not understood".
         let Some(code) = code else {
@@ -221,7 +224,7 @@ impl L2capEndpoint {
             state,
             code: Some(code),
             psm: core.psm,
-            cidp: core.cidp.clone(),
+            cidp: core.cidp,
             cidp_matches_allocation: cidp_matches,
             garbage_len: packet.garbage_len(),
             length_consistent: packet.is_length_consistent(),
@@ -233,7 +236,25 @@ impl L2capEndpoint {
             };
         }
 
-        let responses = self.dispatch(packet, code, &command, channel_cid);
+        // Decode only for packets that survive the vulnerability evaluation,
+        // and without materializing a `Raw` copy of undecodable payloads —
+        // dispatch never looks at raw bytes.
+        let responses = match Command::decode_opt(packet.code, &packet.data) {
+            Some(command) => self.dispatch(packet, code, command, channel_cid),
+            // Defined code, unparseable structure (`Command::Raw` territory):
+            // strict stacks reject, lenient ones stay silent.
+            None => {
+                if self.quirks.strict_malformed_filtering {
+                    Vec::new()
+                } else {
+                    vec![self.reject(
+                        packet.identifier,
+                        RejectReason::CommandNotUnderstood,
+                        Vec::new(),
+                    )]
+                }
+            }
+        };
         EndpointOutcome {
             responses,
             triggered: None,
@@ -286,7 +307,7 @@ impl L2capEndpoint {
         &mut self,
         packet: &SignalingPacket,
         code: CommandCode,
-        command: &Command,
+        command: Command,
         channel_cid: Option<Cid>,
     ) -> Vec<L2capFrame> {
         match command {
@@ -302,11 +323,11 @@ impl L2capEndpoint {
             ),
             Command::EchoRequest(req) => {
                 if self.quirks.supports_echo {
+                    // The decoded request owns its payload copy; the echo
+                    // moves it into the response instead of re-copying.
                     vec![self.reply(
                         packet.identifier,
-                        Command::EchoResponse(EchoResponse {
-                            data: req.data.clone(),
-                        }),
+                        Command::EchoResponse(EchoResponse { data: req.data }),
                     )]
                 } else {
                     Vec::new()
@@ -820,7 +841,7 @@ mod tests {
             identifier: Identifier(3),
             code: 0x02,
             declared_data_len: 4,
-            data,
+            data: data.into(),
         };
         let out = ep.handle_frame(&packet.into_frame());
         assert!(out.responses.is_empty());
@@ -845,7 +866,8 @@ mod tests {
             declared_data_len: 8,
             data: vec![
                 0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
-            ],
+            ]
+            .into(),
         };
         let out = ep.handle_frame(&packet.into_frame());
         assert_eq!(

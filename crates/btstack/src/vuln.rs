@@ -33,7 +33,7 @@ pub struct PacketContext {
     /// PSM value carried by the packet, if any.
     pub psm: Option<u16>,
     /// Channel-ID-in-payload values carried by the packet (SCID/DCID/ICID).
-    pub cidp: Vec<u16>,
+    pub cidp: l2cap::fields::CidpValues,
     /// `true` if every CIDP value matches a channel the device actually
     /// allocated.
     pub cidp_matches_allocation: bool,
@@ -230,7 +230,7 @@ mod tests {
             state: ChannelState::WaitConfigReqRsp,
             code: Some(CommandCode::ConfigureRequest),
             psm: None,
-            cidp: vec![0x8F7B],
+            cidp: l2cap::fields::CidpValues::from_slice(&[0x8F7B]),
             cidp_matches_allocation: false,
             garbage_len: 4,
             length_consistent: false,
@@ -278,7 +278,7 @@ mod tests {
             state: ChannelState::Closed,
             code: Some(CommandCode::ConnectionRequest),
             psm: Some(0x0101),
-            cidp: vec![0x0040],
+            cidp: l2cap::fields::CidpValues::from_slice(&[0x0040]),
             cidp_matches_allocation: false,
             garbage_len: 0,
             length_consistent: true,
@@ -304,7 +304,7 @@ mod tests {
             state: ChannelState::WaitCreate,
             code: Some(CommandCode::CreateChannelRequest),
             psm: Some(0x0001),
-            cidp: vec![0x0044],
+            cidp: l2cap::fields::CidpValues::from_slice(&[0x0044]),
             cidp_matches_allocation: true,
             garbage_len: 8,
             length_consistent: false,
@@ -321,7 +321,7 @@ mod tests {
     fn cidp_mismatch_condition_needs_a_cidp_value() {
         let vuln = VulnerabilitySpec::bluez_general_protection(1.0);
         let mut ctx = config_ctx();
-        ctx.cidp.clear();
+        ctx.cidp = l2cap::fields::CidpValues::default();
         assert!(!vuln.trigger.matches(&ctx));
     }
 

@@ -143,7 +143,9 @@ impl TargetEnv {
         DeviceOracle::new(self.device.clone())
     }
 
-    /// Snapshot of the traffic captured so far.
+    /// Drains the traffic captured so far into a trace.  The capture moves —
+    /// the tap starts over, so a later call only sees traffic driven after
+    /// this one.
     pub fn trace(&self) -> Trace {
         Trace::from_tap(&self.tap)
     }
@@ -183,7 +185,7 @@ impl CampaignPlan {
         let mut device = profile.build(clock.clone(), FuzzRng::seed_from(seed));
         device.set_auto_restart(self.auto_restart);
         let (device, adapter) = share(device);
-        air.register(adapter);
+        air.register_shared(adapter);
         let meta = {
             use hci::device::VirtualDevice;
             device.lock().meta()

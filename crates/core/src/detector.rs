@@ -10,7 +10,7 @@
 use btcore::{ConnectionError, Identifier, PingOutcome, TargetOracle};
 use hci::air::AclLink;
 use l2cap::command::{Command, EchoRequest};
-use l2cap::packet::{parse_signaling, signaling_frame};
+use l2cap::packet::parse_signaling;
 use serde::{Deserialize, Serialize};
 
 /// Evidence collected when a test packet disturbed the target.
@@ -71,18 +71,19 @@ impl VulnerabilityDetector {
             self.next_ping_id + 1
         };
         self.pings_sent += 1;
-        let frame = signaling_frame(
+        let frame = l2cap::packet::signaling_frame_in(
+            link.arena(),
             Identifier(self.next_ping_id),
-            Command::EchoRequest(EchoRequest {
+            &Command::EchoRequest(EchoRequest {
                 data: vec![0x4C, 0x32],
             }),
         );
         let responses = link.send_frame(&frame);
+        // An Echo Response is identified by its code byte alone.
         responses.iter().any(|f| {
-            matches!(
-                parse_signaling(f).map(|p| p.command()),
-                Ok(Command::EchoResponse(_))
-            )
+            parse_signaling(f)
+                .map(|p| p.code == l2cap::code::CommandCode::EchoResponse.value())
+                .unwrap_or(false)
         })
     }
 
@@ -144,6 +145,7 @@ mod tests {
     use hci::device::VirtualDevice;
     use hci::link::LinkConfig;
     use l2cap::command::ConnectionRequest;
+    use l2cap::packet::signaling_frame;
     use l2cap::packet::SignalingPacket;
 
     fn setup(id: ProfileId) -> (SharedSimulatedDevice, AclLink) {
@@ -151,7 +153,7 @@ mod tests {
         let mut air = AirMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(9)));
-        air.register(adapter);
+        air.register_shared(adapter);
         let link = air
             .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(10))
             .unwrap();
@@ -189,7 +191,7 @@ mod tests {
                 identifier: Identifier((i % 250 + 1) as u8),
                 code: 0x04,
                 declared_data_len: 8,
-                data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+                data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
             };
             link.send_frame(&packet.into_frame());
         }

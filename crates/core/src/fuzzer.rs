@@ -201,7 +201,7 @@ mod tests {
         let mut air = AirMedium::new(clock.clone());
         let profile = DeviceProfile::table5(ProfileId::D2);
         let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(1)));
-        air.register(adapter);
+        air.register_shared(adapter);
         let meta = {
             use hci::device::VirtualDevice;
             device.lock().meta()

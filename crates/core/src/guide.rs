@@ -16,7 +16,7 @@ use l2cap::command::{
 use l2cap::consts::{ConfigureResult, ConnectionResult};
 use l2cap::jobs::{job_of, Job};
 use l2cap::options::ConfigOption;
-use l2cap::packet::{parse_signaling, signaling_frame};
+use l2cap::packet::parse_signaling;
 use l2cap::state::ChannelState;
 use serde::{Deserialize, Serialize};
 
@@ -93,10 +93,14 @@ impl StateGuide {
     fn send(&mut self, link: &mut AclLink, command: Command) -> Vec<Command> {
         let id = self.next_identifier();
         self.transition_packets_sent += 1;
-        link.send_frame(&signaling_frame(id, command))
-            .iter()
-            .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
-            .collect()
+        link.send_frame(&l2cap::packet::signaling_frame_in(
+            link.arena(),
+            id,
+            &command,
+        ))
+        .iter()
+        .filter_map(|f| parse_signaling(f).ok().map(|p| p.command()))
+        .collect()
     }
 
     /// Opens a channel on `psm`, via Connection Request or (for the creation
@@ -263,7 +267,7 @@ mod tests {
         let mut air = AirMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
-        air.register(adapter);
+        air.register_shared(adapter);
         let link = air
             .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(6))
             .unwrap();

@@ -9,7 +9,7 @@
 //! garbage tail is appended without updating the dependent length fields —
 //! exactly the mutation of the paper's Fig. 7 example.
 
-use btcore::{FuzzRng, Identifier};
+use btcore::{FrameArena, FuzzRng, Identifier};
 use l2cap::code::CommandCode;
 use l2cap::fields::{self, FieldClass, FieldName};
 use l2cap::packet::SignalingPacket;
@@ -18,9 +18,16 @@ use l2cap::ranges;
 use crate::guide::ChannelContext;
 
 /// The core-field mutator.
+///
+/// Packets are mutated in place inside buffers checked out of the mutator's
+/// [`FrameArena`]: once a generated packet has been transmitted and dropped,
+/// its buffer returns to the arena and backs a later mutation, so a
+/// steady-state campaign performs no per-packet backing-store allocation
+/// here.
 #[derive(Debug)]
 pub struct CoreFieldMutator {
     rng: FuzzRng,
+    arena: FrameArena,
     core_fields_only: bool,
     append_garbage: bool,
     max_garbage_len: usize,
@@ -31,6 +38,7 @@ impl CoreFieldMutator {
     pub fn new(rng: FuzzRng) -> Self {
         CoreFieldMutator {
             rng,
+            arena: FrameArena::new(),
             core_fields_only: true,
             append_garbage: true,
             max_garbage_len: 16,
@@ -47,10 +55,16 @@ impl CoreFieldMutator {
     ) -> Self {
         CoreFieldMutator {
             rng,
+            arena: FrameArena::new(),
             core_fields_only,
             append_garbage,
             max_garbage_len,
         }
+    }
+
+    /// The arena recycling this mutator's packet buffers.
+    pub fn arena(&self) -> &FrameArena {
+        &self.arena
     }
 
     /// Builds one malformed packet for `code` in the given channel context
@@ -62,76 +76,91 @@ impl CoreFieldMutator {
         identifier: Identifier,
     ) -> SignalingPacket {
         let spec_len = fields::min_data_len(code);
-        let mut data = vec![0u8; spec_len];
-
-        for spec in fields::data_field_layout(code) {
-            let Some(width) = spec.len else { continue };
-            if spec.offset + width > data.len() {
-                continue;
-            }
-            match spec.class() {
-                FieldClass::MutableCore => {
-                    // PSM <- random(abnormal); CIDP <- random(normal range),
-                    // ignoring the dynamically allocated value.
-                    let value = if spec.name == FieldName::Psm {
-                        ranges::random_abnormal_psm(&mut self.rng)
-                    } else {
-                        ranges::random_cidp(&mut self.rng)
-                    };
-                    write_field(&mut data, spec.offset, width, value);
+        // The packet is mutated in place inside one arena buffer holding the
+        // full C-frame: four (initially zero) header bytes patched at the
+        // end, then the data fields.  Keeping the wire form contiguous lets
+        // `to_frame` later re-frame the packet without copying a byte.
+        // Checked-out buffers come back cleared, so this resize zero-fills.
+        let mut buf = self.arena.checkout();
+        buf.resize(4 + spec_len, 0);
+        {
+            let data = &mut buf[4..];
+            for spec in fields::data_field_layout(code) {
+                let Some(width) = spec.len else { continue };
+                if spec.offset + width > data.len() {
+                    continue;
                 }
-                FieldClass::MutableApp => {
-                    if self.core_fields_only {
-                        // MA fields keep their default values (zeros encode
-                        // "success"/"no flags"/"no info").
-                    } else {
-                        // Ablation: dumb mutation of application fields too.
-                        let value = self.rng.next_u16();
-                        write_field(&mut data, spec.offset, width, value);
+                match spec.class() {
+                    FieldClass::MutableCore => {
+                        // PSM <- random(abnormal); CIDP <- random(normal
+                        // range), ignoring the dynamically allocated value.
+                        let value = if spec.name == FieldName::Psm {
+                            ranges::random_abnormal_psm(&mut self.rng)
+                        } else {
+                            ranges::random_cidp(&mut self.rng)
+                        };
+                        write_field(data, spec.offset, width, value);
+                    }
+                    FieldClass::MutableApp => {
+                        if self.core_fields_only {
+                            // MA fields keep their default values (zeros
+                            // encode "success"/"no flags"/"no info").
+                        } else {
+                            // Ablation: dumb mutation of application fields
+                            // too.
+                            let value = self.rng.next_u16();
+                            write_field(data, spec.offset, width, value);
+                        }
+                    }
+                    FieldClass::Fixed | FieldClass::Dependent => {
+                        // Never mutated: fixed fields keep their constants
+                        // and dependent fields are derived below.
                     }
                 }
-                FieldClass::Fixed | FieldClass::Dependent => {
-                    // Never mutated: fixed fields keep their constants and
-                    // dependent fields are derived below.
-                }
             }
-        }
-        // Keep the remote channel plausible when the command addresses an
-        // open channel and the context has one: half of the packets reuse the
-        // real DCID so deeper handling is reached, the other half keep the
-        // random value (ignoring allocation), mirroring the paper's "normal
-        // range while ignoring dynamic allocation".
-        if ctx.has_channel() && self.rng.chance(0.5) {
-            if let Some(spec) = fields::cidp_fields(code).first() {
-                if let Some(width) = spec.len {
-                    write_field(&mut data, spec.offset, width, ctx.dcid.value());
+            // Keep the remote channel plausible when the command addresses
+            // an open channel and the context has one: half of the packets
+            // reuse the real DCID so deeper handling is reached, the other
+            // half keep the random value (ignoring allocation), mirroring
+            // the paper's "normal range while ignoring dynamic allocation".
+            if ctx.has_channel() && self.rng.chance(0.5) {
+                if let Some(spec) = fields::cidp_fields(code).next() {
+                    if let Some(width) = spec.len {
+                        write_field(data, spec.offset, width, ctx.dcid.value());
+                    }
                 }
             }
         }
 
-        let declared_data_len = data.len() as u16;
+        let spec_declared_len = (buf.len() - 4) as u16;
         if self.append_garbage && self.max_garbage_len > 0 {
             let garbage_len = self.rng.range_usize(1, self.max_garbage_len);
             // Fill the tail in place instead of materializing a temporary
             // `Vec<u8>` per packet (this is the mutation hot path).
-            let start = data.len();
-            data.resize(start + garbage_len, 0);
-            self.rng.fill_bytes(&mut data[start..]);
+            let start = buf.len();
+            buf.resize(start + garbage_len, 0);
+            self.rng.fill_bytes(&mut buf[start..]);
         }
-
-        let mut packet = SignalingPacket {
-            identifier,
-            code: code.value(),
-            declared_data_len,
-            data,
-        };
-        if !self.core_fields_only {
+        let declared_data_len = if self.core_fields_only {
+            spec_declared_len
+        } else {
             // Ablation: dumb mutation also corrupts the dependent length
             // field, which conforming stacks answer with "command not
             // understood".
-            packet.declared_data_len = self.rng.next_u16();
+            self.rng.next_u16()
+        };
+
+        // Patch the C-frame header so the buffer holds the complete wire
+        // form; the packet's data field is a zero-copy view past it.
+        buf[0] = code.value();
+        buf[1] = identifier.value();
+        buf[2..4].copy_from_slice(&declared_data_len.to_le_bytes());
+        SignalingPacket {
+            identifier,
+            code: code.value(),
+            declared_data_len,
+            data: buf.freeze().slice(4..),
         }
-        packet
     }
 
     /// Generates `n` malformed packets for every command in `commands`
@@ -161,7 +190,7 @@ impl CoreFieldMutator {
             identifier: Identifier(0x06),
             code: CommandCode::ConfigureRequest.value(),
             declared_data_len: 0x0008,
-            data: vec![0x40, 0x00, 0x00, 0x20, 0x01, 0x02, 0x00, 0x04],
+            data: vec![0x40, 0x00, 0x00, 0x20, 0x01, 0x02, 0x00, 0x04].into(),
         };
         let mutated = SignalingPacket {
             identifier: Identifier(0x06),
@@ -169,7 +198,8 @@ impl CoreFieldMutator {
             declared_data_len: 0x0008,
             data: vec![
                 0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
-            ],
+            ]
+            .into(),
         };
         (original, mutated)
     }
@@ -338,7 +368,7 @@ mod tests {
         let mutated_frame = l2cap::packet::L2capFrame {
             declared_payload_len: 0x000C,
             cid: Cid::SIGNALING,
-            payload: mutated.to_bytes(),
+            payload: mutated.to_bytes().into(),
         };
         assert_eq!(
             hex_dump(&mutated_frame.to_bytes()),

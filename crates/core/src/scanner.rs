@@ -10,7 +10,7 @@ use btcore::{Cid, DeviceMeta, Identifier, Psm};
 use hci::air::AclLink;
 use l2cap::command::{Command, ConnectionRequest, DisconnectionRequest};
 use l2cap::consts::ConnectionResult;
-use l2cap::packet::{parse_signaling, signaling_frame};
+use l2cap::packet::parse_signaling;
 use serde::{Deserialize, Serialize};
 
 /// Classification of one probed port.
@@ -112,15 +112,19 @@ impl TargetScanner {
     fn probe_port(&mut self, link: &mut AclLink, psm: Psm) -> PortStatus {
         let scid = Cid(self.next_scid);
         self.next_scid += 1;
-        let frame = signaling_frame(
+        let frame = l2cap::packet::signaling_frame_in(
+            link.arena(),
             Identifier(1),
-            Command::ConnectionRequest(ConnectionRequest { psm, scid }),
+            &Command::ConnectionRequest(ConnectionRequest { psm, scid }),
         );
         let responses = link.send_frame(&frame);
         let mut status = PortStatus::NoResponse;
         let mut allocated_dcid = None;
         for rsp in &responses {
             if let Ok(sig) = parse_signaling(rsp) {
+                if sig.code != l2cap::code::CommandCode::ConnectionResponse.value() {
+                    continue;
+                }
                 if let Command::ConnectionResponse(rsp) = sig.command() {
                     status = match rsp.result {
                         ConnectionResult::Success | ConnectionResult::Pending => {
@@ -136,9 +140,10 @@ impl TargetScanner {
         }
         // Tear the probe connection down again.
         if let Some(dcid) = allocated_dcid {
-            let frame = signaling_frame(
+            let frame = l2cap::packet::signaling_frame_in(
+                link.arena(),
                 Identifier(2),
-                Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
+                &Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
             );
             let _ = link.send_frame(&frame);
         }
@@ -153,6 +158,7 @@ mod tests {
     use btstack::profiles::{DeviceProfile, ProfileId};
     use hci::air::AirMedium;
     use hci::link::LinkConfig;
+    use l2cap::packet::signaling_frame;
 
     fn scan_profile(id: ProfileId) -> ScanReport {
         let clock = SimClock::new();
@@ -160,7 +166,7 @@ mod tests {
         let profile = DeviceProfile::table5(id);
         let (_, adapter) =
             btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
-        air.register(adapter);
+        air.register_shared(adapter);
         let meta = air.inquiry().pop().expect("device must be discoverable");
         let mut link = air
             .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(4))
@@ -206,7 +212,7 @@ mod tests {
         let profile = DeviceProfile::table5(ProfileId::D5);
         let (shared, adapter) =
             btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
-        air.register(adapter);
+        air.register_shared(adapter);
         let meta = air.inquiry().pop().unwrap();
         let mut link = air
             .connect(profile.addr, LinkConfig::ideal(), FuzzRng::seed_from(4))

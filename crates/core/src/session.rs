@@ -118,7 +118,7 @@ impl L2FuzzSession {
                 {
                     break 'states;
                 }
-                let outcome = queue.send_now(link, packet.clone(), PacketKind::Malformed);
+                let outcome = queue.send_now(link, &packet, PacketKind::Malformed);
                 report.malformed_sent += 1;
                 let verdict = match oracle {
                     Some(ref mut o) => detector.check(link, Some(&mut **o), outcome.silent),
@@ -279,7 +279,7 @@ mod tests {
         let mut air = AirMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(seed)));
-        air.register(adapter);
+        air.register_shared(adapter);
         let meta = air.inquiry().pop().unwrap();
         let link = air
             .connect(

@@ -6,7 +6,7 @@
 //! larger than the controller's ACL buffer are fragmented across several ACL
 //! packets and reassembled on the other side using the boundary flag.
 
-use btcore::{ByteReader, ByteWriter, CodecError, ConnectionHandle};
+use btcore::{ByteReader, ByteWriter, CodecError, ConnectionHandle, FrameBuf};
 use serde::{Deserialize, Serialize};
 
 /// HCI packet type byte for ACL data packets.
@@ -54,6 +54,10 @@ impl BoundaryFlag {
 }
 
 /// One HCI ACL data packet.
+///
+/// The carried bytes are a [`FrameBuf`] view: a packet produced by
+/// [`fragment`] shares the parent frame's buffer instead of owning a copy of
+/// its chunk.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AclPacket {
     /// Connection handle identifying the baseband link.
@@ -63,7 +67,7 @@ pub struct AclPacket {
     /// Broadcast flag (0 = point-to-point).
     pub broadcast: u8,
     /// Carried bytes (a whole L2CAP frame or a fragment of one).
-    pub data: Vec<u8>,
+    pub data: FrameBuf,
 }
 
 impl AclPacket {
@@ -110,7 +114,7 @@ impl AclPacket {
                 actual: r.remaining(),
             });
         }
-        let data = r.read_bytes(len)?.to_vec();
+        let data = FrameBuf::copy_from_slice(r.read_bytes(len)?);
         Ok(AclPacket {
             handle,
             boundary,
@@ -122,37 +126,43 @@ impl AclPacket {
 
 /// Splits an L2CAP frame's bytes into ACL fragments of at most
 /// [`ACL_FRAGMENT_SIZE`] bytes each.
-pub fn fragment(handle: ConnectionHandle, l2cap_bytes: &[u8]) -> Vec<AclPacket> {
+///
+/// Every fragment's data is a zero-copy slice of `l2cap_bytes` — no payload
+/// byte is duplicated, regardless of the fragment count.
+pub fn fragment(handle: ConnectionHandle, l2cap_bytes: &FrameBuf) -> Vec<AclPacket> {
     if l2cap_bytes.is_empty() {
         return vec![AclPacket {
             handle,
             boundary: BoundaryFlag::FirstNonFlushable,
             broadcast: 0,
-            data: Vec::new(),
+            data: FrameBuf::new(),
         }];
     }
-    l2cap_bytes
-        .chunks(ACL_FRAGMENT_SIZE)
-        .enumerate()
-        .map(|(i, chunk)| AclPacket {
+    (0..l2cap_bytes.len())
+        .step_by(ACL_FRAGMENT_SIZE)
+        .map(|start| AclPacket {
             handle,
-            boundary: if i == 0 {
+            boundary: if start == 0 {
                 BoundaryFlag::FirstNonFlushable
             } else {
                 BoundaryFlag::Continuation
             },
             broadcast: 0,
-            data: chunk.to_vec(),
+            data: l2cap_bytes.slice(start..(start + ACL_FRAGMENT_SIZE).min(l2cap_bytes.len())),
         })
         .collect()
 }
 
 /// Reassembles a sequence of ACL fragments back into the L2CAP frame bytes.
 ///
+/// A single-fragment sequence reassembles without copying: the result shares
+/// the fragment's buffer.  Multi-fragment sequences perform exactly one copy,
+/// concatenating the chunks into a fresh buffer.
+///
 /// # Errors
 /// Returns a [`CodecError`] if the sequence is empty, does not start with a
 /// first-fragment, or contains an unexpected first-fragment in the middle.
-pub fn reassemble(packets: &[AclPacket]) -> Result<Vec<u8>, CodecError> {
+pub fn reassemble(packets: &[AclPacket]) -> Result<FrameBuf, CodecError> {
     let first = packets.first().ok_or(CodecError::UnexpectedEnd {
         wanted: 1,
         available: 0,
@@ -163,7 +173,6 @@ pub fn reassemble(packets: &[AclPacket]) -> Result<Vec<u8>, CodecError> {
             value: u64::from(first.boundary.bits()),
         });
     }
-    let mut out = first.data.clone();
     for p in &packets[1..] {
         if p.boundary.is_first() {
             return Err(CodecError::InvalidValue {
@@ -171,9 +180,15 @@ pub fn reassemble(packets: &[AclPacket]) -> Result<Vec<u8>, CodecError> {
                 value: u64::from(p.boundary.bits()),
             });
         }
+    }
+    if packets.len() == 1 {
+        return Ok(first.data.clone());
+    }
+    let mut out = Vec::with_capacity(packets.iter().map(|p| p.data.len()).sum());
+    for p in packets {
         out.extend_from_slice(&p.data);
     }
-    Ok(out)
+    Ok(FrameBuf::from_vec(out))
 }
 
 #[cfg(test)]
@@ -186,7 +201,7 @@ mod tests {
             handle: ConnectionHandle(0x0ABC),
             boundary: BoundaryFlag::FirstFlushable,
             broadcast: 0,
-            data: vec![1, 2, 3, 4, 5],
+            data: vec![1, 2, 3, 4, 5].into(),
         };
         let bytes = pkt.to_bytes();
         assert_eq!(bytes[0], ACL_DATA_PACKET_TYPE);
@@ -199,7 +214,7 @@ mod tests {
             handle: ConnectionHandle(1),
             boundary: BoundaryFlag::Continuation,
             broadcast: 0,
-            data: vec![],
+            data: FrameBuf::new(),
         }
         .to_bytes();
         bytes[0] = 0x04; // HCI event packet
@@ -212,7 +227,7 @@ mod tests {
             handle: ConnectionHandle(1),
             boundary: BoundaryFlag::FirstNonFlushable,
             broadcast: 0,
-            data: vec![9; 10],
+            data: vec![9; 10].into(),
         }
         .to_bytes();
         bytes.truncate(bytes.len() - 3);
@@ -236,7 +251,7 @@ mod tests {
 
     #[test]
     fn small_frame_is_a_single_fragment() {
-        let frags = fragment(ConnectionHandle(7), &[1, 2, 3]);
+        let frags = fragment(ConnectionHandle(7), &FrameBuf::from(vec![1, 2, 3]));
         assert_eq!(frags.len(), 1);
         assert!(frags[0].boundary.is_first());
         assert_eq!(reassemble(&frags).unwrap(), vec![1, 2, 3]);
@@ -244,7 +259,7 @@ mod tests {
 
     #[test]
     fn large_frame_fragments_and_reassembles() {
-        let payload: Vec<u8> = (0..4000u16).map(|i| (i % 251) as u8).collect();
+        let payload = FrameBuf::from_vec((0..4000u16).map(|i| (i % 251) as u8).collect());
         let frags = fragment(ConnectionHandle(7), &payload);
         assert_eq!(frags.len(), payload.len().div_ceil(ACL_FRAGMENT_SIZE));
         assert!(frags[0].boundary.is_first());
@@ -256,9 +271,9 @@ mod tests {
 
     #[test]
     fn empty_frame_still_produces_one_fragment() {
-        let frags = fragment(ConnectionHandle(7), &[]);
+        let frags = fragment(ConnectionHandle(7), &FrameBuf::new());
         assert_eq!(frags.len(), 1);
-        assert_eq!(reassemble(&frags).unwrap(), Vec::<u8>::new());
+        assert_eq!(reassemble(&frags).unwrap(), FrameBuf::new());
     }
 
     #[test]
@@ -268,7 +283,7 @@ mod tests {
             handle: ConnectionHandle(1),
             boundary: BoundaryFlag::Continuation,
             broadcast: 0,
-            data: vec![1],
+            data: vec![1].into(),
         }];
         assert!(reassemble(&continuation_only).is_err());
         let two_firsts = vec![
@@ -276,13 +291,13 @@ mod tests {
                 handle: ConnectionHandle(1),
                 boundary: BoundaryFlag::FirstNonFlushable,
                 broadcast: 0,
-                data: vec![1],
+                data: vec![1].into(),
             },
             AclPacket {
                 handle: ConnectionHandle(1),
                 boundary: BoundaryFlag::FirstFlushable,
                 broadcast: 0,
-                data: vec![2],
+                data: vec![2].into(),
             },
         ];
         assert!(reassemble(&two_firsts).is_err());

@@ -15,7 +15,11 @@ pub trait VirtualDevice: Send {
 
     /// Processes one inbound L2CAP frame from the initiator and returns the
     /// frames the device sends back, in order.
-    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame>;
+    ///
+    /// The frame is a borrowed view: its payload buffer is shared with the
+    /// transmitting link (and any attached taps), so a device that wants to
+    /// keep the bytes clones the frame — a reference-count bump, not a copy.
+    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame>;
 
     /// Whether the device's Bluetooth service is still running (a device
     /// whose stack crashed or shut down stops answering inquiries and
@@ -62,11 +66,11 @@ impl VirtualDevice for EchoDevice {
         self.meta.clone()
     }
 
-    fn receive(&mut self, frame: L2capFrame) -> Vec<L2capFrame> {
+    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
         if !self.alive {
             return Vec::new();
         }
-        vec![frame]
+        vec![frame.clone()]
     }
 
     fn bluetooth_alive(&self) -> bool {
@@ -83,10 +87,10 @@ mod tests {
     fn echo_device_echoes_until_shut_down() {
         let mut dev = EchoDevice::new(BdAddr::new([1, 2, 3, 4, 5, 6]));
         let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
-        assert_eq!(dev.receive(frame.clone()), vec![frame.clone()]);
+        assert_eq!(dev.receive(&frame), vec![frame.clone()]);
         assert!(dev.bluetooth_alive());
         dev.shut_down();
-        assert!(dev.receive(frame).is_empty());
+        assert!(dev.receive(&frame).is_empty());
         assert!(!dev.bluetooth_alive());
     }
 

@@ -391,7 +391,16 @@ impl Command {
     /// Encodes the command's data fields (everything after the 4-byte
     /// code/identifier/length prefix).
     pub fn encode_data(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
+        let mut out = Vec::new();
+        self.encode_data_into(&mut out);
+        out
+    }
+
+    /// Appends the command's data fields to `out` (which is *not* cleared) —
+    /// the allocation-free encoding path shared by [`Command::encode_data`]
+    /// and the arena-backed frame builders.
+    pub fn encode_data_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::wrap(std::mem::take(out));
         match self {
             Command::CommandReject(c) => {
                 w.write_u16(c.reason.value());
@@ -410,13 +419,17 @@ impl Command {
             Command::ConfigureRequest(c) => {
                 w.write_u16(c.dcid.value());
                 w.write_u16(c.flags);
-                w.write_bytes(&ConfigOption::encode_all(&c.options));
+                for opt in &c.options {
+                    opt.encode(&mut w);
+                }
             }
             Command::ConfigureResponse(c) => {
                 w.write_u16(c.scid.value());
                 w.write_u16(c.flags);
                 w.write_u16(c.result.value());
-                w.write_bytes(&ConfigOption::encode_all(&c.options));
+                for opt in &c.options {
+                    opt.encode(&mut w);
+                }
             }
             Command::DisconnectionRequest(c) => {
                 w.write_u16(c.dcid.value());
@@ -513,7 +526,7 @@ impl Command {
             Command::CreditBasedReconfigureResponse(c) => w.write_u16(c.result),
             Command::Raw { data, .. } => w.write_bytes(data),
         }
-        w.into_bytes()
+        *out = w.into_bytes();
     }
 
     /// Decodes a command from its code byte and data fields.
@@ -529,6 +542,70 @@ impl Command {
                 code,
                 data: data.to_vec(),
             },
+        }
+    }
+
+    /// Like [`Command::decode`], but returns `None` where `decode` would fall
+    /// back to [`Command::Raw`] — avoiding the raw-data copy when the caller
+    /// only needs to distinguish structured from unstructured payloads.
+    pub fn decode_opt(code: u8, data: &[u8]) -> Option<Command> {
+        Self::try_decode(code, data)
+    }
+
+    /// Returns `true` exactly when [`Command::decode`] would produce a typed
+    /// (non-[`Command::Raw`]) command — i.e. the payload parses as `code`'s
+    /// structure — without allocating anything.  This is the classification
+    /// hot path of the trace analysis: `tests/codec_properties.rs` asserts
+    /// its equivalence with `decode` across generated inputs.
+    pub fn structurally_valid(code: u8, data: &[u8]) -> bool {
+        fn u16_at(data: &[u8], off: usize) -> Option<u16> {
+            Some(u16::from_le_bytes([*data.get(off)?, *data.get(off + 1)?]))
+        }
+        let Some(code) = CommandCode::from_u8(code) else {
+            return false;
+        };
+        match code {
+            CommandCode::CommandReject => {
+                u16_at(data, 0).and_then(RejectReason::from_u16).is_some()
+            }
+            CommandCode::ConnectionRequest
+            | CommandCode::DisconnectionRequest
+            | CommandCode::DisconnectionResponse => data.len() >= 4,
+            CommandCode::ConnectionResponse | CommandCode::CreateChannelResponse => {
+                data.len() >= 8
+                    && u16_at(data, 4)
+                        .and_then(ConnectionResult::from_u16)
+                        .is_some()
+            }
+            CommandCode::ConfigureRequest => {
+                data.len() >= 4 && ConfigOption::all_structurally_valid(&data[4..])
+            }
+            CommandCode::ConfigureResponse => {
+                data.len() >= 6
+                    && u16_at(data, 4)
+                        .and_then(ConfigureResult::from_u16)
+                        .is_some()
+                    && ConfigOption::all_structurally_valid(&data[6..])
+            }
+            CommandCode::EchoRequest | CommandCode::EchoResponse => true,
+            CommandCode::InformationRequest => data.len() >= 2,
+            CommandCode::InformationResponse => data.len() >= 4,
+            CommandCode::CreateChannelRequest => data.len() >= 5,
+            CommandCode::MoveChannelRequest => data.len() >= 3,
+            CommandCode::MoveChannelResponse => {
+                data.len() >= 4 && u16_at(data, 2).and_then(MoveResult::from_u16).is_some()
+            }
+            CommandCode::MoveChannelConfirmationRequest => data.len() >= 4,
+            CommandCode::MoveChannelConfirmationResponse => data.len() >= 2,
+            CommandCode::ConnectionParameterUpdateRequest => data.len() >= 8,
+            CommandCode::ConnectionParameterUpdateResponse => data.len() >= 2,
+            CommandCode::LeCreditBasedConnectionRequest
+            | CommandCode::LeCreditBasedConnectionResponse => data.len() >= 10,
+            CommandCode::FlowControlCreditInd => data.len() >= 4,
+            CommandCode::CreditBasedConnectionRequest
+            | CommandCode::CreditBasedConnectionResponse => data.len() >= 8,
+            CommandCode::CreditBasedReconfigureRequest => data.len() >= 4,
+            CommandCode::CreditBasedReconfigureResponse => data.len() >= 2,
         }
     }
 

@@ -177,125 +177,213 @@ impl FieldSpec {
 
 /// Returns the data-field layout of `code` (offsets are relative to the start
 /// of the command's data fields, i.e. after CODE / ID / DATA LEN).
-pub fn data_field_layout(code: CommandCode) -> Vec<FieldSpec> {
+///
+/// The layouts are constant tables: the slice is `'static` and this function
+/// never allocates, which matters because the mutator, the simulated
+/// endpoints and the trace classifiers all consult layouts on their
+/// per-packet hot paths.
+pub fn data_field_layout(code: CommandCode) -> &'static [FieldSpec] {
     use FieldName as N;
     match code {
-        CommandCode::CommandReject => vec![
-            FieldSpec::fixed(N::Reason, 0, 2),
-            FieldSpec::tail(N::Data, 2),
-        ],
-        CommandCode::ConnectionRequest => vec![
-            FieldSpec::fixed(N::Psm, 0, 2),
-            FieldSpec::fixed(N::Scid, 2, 2),
-        ],
-        CommandCode::ConnectionResponse => vec![
-            FieldSpec::fixed(N::Dcid, 0, 2),
-            FieldSpec::fixed(N::Scid, 2, 2),
-            FieldSpec::fixed(N::Result, 4, 2),
-            FieldSpec::fixed(N::Status, 6, 2),
-        ],
-        CommandCode::ConfigureRequest => vec![
-            FieldSpec::fixed(N::Dcid, 0, 2),
-            FieldSpec::fixed(N::Flags, 2, 2),
-            FieldSpec::tail(N::Options, 4),
-        ],
-        CommandCode::ConfigureResponse => vec![
-            FieldSpec::fixed(N::Scid, 0, 2),
-            FieldSpec::fixed(N::Flags, 2, 2),
-            FieldSpec::fixed(N::Result, 4, 2),
-            FieldSpec::tail(N::Options, 6),
-        ],
-        CommandCode::DisconnectionRequest | CommandCode::DisconnectionResponse => vec![
-            FieldSpec::fixed(N::Dcid, 0, 2),
-            FieldSpec::fixed(N::Scid, 2, 2),
-        ],
-        CommandCode::EchoRequest | CommandCode::EchoResponse => vec![FieldSpec::tail(N::Data, 0)],
-        CommandCode::InformationRequest => vec![FieldSpec::fixed(N::InfoType, 0, 2)],
-        CommandCode::InformationResponse => vec![
-            FieldSpec::fixed(N::InfoType, 0, 2),
-            FieldSpec::fixed(N::Result, 2, 2),
-            FieldSpec::tail(N::Data, 4),
-        ],
-        CommandCode::CreateChannelRequest => vec![
-            FieldSpec::fixed(N::Psm, 0, 2),
-            FieldSpec::fixed(N::Scid, 2, 2),
-            FieldSpec::fixed(N::ContId, 4, 1),
-        ],
-        CommandCode::CreateChannelResponse => vec![
-            FieldSpec::fixed(N::Dcid, 0, 2),
-            FieldSpec::fixed(N::Scid, 2, 2),
-            FieldSpec::fixed(N::Result, 4, 2),
-            FieldSpec::fixed(N::Status, 6, 2),
-        ],
-        CommandCode::MoveChannelRequest => vec![
-            FieldSpec::fixed(N::Icid, 0, 2),
-            FieldSpec::fixed(N::ContId, 2, 1),
-        ],
-        CommandCode::MoveChannelResponse => vec![
-            FieldSpec::fixed(N::Icid, 0, 2),
-            FieldSpec::fixed(N::Result, 2, 2),
-        ],
-        CommandCode::MoveChannelConfirmationRequest => vec![
-            FieldSpec::fixed(N::Icid, 0, 2),
-            FieldSpec::fixed(N::Result, 2, 2),
-        ],
-        CommandCode::MoveChannelConfirmationResponse => vec![FieldSpec::fixed(N::Icid, 0, 2)],
-        CommandCode::ConnectionParameterUpdateRequest => vec![
-            FieldSpec::fixed(N::Interval, 0, 2),
-            FieldSpec::fixed(N::Interval, 2, 2),
-            FieldSpec::fixed(N::Latency, 4, 2),
-            FieldSpec::fixed(N::Timeout, 6, 2),
-        ],
-        CommandCode::ConnectionParameterUpdateResponse => vec![FieldSpec::fixed(N::Result, 0, 2)],
-        CommandCode::LeCreditBasedConnectionRequest => vec![
-            FieldSpec::fixed(N::Spsm, 0, 2),
-            FieldSpec::fixed(N::Scid, 2, 2),
-            FieldSpec::fixed(N::Mtu, 4, 2),
-            FieldSpec::fixed(N::Mps, 6, 2),
-            FieldSpec::fixed(N::Credit, 8, 2),
-        ],
-        CommandCode::LeCreditBasedConnectionResponse => vec![
-            FieldSpec::fixed(N::Dcid, 0, 2),
-            FieldSpec::fixed(N::Mtu, 2, 2),
-            FieldSpec::fixed(N::Mps, 4, 2),
-            FieldSpec::fixed(N::Credit, 6, 2),
-            FieldSpec::fixed(N::Result, 8, 2),
-        ],
-        CommandCode::FlowControlCreditInd => vec![
-            FieldSpec::fixed(N::Scid, 0, 2),
-            FieldSpec::fixed(N::Credit, 2, 2),
-        ],
-        CommandCode::CreditBasedConnectionRequest => vec![
-            FieldSpec::fixed(N::Spsm, 0, 2),
-            FieldSpec::fixed(N::Mtu, 2, 2),
-            FieldSpec::fixed(N::Mps, 4, 2),
-            FieldSpec::fixed(N::Credit, 6, 2),
-            FieldSpec::tail(N::Scid, 8),
-        ],
-        CommandCode::CreditBasedConnectionResponse => vec![
-            FieldSpec::fixed(N::Mtu, 0, 2),
-            FieldSpec::fixed(N::Mps, 2, 2),
-            FieldSpec::fixed(N::Credit, 4, 2),
-            FieldSpec::fixed(N::Result, 6, 2),
-            FieldSpec::tail(N::Dcid, 8),
-        ],
-        CommandCode::CreditBasedReconfigureRequest => vec![
-            FieldSpec::fixed(N::Mtu, 0, 2),
-            FieldSpec::fixed(N::Mps, 2, 2),
-            FieldSpec::tail(N::Dcid, 4),
-        ],
-        CommandCode::CreditBasedReconfigureResponse => vec![FieldSpec::fixed(N::Result, 0, 2)],
+        CommandCode::CommandReject => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Reason, 0, 2),
+                    FieldSpec::tail(N::Data, 2),
+                ]
+            }
+        }
+        CommandCode::ConnectionRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Psm, 0, 2),
+                    FieldSpec::fixed(N::Scid, 2, 2),
+                ]
+            }
+        }
+        CommandCode::ConnectionResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Dcid, 0, 2),
+                    FieldSpec::fixed(N::Scid, 2, 2),
+                    FieldSpec::fixed(N::Result, 4, 2),
+                    FieldSpec::fixed(N::Status, 6, 2),
+                ]
+            }
+        }
+        CommandCode::ConfigureRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Dcid, 0, 2),
+                    FieldSpec::fixed(N::Flags, 2, 2),
+                    FieldSpec::tail(N::Options, 4),
+                ]
+            }
+        }
+        CommandCode::ConfigureResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Scid, 0, 2),
+                    FieldSpec::fixed(N::Flags, 2, 2),
+                    FieldSpec::fixed(N::Result, 4, 2),
+                    FieldSpec::tail(N::Options, 6),
+                ]
+            }
+        }
+        CommandCode::DisconnectionRequest | CommandCode::DisconnectionResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Dcid, 0, 2),
+                    FieldSpec::fixed(N::Scid, 2, 2),
+                ]
+            }
+        }
+        CommandCode::EchoRequest | CommandCode::EchoResponse => {
+            const { &[FieldSpec::tail(N::Data, 0)] }
+        }
+        CommandCode::InformationRequest => const { &[FieldSpec::fixed(N::InfoType, 0, 2)] },
+        CommandCode::InformationResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::InfoType, 0, 2),
+                    FieldSpec::fixed(N::Result, 2, 2),
+                    FieldSpec::tail(N::Data, 4),
+                ]
+            }
+        }
+        CommandCode::CreateChannelRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Psm, 0, 2),
+                    FieldSpec::fixed(N::Scid, 2, 2),
+                    FieldSpec::fixed(N::ContId, 4, 1),
+                ]
+            }
+        }
+        CommandCode::CreateChannelResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Dcid, 0, 2),
+                    FieldSpec::fixed(N::Scid, 2, 2),
+                    FieldSpec::fixed(N::Result, 4, 2),
+                    FieldSpec::fixed(N::Status, 6, 2),
+                ]
+            }
+        }
+        CommandCode::MoveChannelRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Icid, 0, 2),
+                    FieldSpec::fixed(N::ContId, 2, 1),
+                ]
+            }
+        }
+        CommandCode::MoveChannelResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Icid, 0, 2),
+                    FieldSpec::fixed(N::Result, 2, 2),
+                ]
+            }
+        }
+        CommandCode::MoveChannelConfirmationRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Icid, 0, 2),
+                    FieldSpec::fixed(N::Result, 2, 2),
+                ]
+            }
+        }
+        CommandCode::MoveChannelConfirmationResponse => {
+            const { &[FieldSpec::fixed(N::Icid, 0, 2)] }
+        }
+        CommandCode::ConnectionParameterUpdateRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Interval, 0, 2),
+                    FieldSpec::fixed(N::Interval, 2, 2),
+                    FieldSpec::fixed(N::Latency, 4, 2),
+                    FieldSpec::fixed(N::Timeout, 6, 2),
+                ]
+            }
+        }
+        CommandCode::ConnectionParameterUpdateResponse => {
+            const { &[FieldSpec::fixed(N::Result, 0, 2)] }
+        }
+        CommandCode::LeCreditBasedConnectionRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Spsm, 0, 2),
+                    FieldSpec::fixed(N::Scid, 2, 2),
+                    FieldSpec::fixed(N::Mtu, 4, 2),
+                    FieldSpec::fixed(N::Mps, 6, 2),
+                    FieldSpec::fixed(N::Credit, 8, 2),
+                ]
+            }
+        }
+        CommandCode::LeCreditBasedConnectionResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Dcid, 0, 2),
+                    FieldSpec::fixed(N::Mtu, 2, 2),
+                    FieldSpec::fixed(N::Mps, 4, 2),
+                    FieldSpec::fixed(N::Credit, 6, 2),
+                    FieldSpec::fixed(N::Result, 8, 2),
+                ]
+            }
+        }
+        CommandCode::FlowControlCreditInd => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Scid, 0, 2),
+                    FieldSpec::fixed(N::Credit, 2, 2),
+                ]
+            }
+        }
+        CommandCode::CreditBasedConnectionRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Spsm, 0, 2),
+                    FieldSpec::fixed(N::Mtu, 2, 2),
+                    FieldSpec::fixed(N::Mps, 4, 2),
+                    FieldSpec::fixed(N::Credit, 6, 2),
+                    FieldSpec::tail(N::Scid, 8),
+                ]
+            }
+        }
+        CommandCode::CreditBasedConnectionResponse => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Mtu, 0, 2),
+                    FieldSpec::fixed(N::Mps, 2, 2),
+                    FieldSpec::fixed(N::Credit, 4, 2),
+                    FieldSpec::fixed(N::Result, 6, 2),
+                    FieldSpec::tail(N::Dcid, 8),
+                ]
+            }
+        }
+        CommandCode::CreditBasedReconfigureRequest => {
+            const {
+                &[
+                    FieldSpec::fixed(N::Mtu, 0, 2),
+                    FieldSpec::fixed(N::Mps, 2, 2),
+                    FieldSpec::tail(N::Dcid, 4),
+                ]
+            }
+        }
+        CommandCode::CreditBasedReconfigureResponse => {
+            const { &[FieldSpec::fixed(N::Result, 0, 2)] }
+        }
     }
 }
 
 /// Returns the mutable-core fields (`MC`) of a command's data layout — the
 /// fields core-field mutation is allowed to touch.
-pub fn mutable_core_fields(code: CommandCode) -> Vec<FieldSpec> {
+pub fn mutable_core_fields(code: CommandCode) -> impl Iterator<Item = FieldSpec> {
     data_field_layout(code)
         .iter()
         .copied()
         .filter(|spec| spec.class() == FieldClass::MutableCore)
-        .collect()
 }
 
 /// Returns `true` if the command carries a PSM field.
@@ -306,23 +394,100 @@ pub fn has_psm(code: CommandCode) -> bool {
 }
 
 /// Returns the CIDP fields (SCID/DCID/ICID/controller-ID) of a command.
-pub fn cidp_fields(code: CommandCode) -> Vec<FieldSpec> {
+pub fn cidp_fields(code: CommandCode) -> impl Iterator<Item = FieldSpec> {
     data_field_layout(code)
         .iter()
         .copied()
         .filter(|s| s.name.is_cidp())
-        .collect()
+}
+
+/// The CIDP values of one packet, stored inline.
+///
+/// No command layout carries more than four fixed-width CIDP fields, so the
+/// values fit in a small copyable array — extracting them on the per-packet
+/// hot path performs no allocation.  Dereferences to `&[u16]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CidpValues {
+    vals: [u16; 4],
+    len: u8,
+}
+
+impl CidpValues {
+    /// Builds a value list from a slice (used by tests and manual trigger
+    /// descriptions).
+    ///
+    /// # Panics
+    /// Panics if more than four values are given.
+    pub fn from_slice(values: &[u16]) -> CidpValues {
+        assert!(values.len() <= 4, "at most four CIDP values per command");
+        let mut out = CidpValues::default();
+        for v in values {
+            out.push(*v);
+        }
+        out
+    }
+
+    fn push(&mut self, value: u16) {
+        if usize::from(self.len) < self.vals.len() {
+            self.vals[usize::from(self.len)] = value;
+            self.len += 1;
+        }
+    }
+
+    /// The extracted values, in layout order.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.vals[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for CidpValues {
+    type Target = [u16];
+    fn deref(&self) -> &[u16] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u16>> for CidpValues {
+    fn eq(&self, other: &Vec<u16>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a CidpValues {
+    type Item = &'a u16;
+    type IntoIter = std::slice::Iter<'a, u16>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Serializes like a `Vec<u16>`, so swapping the owned vector for the inline
+/// list changes no serialized artifact.
+impl Serialize for CidpValues {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl Deserialize for CidpValues {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let vals = Vec::<u16>::from_value(v)?;
+        if vals.len() > 4 {
+            return Err(serde::DeError::new("at most four CIDP values"));
+        }
+        Ok(CidpValues::from_slice(&vals))
+    }
 }
 
 /// The mutable-core values carried by one encoded command payload.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreFieldValues {
     /// The PSM value, if the command carries one and enough bytes are
     /// present.
     pub psm: Option<u16>,
     /// Every CIDP value present (SCID/DCID/ICID and controller IDs widened to
     /// 16 bits).
-    pub cidp: Vec<u16>,
+    pub cidp: CidpValues,
 }
 
 /// Extracts the mutable-core field values (PSM and CIDP) from an encoded
@@ -514,7 +679,7 @@ mod tests {
 
     #[test]
     fn connection_request_mc_fields() {
-        let mc = mutable_core_fields(CommandCode::ConnectionRequest);
+        let mc: Vec<FieldSpec> = mutable_core_fields(CommandCode::ConnectionRequest).collect();
         assert_eq!(mc.len(), 2);
         assert_eq!(mc[0].name, FieldName::Psm);
         assert_eq!(mc[1].name, FieldName::Scid);
@@ -524,7 +689,7 @@ mod tests {
 
     #[test]
     fn config_request_cidp_is_dcid() {
-        let cidp = cidp_fields(CommandCode::ConfigureRequest);
+        let cidp: Vec<FieldSpec> = cidp_fields(CommandCode::ConfigureRequest).collect();
         assert_eq!(cidp.len(), 1);
         assert_eq!(cidp[0].name, FieldName::Dcid);
         assert_eq!(cidp[0].offset, 0);
@@ -549,8 +714,10 @@ mod tests {
 
     #[test]
     fn echo_request_has_no_core_fields() {
-        assert!(mutable_core_fields(CommandCode::EchoRequest).is_empty());
-        assert!(cidp_fields(CommandCode::EchoRequest).is_empty());
+        assert!(mutable_core_fields(CommandCode::EchoRequest)
+            .next()
+            .is_none());
+        assert!(cidp_fields(CommandCode::EchoRequest).next().is_none());
     }
 
     #[test]

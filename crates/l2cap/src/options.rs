@@ -221,6 +221,24 @@ impl ConfigOption {
         Ok(opts)
     }
 
+    /// Returns `true` exactly when [`ConfigOption::decode_all`] would succeed
+    /// on `bytes` — option decoding only ever fails on truncation, so a
+    /// type/length walk suffices and nothing is allocated.
+    pub fn all_structurally_valid(bytes: &[u8]) -> bool {
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            // One type byte, one length byte, `len` body bytes.
+            let Some(len) = bytes.get(pos + 1) else {
+                return false;
+            };
+            pos += 2 + usize::from(*len);
+            if pos > bytes.len() {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Encodes a sequence of options into raw bytes.
     pub fn encode_all(options: &[ConfigOption]) -> Vec<u8> {
         let mut w = ByteWriter::new();

@@ -12,7 +12,7 @@
 //! malformed packet routinely declares less data than it carries.  The codec
 //! must be able to represent, emit and re-parse such packets byte-exactly.
 
-use btcore::{ByteReader, ByteWriter, Cid, CodecError, Identifier};
+use btcore::{ByteReader, Cid, CodecError, FrameArena, FrameBuf, Identifier};
 use serde::{Deserialize, Serialize};
 
 use crate::command::Command;
@@ -29,6 +29,11 @@ pub const MAX_PAYLOAD_LEN: usize = 65_535;
 
 /// An L2CAP basic-header frame: declared payload length, channel ID and the
 /// payload bytes actually present.
+///
+/// The payload is a [`FrameBuf`]: cloning a frame (for a tap record, a queue
+/// outcome or a response fan-out) shares the payload bytes instead of copying
+/// them, and [`L2capFrame::parse_buf`] yields a payload that is a zero-copy
+/// view into the parsed buffer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct L2capFrame {
     /// The `PAYLOAD LEN` field as transmitted (may disagree with
@@ -37,12 +42,13 @@ pub struct L2capFrame {
     /// The `HEADER CID` field — `0x0001` for signalling traffic.
     pub cid: Cid,
     /// Payload bytes actually carried.
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
 }
 
 impl L2capFrame {
     /// Builds a well-formed frame whose declared length matches the payload.
-    pub fn new(cid: Cid, payload: Vec<u8>) -> Self {
+    pub fn new(cid: Cid, payload: impl Into<FrameBuf>) -> Self {
+        let payload = payload.into();
         L2capFrame {
             declared_payload_len: payload.len() as u16,
             cid,
@@ -76,6 +82,9 @@ impl L2capFrame {
     /// Parses a frame from raw bytes.  The payload is everything after the
     /// 4-byte basic header, regardless of the declared length.
     ///
+    /// The payload bytes are copied; when the input already lives in a
+    /// [`FrameBuf`], prefer [`L2capFrame::parse_buf`], which borrows them.
+    ///
     /// # Errors
     /// Returns [`CodecError::UnexpectedEnd`] if fewer than four header bytes
     /// are present.
@@ -83,11 +92,29 @@ impl L2capFrame {
         let mut r = ByteReader::new(bytes);
         let declared_payload_len = r.read_u16()?;
         let cid = Cid(r.read_u16()?);
-        let payload = r.read_rest().to_vec();
+        let payload = FrameBuf::copy_from_slice(r.read_rest());
         Ok(L2capFrame {
             declared_payload_len,
             cid,
             payload,
+        })
+    }
+
+    /// Zero-copy variant of [`L2capFrame::parse`]: the returned frame's
+    /// payload is a shared view into `bytes` — no payload byte is copied.
+    /// The two parse paths are byte-for-byte equivalent on every input.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::UnexpectedEnd`] if fewer than four header bytes
+    /// are present.
+    pub fn parse_buf(bytes: &FrameBuf) -> Result<L2capFrame, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let declared_payload_len = r.read_u16()?;
+        let cid = Cid(r.read_u16()?);
+        Ok(L2capFrame {
+            declared_payload_len,
+            cid,
+            payload: bytes.slice(4..),
         })
     }
 
@@ -99,6 +126,11 @@ impl L2capFrame {
 
 /// A signalling C-frame payload: command code, identifier, declared data
 /// length and the data-field bytes actually carried.
+///
+/// Like [`L2capFrame::payload`], the data field is a [`FrameBuf`], so cloning
+/// a packet — e.g. into a queue outcome — shares the bytes instead of copying
+/// them, and [`SignalingPacket::parse_buf`] borrows them from the parsed
+/// frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SignalingPacket {
     /// The packet identifier matching responses to requests.
@@ -108,7 +140,7 @@ pub struct SignalingPacket {
     /// The `DATA LEN` field as transmitted (may disagree with `data.len()`).
     pub declared_data_len: u16,
     /// Data-field bytes actually carried (including any appended garbage).
-    pub data: Vec<u8>,
+    pub data: FrameBuf,
 }
 
 impl SignalingPacket {
@@ -119,12 +151,13 @@ impl SignalingPacket {
             identifier,
             code: command.code_byte(),
             declared_data_len: data.len() as u16,
-            data,
+            data: data.into(),
         }
     }
 
     /// Builds a packet from raw parts, declaring exactly `data.len()`.
-    pub fn from_raw(identifier: Identifier, code: u8, data: Vec<u8>) -> Self {
+    pub fn from_raw(identifier: Identifier, code: u8, data: impl Into<FrameBuf>) -> Self {
+        let data = data.into();
         SignalingPacket {
             identifier,
             code,
@@ -164,16 +197,28 @@ impl SignalingPacket {
 
     /// Serializes the C-frame: code, identifier, declared length, data bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(4 + self.data.len());
-        w.write_u8(self.code);
-        w.write_u8(self.identifier.value());
-        w.write_u16(self.declared_data_len);
-        w.write_bytes(&self.data);
-        w.into_bytes()
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the C-frame into `out` (cleared first); the single
+    /// serialization path every other encoder of this packet goes through.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(4 + self.data.len());
+        out.push(self.code);
+        out.push(self.identifier.value());
+        out.extend_from_slice(&self.declared_data_len.to_le_bytes());
+        out.extend_from_slice(&self.data);
     }
 
     /// Parses a C-frame from raw bytes; the data field is everything after
     /// the 4-byte command header, regardless of the declared length.
+    ///
+    /// The data bytes are copied; when the input already lives in a
+    /// [`FrameBuf`], prefer [`SignalingPacket::parse_buf`], which borrows
+    /// them.
     ///
     /// # Errors
     /// Returns [`CodecError::UnexpectedEnd`] if fewer than four header bytes
@@ -183,12 +228,32 @@ impl SignalingPacket {
         let code = r.read_u8()?;
         let identifier = Identifier(r.read_u8()?);
         let declared_data_len = r.read_u16()?;
-        let data = r.read_rest().to_vec();
+        let data = FrameBuf::copy_from_slice(r.read_rest());
         Ok(SignalingPacket {
             identifier,
             code,
             declared_data_len,
             data,
+        })
+    }
+
+    /// Zero-copy variant of [`SignalingPacket::parse`]: the returned packet's
+    /// data field is a shared view into `bytes` — no data byte is copied.
+    /// The two parse paths are byte-for-byte equivalent on every input.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::UnexpectedEnd`] if fewer than four header bytes
+    /// are present.
+    pub fn parse_buf(bytes: &FrameBuf) -> Result<SignalingPacket, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let code = r.read_u8()?;
+        let identifier = Identifier(r.read_u8()?);
+        let declared_data_len = r.read_u16()?;
+        Ok(SignalingPacket {
+            identifier,
+            code,
+            declared_data_len,
+            data: bytes.slice(4..),
         })
     }
 
@@ -198,10 +263,46 @@ impl SignalingPacket {
         self.to_frame()
     }
 
+    /// When this packet's data is a slice four bytes into a buffer whose
+    /// preceding bytes are exactly the C-frame header the current field
+    /// values encode to, returns that whole buffer: re-framing is then a
+    /// zero-copy widening of the data view.  This holds for every packet
+    /// produced by [`SignalingPacket::parse_buf`] / [`parse_signaling`] and
+    /// for mutator output, unless a field was modified afterwards (the header
+    /// comparison catches that and the caller falls back to encoding).
+    fn cached_wire(&self) -> Option<FrameBuf> {
+        let whole = self.data.widen_front(4)?;
+        let header = &whole[..4];
+        (header[0] == self.code
+            && header[1] == self.identifier.value()
+            && header[2..4] == self.declared_data_len.to_le_bytes())
+        .then_some(whole)
+    }
+
     /// Borrowing variant of [`SignalingPacket::into_frame`]: builds the frame
-    /// without consuming (or cloning) the packet.
+    /// without consuming (or cloning) the packet — and without copying any
+    /// byte when the packet still carries its wire form (see
+    /// [`SignalingPacket::parse_buf`]).
     pub fn to_frame(&self) -> L2capFrame {
-        L2capFrame::new(Cid::SIGNALING, self.to_bytes())
+        match self.cached_wire() {
+            Some(wire) => L2capFrame::new(Cid::SIGNALING, wire),
+            None => L2capFrame::new(Cid::SIGNALING, self.to_bytes()),
+        }
+    }
+
+    /// Arena-backed variant of [`SignalingPacket::to_frame`]: the frame's
+    /// payload is encoded into a buffer checked out of `arena`, which returns
+    /// to the arena's pool when the frame (and every tap record sharing its
+    /// payload) is dropped.  This is the transmit hot path — steady state, it
+    /// performs no backing-store allocation (and none at all when the packet
+    /// still carries its wire form).
+    pub fn to_frame_in(&self, arena: &FrameArena) -> L2capFrame {
+        if let Some(wire) = self.cached_wire() {
+            return L2capFrame::new(Cid::SIGNALING, wire);
+        }
+        let mut buf = arena.checkout();
+        self.encode_into(&mut buf);
+        L2capFrame::new(Cid::SIGNALING, buf.freeze())
     }
 
     /// Total number of bytes the C-frame occupies within the L2CAP payload.
@@ -215,8 +316,29 @@ pub fn signaling_frame(identifier: Identifier, command: Command) -> L2capFrame {
     SignalingPacket::new(identifier, command).into_frame()
 }
 
+/// Arena-backed variant of [`signaling_frame`]: encodes the whole C-frame —
+/// code, identifier, data length, data fields — directly into one buffer
+/// checked out of `arena`, skipping the intermediate [`SignalingPacket`] and
+/// its owned data vector.  Steady state this allocates only the frame's
+/// shared handle.  Produces bit-identical frames to [`signaling_frame`].
+pub fn signaling_frame_in(
+    arena: &FrameArena,
+    identifier: Identifier,
+    command: &Command,
+) -> L2capFrame {
+    let mut buf = arena.checkout();
+    buf.push(command.code_byte());
+    buf.push(identifier.value());
+    buf.extend_from_slice(&[0, 0]); // DATA LEN, patched once the length is known.
+    command.encode_data_into(&mut buf);
+    let data_len = (buf.len() - 4) as u16;
+    buf[2..4].copy_from_slice(&data_len.to_le_bytes());
+    L2capFrame::new(Cid::SIGNALING, buf.freeze())
+}
+
 /// Parses the signalling packet out of an L2CAP frame, if the frame is on the
-/// signalling channel.
+/// signalling channel.  The returned packet's data field borrows the frame's
+/// payload buffer — no bytes are copied.
 ///
 /// # Errors
 /// Returns a [`CodecError`] if the frame is not on CID `0x0001` or its
@@ -228,7 +350,7 @@ pub fn parse_signaling(frame: &L2capFrame) -> Result<SignalingPacket, CodecError
             value: u64::from(frame.cid.value()),
         });
     }
-    SignalingPacket::parse(&frame.payload)
+    SignalingPacket::parse_buf(&frame.payload)
 }
 
 #[cfg(test)]
@@ -270,7 +392,7 @@ mod tests {
             identifier: Identifier(0x06),
             code: 0x04,
             declared_data_len: 0x0008,
-            data: vec![0x40, 0x00, 0x00, 0x20, 0x01, 0x02, 0x00, 0x04],
+            data: vec![0x40, 0x00, 0x00, 0x20, 0x01, 0x02, 0x00, 0x04].into(),
         };
         let frame = L2capFrame::new(Cid::SIGNALING, pkt.to_bytes());
         assert_eq!(
@@ -289,13 +411,14 @@ mod tests {
             declared_data_len: 0x0008,
             data: vec![
                 0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
-            ],
+            ]
+            .into(),
         };
         assert!(!pkt.is_length_consistent());
         let frame = L2capFrame {
             declared_payload_len: 0x000C,
             cid: Cid::SIGNALING,
-            payload: pkt.to_bytes(),
+            payload: pkt.to_bytes().into(),
         };
         assert!(!frame.is_length_consistent());
         let wire = frame.to_bytes();
@@ -343,7 +466,9 @@ mod tests {
         // Fixed-size command with 4 extra bytes.
         let mut pkt = SignalingPacket::from_raw(Identifier(1), 0x02, vec![0x01, 0x00, 0x40, 0x00]);
         assert_eq!(pkt.garbage_len(), 0);
-        pkt.data.extend_from_slice(&[1, 2, 3, 4]);
+        let mut grown = pkt.data.to_vec();
+        grown.extend_from_slice(&[1, 2, 3, 4]);
+        pkt.data = grown.into();
         assert_eq!(pkt.garbage_len(), 4);
 
         // Variable-tail command (Config Req) with stale declared length, as
@@ -352,7 +477,7 @@ mod tests {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
         };
         assert_eq!(pkt.garbage_len(), 4);
 
@@ -363,6 +488,48 @@ mod tests {
             options: vec![ConfigOption::Mtu(672)],
         });
         assert_eq!(SignalingPacket::new(Identifier(2), cmd).garbage_len(), 0);
+    }
+
+    #[test]
+    fn parse_buf_is_zero_copy_and_equivalent_to_parse() {
+        let pkt = SignalingPacket {
+            identifier: Identifier(0x06),
+            code: 0x04,
+            declared_data_len: 0x0008,
+            data: vec![
+                0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
+            ]
+            .into(),
+        };
+        let wire = btcore::FrameBuf::from_vec(pkt.to_frame().to_bytes());
+        let owned = L2capFrame::parse(&wire).unwrap();
+        let shared = L2capFrame::parse_buf(&wire).unwrap();
+        assert_eq!(owned, shared);
+        assert!(shared.payload.shares_storage_with(&wire));
+        // The signalling layer borrows from the frame payload in turn.
+        let sig = parse_signaling(&shared).unwrap();
+        assert_eq!(sig, pkt);
+        assert!(sig.data.shares_storage_with(&wire));
+    }
+
+    #[test]
+    fn to_frame_in_reuses_arena_buffers() {
+        let arena = btcore::FrameArena::new();
+        let pkt = SignalingPacket::new(
+            Identifier(1),
+            Command::ConnectionRequest(ConnectionRequest {
+                psm: Psm::SDP,
+                scid: Cid(0x0040),
+            }),
+        );
+        let frame = pkt.to_frame_in(&arena);
+        assert_eq!(frame, pkt.to_frame());
+        drop(frame);
+        assert_eq!(arena.pooled(), 1);
+        // The recycled buffer backs the next frame.
+        let again = pkt.to_frame_in(&arena);
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(again, pkt.to_frame());
     }
 
     #[test]

@@ -161,12 +161,16 @@ pub enum Action {
 }
 
 /// One entry of the acceptor-side event/action table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The pass-through lists are constant tables (`'static` slices), so looking
+/// a transition up never allocates — the device endpoints and the coverage
+/// replay consult this table per packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transition {
     /// What the device sends back.
     pub action: Action,
     /// Short-lived states passed through while handling the event, in order.
-    pub passes_through: Vec<ChannelState>,
+    pub passes_through: &'static [ChannelState],
     /// The state the channel ends up in.
     pub next: ChannelState,
 }
@@ -175,7 +179,7 @@ impl Transition {
     fn stay(state: ChannelState, action: Action) -> Transition {
         Transition {
             action,
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: state,
         }
     }
@@ -215,12 +219,12 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         // ----- CLOSED: only connection establishment is meaningful.
         (S::Closed, C::ConnectionRequest) => Transition {
             action: Action::Respond(C::ConnectionResponse),
-            passes_through: vec![S::WaitConnect, S::WaitConfig],
+            passes_through: &[S::WaitConnect, S::WaitConfig],
             next: S::WaitConfig,
         },
         (S::Closed, C::CreateChannelRequest) => Transition {
             action: Action::Respond(C::CreateChannelResponse),
-            passes_through: vec![S::WaitCreate, S::WaitConfig],
+            passes_through: &[S::WaitCreate, S::WaitConfig],
             next: S::WaitConfig,
         },
         (S::Closed, C::DisconnectionRequest) => {
@@ -232,7 +236,7 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         // request is valid; everything else is rejected.
         (S::WaitConnect, C::ConnectionRequest) => Transition {
             action: Action::Respond(C::ConnectionResponse),
-            passes_through: vec![S::WaitConfig],
+            passes_through: &[S::WaitConfig],
             next: S::WaitConfig,
         },
         (S::WaitConnect, _) => {
@@ -240,7 +244,7 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         }
         (S::WaitCreate, C::CreateChannelRequest) => Transition {
             action: Action::Respond(C::CreateChannelResponse),
-            passes_through: vec![S::WaitConfig],
+            passes_through: &[S::WaitConfig],
             next: S::WaitConfig,
         },
         (S::WaitCreate, _) => Transition::reject(S::WaitCreate, RejectReason::CommandNotUnderstood),
@@ -248,29 +252,29 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         // ----- Configuration job.
         (S::WaitConfig, C::ConfigureRequest) => Transition {
             action: Action::Respond(C::ConfigureResponse),
-            passes_through: vec![S::WaitSendConfig],
+            passes_through: &[S::WaitSendConfig],
             next: S::WaitSendConfig,
         },
         (S::WaitConfig, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::WaitConfig, _) => Transition::reject(S::WaitConfig, RejectReason::CommandNotUnderstood),
 
         (S::WaitConfigReqRsp, C::ConfigureRequest) => Transition {
             action: Action::Respond(C::ConfigureResponse),
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::WaitConfigRsp,
         },
         (S::WaitConfigReqRsp, C::ConfigureResponse) => Transition {
             action: Action::Ignore,
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::WaitConfigReq,
         },
         (S::WaitConfigReqRsp, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::WaitConfigReqRsp, _) => {
@@ -279,12 +283,12 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
 
         (S::WaitConfigReq, C::ConfigureRequest) => Transition {
             action: Action::Respond(C::ConfigureResponse),
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::Open,
         },
         (S::WaitConfigReq, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::WaitConfigReq, _) => {
@@ -293,17 +297,17 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
 
         (S::WaitConfigRsp, C::ConfigureResponse) => Transition {
             action: Action::Ignore,
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::Open,
         },
         (S::WaitConfigRsp, C::ConfigureRequest) => Transition {
             action: Action::Respond(C::ConfigureResponse),
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::WaitConfigRsp,
         },
         (S::WaitConfigRsp, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::WaitConfigRsp, _) => {
@@ -312,12 +316,12 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
 
         (S::WaitSendConfig, C::ConfigureResponse) => Transition {
             action: Action::Ignore,
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::Open,
         },
         (S::WaitSendConfig, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::WaitSendConfig, _) => {
@@ -327,17 +331,17 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         // ----- OPEN: reconfiguration, move and disconnection are valid.
         (S::Open, C::ConfigureRequest) => Transition {
             action: Action::Respond(C::ConfigureResponse),
-            passes_through: vec![S::WaitSendConfig],
+            passes_through: &[S::WaitSendConfig],
             next: S::WaitConfigRsp,
         },
         (S::Open, C::MoveChannelRequest) => Transition {
             action: Action::Respond(C::MoveChannelResponse),
-            passes_through: vec![S::WaitMove],
+            passes_through: &[S::WaitMove],
             next: S::WaitMoveConfirm,
         },
         (S::Open, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::Open, _) => Transition::reject(S::Open, RejectReason::CommandNotUnderstood),
@@ -345,7 +349,7 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         // ----- Disconnection job.
         (S::WaitDisconnect, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::Closed,
         },
         (S::WaitDisconnect, _) => {
@@ -355,18 +359,18 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         // ----- Move job.
         (S::WaitMove, C::MoveChannelRequest) => Transition {
             action: Action::Respond(C::MoveChannelResponse),
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::WaitMoveConfirm,
         },
         (S::WaitMove, _) => Transition::reject(S::WaitMove, RejectReason::CommandNotUnderstood),
         (S::WaitMoveConfirm, C::MoveChannelConfirmationRequest) => Transition {
             action: Action::Respond(C::MoveChannelConfirmationResponse),
-            passes_through: vec![S::WaitConfirmRsp],
+            passes_through: &[S::WaitConfirmRsp],
             next: S::Open,
         },
         (S::WaitMoveConfirm, C::DisconnectionRequest) => Transition {
             action: Action::Respond(C::DisconnectionResponse),
-            passes_through: vec![S::WaitDisconnect],
+            passes_through: &[S::WaitDisconnect],
             next: S::Closed,
         },
         (S::WaitMoveConfirm, _) => {
@@ -374,7 +378,7 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
         }
         (S::WaitConfirmRsp, C::MoveChannelConfirmationResponse) => Transition {
             action: Action::Ignore,
-            passes_through: Vec::new(),
+            passes_through: &[],
             next: S::Open,
         },
         (S::WaitConfirmRsp, _) => {
@@ -451,6 +455,44 @@ impl StateMachine {
         self.state = state;
     }
 
+    /// Feeds a command into the machine for its state effects only, without
+    /// materializing a [`Reaction`].  Visits exactly the states
+    /// [`StateMachine::on_command`] would visit but performs no per-call
+    /// allocation — the path trace replay uses to re-drive machines record by
+    /// record.
+    pub fn advance(&mut self, code: CommandCode, accept: bool) {
+        if matches!(
+            code,
+            CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
+        ) && self.state == ChannelState::Closed
+            && !accept
+        {
+            let deciding = if code == CommandCode::ConnectionRequest {
+                ChannelState::WaitConnect
+            } else {
+                ChannelState::WaitCreate
+            };
+            self.visit_only(deciding);
+            self.visit_only(ChannelState::Closed);
+            return;
+        }
+        if self.eager_config && self.state == ChannelState::WaitConfig {
+            self.visit_only(ChannelState::WaitConfigReqRsp);
+        }
+        let transition = spec_transition(self.state, code);
+        for s in transition.passes_through {
+            self.visit_only(*s);
+        }
+        self.visit_only(transition.next);
+    }
+
+    fn visit_only(&mut self, state: ChannelState) {
+        if !self.visited.contains(&state) {
+            self.visited.push(state);
+        }
+        self.state = state;
+    }
+
     /// Feeds a received signalling command addressed to this channel into the
     /// machine and returns the device's reaction.
     ///
@@ -493,7 +535,7 @@ impl StateMachine {
 
         let transition = spec_transition(self.state, code);
         actions.push(transition.action);
-        for s in &transition.passes_through {
+        for s in transition.passes_through {
             self.visit(*s, &mut visited);
         }
         if visited.last() != Some(&transition.next) {

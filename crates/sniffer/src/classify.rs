@@ -29,14 +29,22 @@ pub fn is_malformed(frame: &L2capFrame) -> bool {
     let Ok(packet) = parse_signaling(frame) else {
         return true;
     };
+    is_malformed_signaling(&packet)
+}
+
+/// The signalling-layer half of [`is_malformed`], for callers that already
+/// parsed the C-frame (the single-pass trace analysis parses each record
+/// once and feeds every classifier from it).
+pub fn is_malformed_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
     if !packet.is_length_consistent() || packet.garbage_len() > 0 {
         return true;
     }
     let Some(code) = CommandCode::from_u8(packet.code) else {
         return true;
     };
-    // Structurally undecodable payload for a defined code.
-    if matches!(packet.command(), Command::Raw { .. }) {
+    // Structurally undecodable payload for a defined code (checked without
+    // materializing the command — this runs per record of every trace).
+    if !Command::structurally_valid(packet.code, &packet.data) {
         return true;
     }
     // Abnormal PSM values (Table IV) are malicious by construction.
@@ -57,12 +65,30 @@ pub fn is_rejection(frame: &L2capFrame) -> bool {
     let Ok(packet) = parse_signaling(frame) else {
         return false;
     };
-    match packet.command() {
-        Command::CommandReject(_) => true,
-        Command::ConnectionResponse(rsp) => rsp.result.is_refusal(),
-        Command::CreateChannelResponse(rsp) => rsp.result.is_refusal(),
-        Command::ConfigureResponse(rsp) => rsp.result.is_failure(),
-        Command::MoveChannelResponse(rsp) => rsp.result.is_refusal(),
+    is_rejection_signaling(&packet)
+}
+
+/// The signalling-layer half of [`is_rejection`], for callers that already
+/// parsed the C-frame.
+pub fn is_rejection_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
+    // Only five command kinds can ever express a rejection; everything else
+    // skips decoding entirely (this runs per received record of every trace).
+    match CommandCode::from_u8(packet.code) {
+        Some(
+            CommandCode::CommandReject
+            | CommandCode::ConnectionResponse
+            | CommandCode::CreateChannelResponse
+            | CommandCode::ConfigureResponse
+            | CommandCode::MoveChannelResponse,
+        ) => {}
+        _ => return false,
+    }
+    match Command::decode_opt(packet.code, &packet.data) {
+        Some(Command::CommandReject(_)) => true,
+        Some(Command::ConnectionResponse(rsp)) => rsp.result.is_refusal(),
+        Some(Command::CreateChannelResponse(rsp)) => rsp.result.is_refusal(),
+        Some(Command::ConfigureResponse(rsp)) => rsp.result.is_failure(),
+        Some(Command::MoveChannelResponse(rsp)) => rsp.result.is_refusal(),
         _ => false,
     }
 }
@@ -111,7 +137,7 @@ mod tests {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E],
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
         };
         assert!(is_malformed(&packet.into_frame()));
     }
@@ -146,7 +172,7 @@ mod tests {
         let frame = L2capFrame {
             declared_payload_len: 2,
             cid: Cid::SIGNALING,
-            payload: sig.to_bytes(),
+            payload: sig.to_bytes().into(),
         };
         assert!(is_malformed(&frame));
     }

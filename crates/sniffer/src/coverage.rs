@@ -29,94 +29,11 @@ pub struct StateCoverage {
 impl StateCoverage {
     /// Replays a trace and infers the covered states.
     pub fn from_trace(trace: &Trace) -> StateCoverage {
-        let mut covered: BTreeSet<ChannelState> = BTreeSet::new();
-        // The CLOSED state is exercised as soon as any signalling packet is
-        // sent at all.
-        if trace.transmitted().any(|r| r.frame.cid.is_signaling()) {
-            covered.insert(ChannelState::Closed);
-        }
-
-        // One replay machine per channel, keyed by the CIDs seen on the wire:
-        // the initiator's SCID and the target's allocated DCID.
-        let mut channels: Vec<(Vec<u16>, StateMachine)> = Vec::new();
-        // Connection requests the target has not answered yet: SCID -> ().
-        let mut pending_connects: Vec<(u16, bool)> = Vec::new(); // (scid, is_create)
-
+        let mut builder = CoverageBuilder::new();
         for record in trace.records() {
-            if !record.frame.cid.is_signaling() {
-                continue;
-            }
-            let Ok(packet) = parse_signaling(&record.frame) else {
-                continue;
-            };
-            let Some(code) = CommandCode::from_u8(packet.code) else {
-                continue;
-            };
-            let command = packet.command();
-
-            match record.direction {
-                Direction::Tx => match &command {
-                    Command::ConnectionRequest(req) => {
-                        pending_connects.push((req.scid.value(), false));
-                    }
-                    Command::CreateChannelRequest(req) => {
-                        pending_connects.push((req.scid.value(), true));
-                    }
-                    _ => {
-                        // Link-level commands (echo, information, rejects)
-                        // are handled outside the channel state machines by
-                        // every stack; only channel commands advance a
-                        // machine.
-                        let link_level = matches!(
-                            code,
-                            CommandCode::EchoRequest
-                                | CommandCode::EchoResponse
-                                | CommandCode::InformationRequest
-                                | CommandCode::InformationResponse
-                                | CommandCode::CommandReject
-                        );
-                        if link_level {
-                            continue;
-                        }
-                        let core = l2cap::fields::extract_core_values(code, &packet.data);
-                        let machine = resolve_machine(&mut channels, &core.cidp);
-                        if let Some(machine) = machine {
-                            machine.on_command(code, true);
-                        }
-                    }
-                },
-                Direction::Rx => match &command {
-                    Command::ConnectionResponse(rsp) => {
-                        settle_connect(
-                            &mut channels,
-                            &mut pending_connects,
-                            &mut covered,
-                            rsp.scid,
-                            rsp.dcid,
-                            rsp.result.is_refusal(),
-                            false,
-                        );
-                    }
-                    Command::CreateChannelResponse(rsp) => {
-                        settle_connect(
-                            &mut channels,
-                            &mut pending_connects,
-                            &mut covered,
-                            rsp.scid,
-                            rsp.dcid,
-                            rsp.result.is_refusal(),
-                            true,
-                        );
-                    }
-                    _ => {}
-                },
-            }
+            builder.observe_frame(record.direction, &record.frame);
         }
-
-        for (_, machine) in &channels {
-            covered.extend(machine.visited().iter().copied());
-        }
-        StateCoverage { covered }
+        builder.finish()
     }
 
     /// The covered states in specification order.
@@ -148,29 +65,259 @@ impl StateCoverage {
     }
 }
 
+/// Incremental state-coverage inference: records are fed one at a time (in
+/// capture order) and the covered-state set is produced at the end.  The
+/// single-pass trace analysis drives this alongside the metrics counters so
+/// each record is parsed exactly once.
+pub struct CoverageBuilder {
+    covered: BTreeSet<ChannelState>,
+    /// One replay machine per channel, with an index from every CID seen on
+    /// the wire (the initiator's SCID and the target's allocated DCID) to
+    /// its machine — long traces open hundreds of channels, so the lookup
+    /// must not scan them per record.
+    channels: Vec<StateMachine>,
+    cid_index: CidMap,
+    /// Connection requests the target has not answered yet: (scid, is_create).
+    pending_connects: Vec<(u16, bool)>,
+    saw_tx_signaling: bool,
+}
+
+impl Default for CoverageBuilder {
+    fn default() -> Self {
+        CoverageBuilder::new()
+    }
+}
+
+impl CoverageBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> CoverageBuilder {
+        CoverageBuilder {
+            covered: BTreeSet::new(),
+            channels: Vec::new(),
+            cid_index: CidMap::new(),
+            pending_connects: Vec::new(),
+            saw_tx_signaling: false,
+        }
+    }
+
+    /// Feeds one captured frame (parsing its signalling payload internally).
+    pub fn observe_frame(&mut self, direction: Direction, frame: &l2cap::packet::L2capFrame) {
+        if !frame.cid.is_signaling() {
+            return;
+        }
+        if direction == Direction::Tx {
+            self.saw_tx_signaling = true;
+        }
+        if let Ok(packet) = parse_signaling(frame) {
+            self.observe(direction, &packet);
+        }
+    }
+
+    /// Feeds one already-parsed signalling record.  Callers must have
+    /// reported non-parsing transmitted signalling frames through
+    /// [`CoverageBuilder::observe_frame`] (or [`CoverageBuilder::saw_tx_signaling`])
+    /// for the CLOSED-state rule to hold.
+    pub fn observe(&mut self, direction: Direction, packet: &l2cap::packet::SignalingPacket) {
+        let Some(code) = CommandCode::from_u8(packet.code) else {
+            return;
+        };
+        // Only the four connect-shaped commands ever need their typed form;
+        // every other record is replayed from code + core fields alone,
+        // skipping command decoding (this runs per record of every trace).
+        match direction {
+            Direction::Tx => {
+                let mut settled = false;
+                if matches!(
+                    code,
+                    CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
+                ) {
+                    match Command::decode_opt(packet.code, &packet.data) {
+                        Some(Command::ConnectionRequest(req)) => {
+                            self.pending_connects.push((req.scid.value(), false));
+                            settled = true;
+                        }
+                        Some(Command::CreateChannelRequest(req)) => {
+                            self.pending_connects.push((req.scid.value(), true));
+                            settled = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if !settled {
+                    // Link-level commands (echo, information, rejects) are
+                    // handled outside the channel state machines by every
+                    // stack; only channel commands advance a machine.
+                    let link_level = matches!(
+                        code,
+                        CommandCode::EchoRequest
+                            | CommandCode::EchoResponse
+                            | CommandCode::InformationRequest
+                            | CommandCode::InformationResponse
+                            | CommandCode::CommandReject
+                    );
+                    if link_level {
+                        return;
+                    }
+                    let core = l2cap::fields::extract_core_values(code, &packet.data);
+                    let machine = resolve_machine(&mut self.channels, &self.cid_index, &core.cidp);
+                    if let Some(machine) = machine {
+                        machine.advance(code, true);
+                    }
+                }
+            }
+            Direction::Rx => {
+                if matches!(
+                    code,
+                    CommandCode::ConnectionResponse | CommandCode::CreateChannelResponse
+                ) {
+                    match Command::decode_opt(packet.code, &packet.data) {
+                        Some(Command::ConnectionResponse(rsp)) => {
+                            settle_connect(
+                                &mut self.channels,
+                                &mut self.cid_index,
+                                &mut self.pending_connects,
+                                &mut self.covered,
+                                rsp.scid,
+                                rsp.dcid,
+                                rsp.result.is_refusal(),
+                                false,
+                            );
+                        }
+                        Some(Command::CreateChannelResponse(rsp)) => {
+                            settle_connect(
+                                &mut self.channels,
+                                &mut self.cid_index,
+                                &mut self.pending_connects,
+                                &mut self.covered,
+                                rsp.scid,
+                                rsp.dcid,
+                                rsp.result.is_refusal(),
+                                true,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks that at least one signalling frame was transmitted (exercising
+    /// the CLOSED state), for callers feeding pre-parsed packets.
+    pub fn saw_tx_signaling(&mut self) {
+        self.saw_tx_signaling = true;
+    }
+
+    /// Produces the covered-state set.
+    pub fn finish(mut self) -> StateCoverage {
+        // The CLOSED state is exercised as soon as any signalling packet is
+        // sent at all.
+        if self.saw_tx_signaling {
+            self.covered.insert(ChannelState::Closed);
+        }
+        for machine in &self.channels {
+            self.covered.extend(machine.visited().iter().copied());
+        }
+        StateCoverage {
+            covered: self.covered,
+        }
+    }
+}
+
+/// Minimal open-addressing map from a 16-bit CID to a channel index, with
+/// first-insert-wins semantics.  Replaying a long trace performs a handful of
+/// lookups per record, so this avoids both `HashMap`'s SipHash cost and a
+/// linear scan over hundreds of opened channels.
+struct CidMap {
+    // (cid, index) pairs; `index == u32::MAX` marks an empty slot.
+    slots: Vec<(u16, u32)>,
+    len: usize,
+}
+
+impl CidMap {
+    const EMPTY: u32 = u32::MAX;
+
+    fn new() -> CidMap {
+        CidMap {
+            slots: vec![(0, Self::EMPTY); 64],
+            len: 0,
+        }
+    }
+
+    fn bucket(&self, cid: u16) -> usize {
+        // Fibonacci hashing; slot count is a power of two.
+        (u64::from(cid).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    fn get(&self, cid: u16) -> Option<usize> {
+        let mut i = self.bucket(cid);
+        loop {
+            let (key, idx) = self.slots[i];
+            if idx == Self::EMPTY {
+                return None;
+            }
+            if key == cid {
+                return Some(idx as usize);
+            }
+            i = (i + 1) & (self.slots.len() - 1);
+        }
+    }
+
+    /// Inserts `cid -> index` unless the CID is already mapped (the earliest
+    /// channel keeps owning a reused CID).
+    fn insert_first(&mut self, cid: u16, index: usize) {
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mut i = self.bucket(cid);
+        loop {
+            let (key, idx) = self.slots[i];
+            if idx == Self::EMPTY {
+                self.slots[i] = (cid, index as u32);
+                self.len += 1;
+                return;
+            }
+            if key == cid {
+                return;
+            }
+            i = (i + 1) & (self.slots.len() - 1);
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![(0, Self::EMPTY); 0]);
+        self.slots = vec![(0, Self::EMPTY); old.len() * 2];
+        self.len = 0;
+        for (key, idx) in old {
+            if idx != Self::EMPTY {
+                self.insert_first(key, idx as usize);
+            }
+        }
+    }
+}
+
 fn resolve_machine<'a>(
-    channels: &'a mut [(Vec<u16>, StateMachine)],
+    channels: &'a mut [StateMachine],
+    cid_index: &CidMap,
     cidp: &[u16],
 ) -> Option<&'a mut StateMachine> {
-    // Find a channel whose known CIDs intersect the packet's CIDP values;
-    // otherwise fall back to the most recently opened channel, mirroring the
-    // lenient routing of real stacks.
-    let idx = channels
+    // Find a channel whose known CIDs intersect the packet's CIDP values
+    // (first CIDP value wins, matching the old first-channel-in-open-order
+    // scan because channel indices grow monotonically); otherwise fall back
+    // to the most recently opened channel, mirroring the lenient routing of
+    // real stacks.
+    let idx = cidp
         .iter()
-        .position(|(cids, _)| cidp.iter().any(|v| cids.contains(v)))
-        .or_else(|| {
-            if channels.is_empty() {
-                None
-            } else {
-                Some(channels.len() - 1)
-            }
-        })?;
-    Some(&mut channels[idx].1)
+        .filter_map(|v| cid_index.get(*v))
+        .min()
+        .or_else(|| channels.len().checked_sub(1))?;
+    Some(&mut channels[idx])
 }
 
 #[allow(clippy::too_many_arguments)]
 fn settle_connect(
-    channels: &mut Vec<(Vec<u16>, StateMachine)>,
+    channels: &mut Vec<StateMachine>,
+    cid_index: &mut CidMap,
     pending: &mut Vec<(u16, bool)>,
     covered: &mut BTreeSet<ChannelState>,
     scid: Cid,
@@ -193,13 +340,18 @@ fn settle_connect(
     if refused {
         // A refused request still exercises the deciding state on the target.
         let mut machine = StateMachine::new();
-        machine.on_command(code, false);
+        machine.advance(code, false);
         covered.extend(machine.visited().iter().copied());
         return;
     }
     let mut machine = StateMachine::new();
-    machine.on_command(code, true);
-    channels.push((vec![scid.value(), dcid.value()], machine));
+    machine.advance(code, true);
+    let idx = channels.len();
+    channels.push(machine);
+    // First mapping wins: a reused CID keeps routing to the earliest channel
+    // that carried it, exactly as an in-order list scan would.
+    cid_index.insert_first(scid.value(), idx);
+    cid_index.insert_first(dcid.value(), idx);
 }
 
 #[cfg(test)]

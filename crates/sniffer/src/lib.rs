@@ -15,15 +15,19 @@
 //!   and the cumulative series of Figs. 8 and 9.
 //! * [`coverage`] — trace-replay state-coverage inference against the
 //!   Bluetooth 5.2 state machine.
+//! * [`analysis`] — the single-pass [`TraceAnalysis`] computing metrics and
+//!   coverage together, parsing each record once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod classify;
 pub mod coverage;
 pub mod metrics;
 pub mod trace;
 
+pub use analysis::TraceAnalysis;
 pub use classify::{is_malformed, is_rejection};
 pub use coverage::StateCoverage;
 pub use metrics::{CumulativePoint, MetricsSummary};

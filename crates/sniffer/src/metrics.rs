@@ -44,25 +44,53 @@ pub struct MetricsSummary {
 }
 
 impl MetricsSummary {
-    /// Computes the summary over a trace.
+    /// Computes the summary over a trace (a single pass over the records —
+    /// traces run to hundreds of thousands of packets in long campaigns).
     pub fn from_trace(trace: &Trace) -> MetricsSummary {
-        let transmitted = trace.transmitted_count();
-        let malformed = trace
-            .transmitted()
-            .filter(|r| is_malformed(&r.frame))
-            .count();
-        let received = trace.received_count();
-        let rejections = trace.received().filter(|r| is_rejection(&r.frame)).count();
+        let (mut transmitted, mut malformed, mut received, mut rejections) = (0, 0, 0, 0);
+        for record in trace.records() {
+            match record.direction {
+                Direction::Tx => {
+                    transmitted += 1;
+                    if is_malformed(&record.frame) {
+                        malformed += 1;
+                    }
+                }
+                Direction::Rx => {
+                    received += 1;
+                    if is_rejection(&record.frame) {
+                        rejections += 1;
+                    }
+                }
+            }
+        }
+        MetricsSummary::from_counts(
+            transmitted,
+            malformed,
+            received,
+            rejections,
+            trace.duration_micros(),
+        )
+    }
 
+    /// Assembles a summary from raw counters, deriving the paper's ratios —
+    /// the shared tail of [`MetricsSummary::from_trace`] and the single-pass
+    /// [`crate::TraceAnalysis`].
+    pub fn from_counts(
+        transmitted: usize,
+        malformed: usize,
+        received: usize,
+        rejections: usize,
+        duration_micros: u64,
+    ) -> MetricsSummary {
         let mp_ratio = ratio(malformed, transmitted);
         let pr_ratio = ratio(rejections, received);
-        let duration_secs = trace.duration_micros() as f64 / 1_000_000.0;
+        let duration_secs = duration_micros as f64 / 1_000_000.0;
         let packets_per_second = if duration_secs > 0.0 {
             transmitted as f64 / duration_secs
         } else {
             0.0
         };
-
         MetricsSummary {
             transmitted,
             malformed,
@@ -160,7 +188,7 @@ mod tests {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
-            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A],
+            data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A].into(),
         };
         PacketRecord {
             direction: Direction::Tx,

@@ -16,9 +16,14 @@ impl Trace {
     }
 
     /// Builds a trace by draining the records accumulated in a link tap.
+    ///
+    /// Draining (rather than copying) means the capture moves into the trace:
+    /// the tap is left empty, and a second call only sees records captured
+    /// after the first.  The campaign harness collects each tap exactly once,
+    /// at the end of the run.
     pub fn from_tap(tap: &SharedTap) -> Self {
         Trace {
-            records: tap.lock().clone(),
+            records: std::mem::take(&mut *tap.lock()),
         }
     }
 
@@ -79,9 +84,47 @@ impl Trace {
 
     /// Merges another trace into this one, keeping records ordered by
     /// timestamp.
+    ///
+    /// Both inputs are already time-ordered (taps record monotonically), so
+    /// this is a linear two-way merge, not a concatenate-and-sort.  Ties keep
+    /// `self`'s records first, matching what a stable sort of the
+    /// concatenation produced.
     pub fn merge(&mut self, other: Trace) {
-        self.records.extend(other.records);
-        self.records.sort_by_key(|r| r.timestamp_micros);
+        if other.records.is_empty() {
+            return;
+        }
+        if self
+            .records
+            .last()
+            .is_none_or(|last| last.timestamp_micros <= other.records[0].timestamp_micros)
+        {
+            // Common case: the other run starts after this one ends.
+            self.records.extend(other.records);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.records.len() + other.records.len());
+        let mut left = std::mem::take(&mut self.records).into_iter().peekable();
+        let mut right = other.records.into_iter().peekable();
+        loop {
+            match (left.peek(), right.peek()) {
+                (Some(l), Some(r)) => {
+                    if l.timestamp_micros <= r.timestamp_micros {
+                        merged.extend(left.next());
+                    } else {
+                        merged.extend(right.next());
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(left);
+                    break;
+                }
+                (None, _) => {
+                    merged.extend(right);
+                    break;
+                }
+            }
+        }
+        self.records = merged;
     }
 }
 
@@ -119,12 +162,14 @@ mod tests {
     }
 
     #[test]
-    fn from_tap_copies_records() {
+    fn from_tap_drains_the_capture() {
         let tap = hci::link::new_tap();
         tap.lock().push(record(Direction::Tx, 5));
         let trace = Trace::from_tap(&tap);
         assert_eq!(trace.len(), 1);
-        // The tap is not drained, so a later snapshot still sees the record.
+        // The capture moved into the trace; the tap starts over.
+        assert!(Trace::from_tap(&tap).is_empty());
+        tap.lock().push(record(Direction::Rx, 9));
         assert_eq!(Trace::from_tap(&tap).len(), 1);
     }
 
@@ -135,5 +180,46 @@ mod tests {
         a.merge(b);
         let ts: Vec<u64> = a.records().iter().map(|r| r.timestamp_micros).collect();
         assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_matches_a_stable_sort_of_the_concatenation() {
+        let left = vec![
+            record(Direction::Tx, 10),
+            record(Direction::Tx, 20),
+            record(Direction::Tx, 20),
+            record(Direction::Tx, 40),
+        ];
+        let right = vec![
+            record(Direction::Rx, 5),
+            record(Direction::Rx, 20),
+            record(Direction::Rx, 50),
+        ];
+        let mut merged = Trace::from_records(left.clone());
+        merged.merge(Trace::from_records(right.clone()));
+
+        let mut expected: Vec<PacketRecord> = left.into_iter().chain(right).collect();
+        expected.sort_by_key(|r| r.timestamp_micros);
+        assert_eq!(merged.records(), expected.as_slice());
+        // Ties keep the left run's records first.
+        let at_20: Vec<Direction> = merged
+            .records()
+            .iter()
+            .filter(|r| r.timestamp_micros == 20)
+            .map(|r| r.direction)
+            .collect();
+        assert_eq!(at_20, vec![Direction::Tx, Direction::Tx, Direction::Rx]);
+    }
+
+    #[test]
+    fn merge_appends_when_runs_do_not_overlap() {
+        let mut a = Trace::from_records(vec![record(Direction::Tx, 1), record(Direction::Tx, 2)]);
+        a.merge(Trace::from_records(vec![record(Direction::Rx, 2)]));
+        a.merge(Trace::new());
+        let ts: Vec<u64> = a.records().iter().map(|r| r.timestamp_micros).collect();
+        assert_eq!(ts, vec![1, 2, 2]);
+        let mut empty = Trace::new();
+        empty.merge(Trace::from_records(vec![record(Direction::Rx, 7)]));
+        assert_eq!(empty.len(), 1);
     }
 }

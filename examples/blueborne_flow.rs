@@ -45,7 +45,7 @@ fn main() {
         identifier: Identifier(9),
         code: 0x05,
         declared_data_len: declared,
-        data,
+        data: data.into(),
     };
     let responses = env.link.send_frame(&malformed.into_frame());
     println!(

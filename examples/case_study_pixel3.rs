@@ -44,7 +44,8 @@ fn main() {
             declared_data_len: 8,
             data: vec![
                 0x8F, 0x7B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD2, 0x3A, 0x91, 0x0E,
-            ],
+            ]
+            .into(),
         };
         env.link.send_frame(&packet.into_frame());
         if attempts > 10_000 {

@@ -12,14 +12,85 @@ proptest! {
 
     #[test]
     fn l2cap_frames_roundtrip(declared in 0u16..=2048, cid in 0u16..=0xFFFF, payload in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let frame = L2capFrame { declared_payload_len: declared, cid: Cid(cid), payload };
+        let frame = L2capFrame { declared_payload_len: declared, cid: Cid(cid), payload: payload.into() };
         let back = L2capFrame::parse(&frame.to_bytes()).unwrap();
         prop_assert_eq!(frame, back);
     }
 
     #[test]
+    fn zero_copy_parse_matches_the_owned_parse(declared in 0u16..=2048, cid in 0u16..=0xFFFF, payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // The shared-buffer parse path must be byte-for-byte equivalent to
+        // the owned (copying) codec on every input frame.
+        let frame = L2capFrame { declared_payload_len: declared, cid: Cid(cid), payload: payload.into() };
+        let wire = btcore::FrameBuf::from_vec(frame.to_bytes());
+        let owned = L2capFrame::parse(&wire).unwrap();
+        let shared = L2capFrame::parse_buf(&wire).unwrap();
+        prop_assert_eq!(&owned, &shared);
+        prop_assert_eq!(owned.to_bytes(), shared.to_bytes());
+        // The zero-copy payload really is a view into the parsed buffer.
+        prop_assert!(shared.payload.shares_storage_with(&wire));
+
+        // Same equivalence one layer down, on the signalling C-frame.
+        let owned_sig = SignalingPacket::parse(&wire).unwrap();
+        let shared_sig = SignalingPacket::parse_buf(&wire).unwrap();
+        prop_assert_eq!(&owned_sig, &shared_sig);
+        prop_assert_eq!(owned_sig.to_bytes(), shared_sig.to_bytes());
+        prop_assert!(shared_sig.data.shares_storage_with(&wire));
+        // Re-framing a parsed packet reuses the wire bytes and reproduces
+        // them exactly.
+        let reframed = shared_sig.to_frame();
+        prop_assert_eq!(reframed.payload.as_slice(), wire.as_slice());
+    }
+
+    #[test]
+    fn fragmentation_is_zero_copy_and_byte_identical(extra in 0usize..64, fragments in 1usize..5, seed in any::<u64>()) {
+        use hci::acl::{fragment, reassemble, ACL_FRAGMENT_SIZE};
+        // Payload sizes straddling continuation boundaries: (n-1) full
+        // fragments plus a partial/empty tail around the boundary.
+        let len = (fragments - 1) * ACL_FRAGMENT_SIZE + extra;
+        let mut rng = FuzzRng::seed_from(seed);
+        let payload: Vec<u8> = (0..len).map(|_| rng.next_u16() as u8).collect();
+        let frame = L2capFrame::new(Cid(0x0040), payload);
+        let wire = btcore::FrameBuf::from_vec(frame.to_bytes());
+
+        let frags = fragment(btcore::ConnectionHandle(7), &wire);
+        prop_assert_eq!(frags.len(), wire.len().div_ceil(ACL_FRAGMENT_SIZE).max(1));
+        // Every fragment is a view into the frame's buffer, first flag set
+        // exactly once, and the chunks are the byte-exact windows.
+        let mut offset = 0usize;
+        for (i, frag) in frags.iter().enumerate() {
+            prop_assert_eq!(frag.boundary.is_first(), i == 0);
+            prop_assert!(frag.data.shares_storage_with(&wire) || wire.is_empty());
+            prop_assert_eq!(frag.data.as_slice(), &wire[offset..(offset + ACL_FRAGMENT_SIZE).min(wire.len())]);
+            offset += frag.data.len();
+        }
+        prop_assert_eq!(offset, wire.len());
+
+        // Reassembly restores the exact wire bytes, and a single-fragment
+        // sequence reassembles without any copy.
+        let back = reassemble(&frags).unwrap();
+        prop_assert_eq!(back.as_slice(), wire.as_slice());
+        if frags.len() == 1 {
+            prop_assert!(back.shares_storage_with(&wire));
+        }
+        let reparsed = L2capFrame::parse_buf(&back).unwrap();
+        prop_assert_eq!(reparsed, frame);
+    }
+
+    #[test]
+    fn structural_validity_matches_the_decoder(code in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..48)) {
+        // The allocation-free validator used by the trace classifiers must
+        // agree exactly with where `Command::decode` falls back to `Raw`.
+        let is_raw = matches!(
+            l2cap::command::Command::decode(code, &data),
+            l2cap::command::Command::Raw { .. }
+        );
+        prop_assert_eq!(l2cap::command::Command::structurally_valid(code, &data), !is_raw);
+    }
+
+    #[test]
     fn signaling_packets_roundtrip(code in any::<u8>(), id in 1u8..=255, declared in 0u16..=1024, data in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let pkt = SignalingPacket { identifier: Identifier(id), code, declared_data_len: declared, data };
+        let pkt = SignalingPacket { identifier: Identifier(id), code, declared_data_len: declared, data: data.into() };
         let back = SignalingPacket::parse(&pkt.to_bytes()).unwrap();
         prop_assert_eq!(pkt, back);
     }
