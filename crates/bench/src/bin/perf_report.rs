@@ -1,12 +1,14 @@
 //! Quick-mode performance report: runs the workload of each of the five
-//! Criterion benches a fixed number of times, records the median wall-clock
-//! per iteration plus derived packets/second and measured heap allocations
-//! per packet, and writes the result as JSON.
+//! Criterion benches — plus an LE-pipeline campaign — a fixed number of
+//! times, records the median wall-clock per iteration plus derived
+//! packets/second and measured heap allocations per packet, and writes the
+//! result as JSON.
 //!
-//! The committed `BENCH_PR3.json` at the repository root is the tracked
-//! baseline of this report; CI re-runs it on every change (non-gating) and
-//! uploads the fresh report as an artifact so perf regressions are visible
-//! in review.
+//! The committed `BENCH_PR4.json` at the repository root is the tracked
+//! baseline of this report (`BENCH_PR3.json` remains as the zero-copy
+//! pipeline's reference point); CI re-runs it on every change (non-gating)
+//! and uploads the fresh report as an artifact so perf regressions are
+//! visible in review.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_report [output.json]
@@ -80,7 +82,7 @@ fn measure(
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
     let mut results: Vec<Measured> = Vec::new();
 
     // 1. packet_codec — encode + decode of a Connection Request frame
@@ -154,6 +156,25 @@ fn main() {
                 .seed(0xA11A)
                 .run()
                 .expect("ablation campaign runs")
+                .into_single();
+            std::hint::black_box(outcome.trace.len());
+        }));
+    }
+
+    // 6. le_pipeline — a budget-driven campaign against the LE-only
+    //    wearable: the credit-based connect/reconfigure flows, LE mutation
+    //    and the LE liveness probe, 500 packets per iteration.
+    {
+        results.push(measure("le_pipeline", 15, 500, || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D9))
+                .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())))
+                .budget(TxBudget::packets(500))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .seed(0x1EA0)
+                .run()
+                .expect("LE campaign runs")
                 .into_single();
             std::hint::black_box(outcome.trace.len());
         }));

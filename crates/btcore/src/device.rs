@@ -45,8 +45,48 @@ impl fmt::Display for DeviceClass {
     }
 }
 
+/// The transport a target is reached over.
+///
+/// Bluetooth runs L2CAP over two very different links: the classic ACL-U
+/// link of BR/EDR and the LE-U link of Bluetooth Low Energy.  The two share
+/// the signalling code space but partition it — connection/configuration/
+/// echo/AMP commands (`0x02–0x05`, `0x08–0x11`) are classic-only, the
+/// connection-parameter-update and LE-credit-based commands (`0x12–0x15`)
+/// are LE-only, and the enhanced credit-based commands (`0x17–0x1A`) plus
+/// reject/disconnect/credit-indication work on both.  Every layer of the
+/// pipeline (state table, endpoints, mutator, sniffer) consults this type to
+/// pick the right side of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkType {
+    /// Classic BR/EDR ACL-U link (the paper's Table V targets).
+    BrEdr,
+    /// Bluetooth Low Energy LE-U link.
+    Le,
+}
+
+impl LinkType {
+    /// Both link types.
+    pub const ALL: [LinkType; 2] = [LinkType::BrEdr, LinkType::Le];
+
+    /// Returns `true` for an LE-U link.
+    pub const fn is_le(&self) -> bool {
+        matches!(self, LinkType::Le)
+    }
+}
+
+impl fmt::Display for LinkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkType::BrEdr => "BR/EDR",
+            LinkType::Le => "LE",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Metadata about a discovered device, as gathered by target scanning
-/// (§III-B): MAC address, friendly name, device class and vendor OUI.
+/// (§III-B): MAC address, friendly name, device class, vendor OUI and link
+/// type.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceMeta {
     /// The device's Bluetooth MAC address.
@@ -57,17 +97,27 @@ pub struct DeviceMeta {
     pub class: DeviceClass,
     /// Vendor OUI (derived from the address).
     pub oui: Oui,
+    /// The transport the device is reached over.
+    pub link_type: LinkType,
 }
 
 impl DeviceMeta {
-    /// Creates metadata for a device; the OUI is derived from `addr`.
+    /// Creates metadata for a classic BR/EDR device; the OUI is derived from
+    /// `addr`.
     pub fn new(addr: BdAddr, name: impl Into<String>, class: DeviceClass) -> Self {
         DeviceMeta {
             addr,
             name: name.into(),
             class,
             oui: addr.oui(),
+            link_type: LinkType::BrEdr,
         }
+    }
+
+    /// Returns the same metadata with the link type replaced.
+    pub fn with_link_type(mut self, link_type: LinkType) -> Self {
+        self.link_type = link_type;
+        self
     }
 }
 

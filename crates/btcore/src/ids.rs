@@ -145,6 +145,16 @@ impl Psm {
     /// Start of the dynamically assignable PSM range.
     pub const DYNAMIC_START: Psm = Psm(0x1001);
 
+    /// Enhanced ATT over an LE credit-based channel (SPSM `0x0027`).
+    pub const EATT: Psm = Psm(0x0027);
+    /// Object Transfer Service over LE (SPSM `0x0025`; same value as
+    /// [`Psm::OTS`], listed separately for the LE scan catalogue).
+    pub const OTS_LE: Psm = Psm(0x0025);
+    /// First dynamically assignable LE SPSM (`0x0080`).
+    pub const LE_DYNAMIC_START: Psm = Psm(0x0080);
+    /// Last defined LE SPSM value (`0x00FF`).
+    pub const LE_DYNAMIC_END: Psm = Psm(0x00FF);
+
     /// Returns the raw 16-bit value.
     pub const fn value(&self) -> u16 {
         self.0
@@ -184,6 +194,25 @@ impl Psm {
             Psm::THREE_DSP,
             Psm::IPSP,
             Psm::OTS,
+        ]
+    }
+
+    /// Returns `true` if the value is a defined LE SPSM: SIG-assigned
+    /// (`0x0001..=0x007F`) or dynamically assignable (`0x0080..=0x00FF`).
+    pub const fn is_valid_spsm(&self) -> bool {
+        self.0 >= 0x0001 && self.0 <= 0x00FF
+    }
+
+    /// Returns the list of LE SPSMs the target scanner probes on an LE-U
+    /// link (the LE counterpart of [`Psm::well_known`]).
+    pub fn well_known_le() -> &'static [Psm] {
+        &[
+            Psm::OTS_LE,
+            Psm::EATT,
+            Psm(0x0029), // 3D synchronization
+            Psm::LE_DYNAMIC_START,
+            Psm(0x0081),
+            Psm(0x0082),
         ]
     }
 }

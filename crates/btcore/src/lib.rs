@@ -45,7 +45,7 @@ pub mod rng;
 pub use addr::{BdAddr, Oui, ParseBdAddrError};
 pub use clock::SimClock;
 pub use codec::{ByteReader, ByteWriter, CodecError};
-pub use device::{DeviceClass, DeviceMeta};
+pub use device::{DeviceClass, DeviceMeta, LinkType};
 pub use error::{BtError, ConnectionError};
 pub use framebuf::{FrameArena, FrameBuf, FrameBufMut};
 pub use ids::{Cid, ConnectionHandle, Identifier, Psm};

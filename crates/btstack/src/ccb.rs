@@ -7,7 +7,7 @@
 //! per channel with the local/remote CIDs, the PSM it was opened for and its
 //! state machine.
 
-use btcore::{Cid, Psm};
+use btcore::{Cid, LinkType, Psm};
 use l2cap::state::StateMachine;
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +26,20 @@ pub struct ChannelControlBlock {
     pub psm: Psm,
     /// The channel's protocol state machine.
     pub machine: StateMachine,
+    /// Accumulated send credits the initiator has granted this channel
+    /// (LE credit-based channels only; stays zero on basic-mode channels).
+    /// Wider than `u16` so the overflow check can see past the wire limit.
+    pub credits: u32,
+}
+
+impl ChannelControlBlock {
+    /// Adds a credit grant to the channel's accumulated total and returns
+    /// `true` if the total now exceeds 65535 — the condition under which the
+    /// specification requires the channel to be disconnected.
+    pub fn grant_credits(&mut self, grant: u16) -> bool {
+        self.credits = self.credits.saturating_add(u32::from(grant));
+        self.credits > u32::from(u16::MAX)
+    }
 }
 
 /// The CCB table of one device: allocates local CIDs in the dynamic range and
@@ -55,9 +69,21 @@ impl CcbTable {
         self.channels.is_empty()
     }
 
-    /// Allocates a new channel for `psm` with the initiator's `remote_cid`.
-    /// Returns the new block's id.
+    /// Allocates a new BR/EDR channel for `psm` with the initiator's
+    /// `remote_cid`.  Returns the new block's id.
     pub fn allocate(&mut self, psm: Psm, remote_cid: Cid) -> CcbId {
+        self.allocate_on(LinkType::BrEdr, psm, remote_cid, 0)
+    }
+
+    /// Allocates a new channel on the given link type, seeding the credit
+    /// counter for LE credit-based channels.  Returns the new block's id.
+    pub fn allocate_on(
+        &mut self,
+        link: LinkType,
+        psm: Psm,
+        remote_cid: Cid,
+        initial_credits: u16,
+    ) -> CcbId {
         let local_cid = Cid(self.next_cid);
         self.next_cid = self
             .next_cid
@@ -67,7 +93,8 @@ impl CcbTable {
             local_cid,
             remote_cid,
             psm,
-            machine: StateMachine::new(),
+            machine: StateMachine::for_link(link),
+            credits: u32::from(initial_credits),
         });
         CcbId(self.channels.len() - 1)
     }
@@ -148,6 +175,19 @@ mod tests {
         assert!(table.release_by_local(Cid(0x0040)));
         assert!(!table.release_by_local(Cid(0x0040)));
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn le_allocation_tracks_credits_and_flags_overflow() {
+        let mut table = CcbTable::new();
+        table.allocate_on(LinkType::Le, Psm::EATT, Cid(0x0040), 10);
+        let ccb = table.by_local(Cid(0x0040)).unwrap();
+        assert_eq!(ccb.machine.link(), LinkType::Le);
+        assert_eq!(ccb.credits, 10);
+        assert!(!ccb.grant_credits(100));
+        assert_eq!(ccb.credits, 110);
+        // One oversized grant pushes the accumulated total past 65535.
+        assert!(ccb.grant_credits(u16::MAX));
     }
 
     #[test]

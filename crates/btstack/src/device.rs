@@ -66,9 +66,12 @@ impl SimulatedDevice {
         processing_cost_micros: u64,
         rng: FuzzRng,
     ) -> Self {
+        // The endpoint serves whatever transport the metadata announces, so
+        // an LE-only profile automatically gets the LE acceptor.
+        let link_type = meta.link_type;
         SimulatedDevice {
             meta,
-            endpoint: L2capEndpoint::new(quirks, services, vulns, rng),
+            endpoint: L2capEndpoint::new_on(link_type, quirks, services, vulns, rng),
             status: HostStatus::Running,
             crash_dumps: CrashDumpStore::new(),
             fired: Vec::new(),

@@ -7,12 +7,14 @@
 //! soften those rules on real stacks, and evaluates the device's seeded
 //! [`VulnerabilitySpec`]s against every processed packet.
 
-use btcore::{Cid, FuzzRng, Identifier, Psm};
+use btcore::{Cid, FuzzRng, Identifier, LinkType, Psm};
 use l2cap::code::CommandCode;
 use l2cap::command::{
-    Command, CommandReject, ConfigureRequest, ConfigureResponse, ConnectionResponse,
-    CreateChannelResponse, DisconnectionResponse, EchoResponse, InformationResponse,
-    MoveChannelConfirmationResponse, MoveChannelResponse,
+    Command, CommandReject, ConfigureRequest, ConfigureResponse, ConnectionParameterUpdateResponse,
+    ConnectionResponse, CreateChannelResponse, CreditBasedConnectionResponse,
+    CreditBasedReconfigureResponse, DisconnectionRequest, DisconnectionResponse, EchoResponse,
+    InformationResponse, LeCreditBasedConnectionResponse, MoveChannelConfirmationResponse,
+    MoveChannelResponse,
 };
 use l2cap::consts::{ConfigureResult, ConnectionResult, MoveResult, RejectReason};
 use l2cap::fields;
@@ -46,8 +48,15 @@ impl EndpointOutcome {
     }
 }
 
+/// Initial credits the simulated acceptor grants on every LE credit-based
+/// channel it accepts.
+const LE_ACCEPT_CREDITS: u16 = 8;
+
+use l2cap::ranges::LE_MIN_MTU;
+
 /// The device-side L2CAP signalling acceptor.
 pub struct L2capEndpoint {
+    link_type: LinkType,
     quirks: Quirks,
     services: ServiceTable,
     signaling_mtu: u16,
@@ -66,15 +75,29 @@ pub struct L2capEndpoint {
 }
 
 impl L2capEndpoint {
-    /// Creates an acceptor with the given behaviour, service table and seeded
-    /// vulnerabilities.
+    /// Creates a BR/EDR acceptor with the given behaviour, service table and
+    /// seeded vulnerabilities.
     pub fn new(
         quirks: Quirks,
         services: ServiceTable,
         vulns: impl Into<Arc<[VulnerabilitySpec]>>,
         rng: FuzzRng,
     ) -> Self {
+        L2capEndpoint::new_on(LinkType::BrEdr, quirks, services, vulns, rng)
+    }
+
+    /// Creates an acceptor for the given link type.  An LE acceptor rejects
+    /// classic-only commands as "command not understood" and serves the
+    /// credit-based channel flows instead of connect/configure.
+    pub fn new_on(
+        link_type: LinkType,
+        quirks: Quirks,
+        services: ServiceTable,
+        vulns: impl Into<Arc<[VulnerabilitySpec]>>,
+        rng: FuzzRng,
+    ) -> Self {
         L2capEndpoint {
+            link_type,
             quirks,
             services,
             signaling_mtu: DEFAULT_SIGNALING_MTU,
@@ -91,6 +114,11 @@ impl L2capEndpoint {
     /// The device's service table.
     pub fn services(&self) -> &ServiceTable {
         &self.services
+    }
+
+    /// The link type this acceptor serves.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
     }
 
     /// Number of signalling packets processed so far.
@@ -201,6 +229,22 @@ impl L2capEndpoint {
             };
         };
 
+        // Commands belonging to the other transport: "command not
+        // understood", regardless of state.  On BR/EDR the LE-only commands
+        // keep flowing through the (equivalent) per-channel rejection paths
+        // below, preserving the classic acceptor's observable behaviour.
+        if self.link_type.is_le() && !code.valid_on(LinkType::Le) {
+            let rsp = self.reject(
+                packet.identifier,
+                RejectReason::CommandNotUnderstood,
+                Vec::new(),
+            );
+            return EndpointOutcome {
+                responses: vec![rsp],
+                triggered: None,
+            };
+        }
+
         // Determine the channel (and thus state/job) this packet lands in.
         let core = fields::extract_core_values(code, &packet.data);
         let (channel_cid, cidp_matches) = self.resolve_channel(code, &core.cidp);
@@ -219,6 +263,16 @@ impl L2capEndpoint {
         // Vulnerability evaluation happens "inside" packet processing: a
         // packet that reaches a defective path takes the stack down before a
         // response is produced.
+        let le = fields::extract_le_values(code, &packet.data);
+        let rfc_option = match code {
+            CommandCode::ConfigureRequest if packet.data.len() >= 4 => {
+                ConfigOption::scan_rfc_option(&packet.data[4..])
+            }
+            CommandCode::ConfigureResponse if packet.data.len() >= 6 => {
+                ConfigOption::scan_rfc_option(&packet.data[6..])
+            }
+            _ => None,
+        };
         let ctx = PacketContext {
             job,
             state,
@@ -228,6 +282,9 @@ impl L2capEndpoint {
             cidp_matches_allocation: cidp_matches,
             garbage_len: packet.garbage_len(),
             length_consistent: packet.is_length_consistent(),
+            spsm: le.spsm,
+            credits: le.credits,
+            rfc_option,
         };
         if let Some(vuln) = self.check_vulns(&ctx) {
             return EndpointOutcome {
@@ -321,6 +378,42 @@ impl L2capEndpoint {
                 true,
                 req.controller_id,
             ),
+            // LE credit-based channel flows; on a BR/EDR link these commands
+            // keep falling through to the per-channel rejection paths below.
+            Command::LeCreditBasedConnectionRequest(req) if self.link_type.is_le() => self
+                .handle_le_connect(
+                    packet.identifier,
+                    req.spsm,
+                    std::slice::from_ref(&req.scid),
+                    req.mtu,
+                    req.mps,
+                    req.initial_credits,
+                    false,
+                ),
+            Command::CreditBasedConnectionRequest(req) if self.link_type.is_le() => self
+                .handle_le_connect(
+                    packet.identifier,
+                    req.spsm,
+                    &req.scids,
+                    req.mtu,
+                    req.mps,
+                    req.initial_credits,
+                    true,
+                ),
+            Command::FlowControlCreditInd(ind) if self.link_type.is_le() => {
+                self.handle_credit_ind(ind.cid, ind.credits)
+            }
+            Command::CreditBasedReconfigureRequest(req) if self.link_type.is_le() => {
+                self.handle_reconfigure(packet.identifier, req.mtu, req.mps, &req.dcids)
+            }
+            Command::ConnectionParameterUpdateRequest(_) if self.link_type.is_le() => {
+                vec![self.reply(
+                    packet.identifier,
+                    Command::ConnectionParameterUpdateResponse(ConnectionParameterUpdateResponse {
+                        result: 0,
+                    }),
+                )]
+            }
             Command::EchoRequest(req) => {
                 if self.quirks.supports_echo {
                     // The decoded request owns its payload copy; the echo
@@ -461,6 +554,156 @@ impl L2capEndpoint {
             }
         }
         out
+    }
+
+    /// Handles an LE credit-based connection request (`0x14`, one channel)
+    /// or an enhanced credit-based connection request (`0x17`, up to five
+    /// channels at once).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_le_connect(
+        &mut self,
+        identifier: Identifier,
+        spsm: u16,
+        scids: &[Cid],
+        mtu: u16,
+        mps: u16,
+        initial_credits: u16,
+        enhanced: bool,
+    ) -> Vec<L2capFrame> {
+        let make_response = |dcids: Vec<Cid>, result: u16| {
+            if enhanced {
+                Command::CreditBasedConnectionResponse(CreditBasedConnectionResponse {
+                    mtu,
+                    mps,
+                    initial_credits: LE_ACCEPT_CREDITS,
+                    result,
+                    dcids,
+                })
+            } else {
+                Command::LeCreditBasedConnectionResponse(LeCreditBasedConnectionResponse {
+                    dcid: dcids.first().copied().unwrap_or(Cid::NULL),
+                    mtu,
+                    mps,
+                    initial_credits: LE_ACCEPT_CREDITS,
+                    result,
+                })
+            }
+        };
+
+        // Refusals, in the order the specification checks them: undefined or
+        // unsupported SPSM, pairing-protected SPSM, unacceptable parameters
+        // (including the five-channel cap of the enhanced request), a source
+        // CID already bound to a channel (or repeated within the request),
+        // channel budget.
+        let psm = Psm(spsm);
+        let budget = self
+            .quirks
+            .max_channels_per_link
+            .saturating_sub(self.ccbs.len());
+        let scid_taken = |ccbs: &CcbTable, scid: Cid| ccbs.iter().any(|c| c.remote_cid == scid);
+        let refusal = if !psm.is_valid_spsm() || !self.services.supports(psm) {
+            Some(0x0002) // SPSM not supported
+        } else if !self.services.connectable_without_pairing(psm) {
+            Some(0x0005) // insufficient authentication
+        } else if mtu < LE_MIN_MTU || mps < LE_MIN_MTU || scids.is_empty() || scids.len() > 5 {
+            Some(0x000B) // unacceptable parameters
+        } else if scids
+            .iter()
+            .enumerate()
+            .any(|(i, scid)| scids[..i].contains(scid) || scid_taken(&self.ccbs, *scid))
+        {
+            Some(0x000A) // source CID already allocated
+        } else if budget == 0 {
+            Some(0x0004) // no resources
+        } else {
+            None
+        };
+        if let Some(result) = refusal {
+            self.rejects_sent += 1;
+            return vec![self.reply(identifier, make_response(Vec::new(), result))];
+        }
+
+        let code = if enhanced {
+            CommandCode::CreditBasedConnectionRequest
+        } else {
+            CommandCode::LeCreditBasedConnectionRequest
+        };
+        let requested = scids.len();
+        let mut dcids = Vec::new();
+        for scid in scids.iter().take(requested.min(budget)) {
+            self.ccbs
+                .allocate_on(LinkType::Le, psm, *scid, initial_credits);
+            let ccb = self
+                .ccbs
+                .by_remote(*scid)
+                .expect("freshly allocated channel must be resolvable");
+            ccb.machine.on_command(code, true);
+            dcids.push(ccb.local_cid);
+        }
+        // Partial grants answer "some connections refused – insufficient
+        // resources" while still carrying the allocated DCIDs.
+        let result = if dcids.len() < requested { 0x0004 } else { 0 };
+        vec![self.reply(identifier, make_response(dcids, result))]
+    }
+
+    /// Handles a flow-control credit indication: accumulates the grant and —
+    /// as the specification requires — disconnects the channel when the
+    /// accumulated total exceeds 65535.
+    fn handle_credit_ind(&mut self, cid: Cid, credits: u16) -> Vec<L2capFrame> {
+        let Some(ccb) = self.ccbs.by_any(cid) else {
+            // Credits for a channel that does not exist are ignored silently
+            // (an indication has no response to reject with).
+            return Vec::new();
+        };
+        let (local, remote) = (ccb.local_cid, ccb.remote_cid);
+        let overflow = ccb.grant_credits(credits);
+        ccb.machine
+            .on_command(CommandCode::FlowControlCreditInd, true);
+        if overflow {
+            self.ccbs.release_by_local(local);
+            let id = self.next_id();
+            return vec![self.reply(
+                id,
+                Command::DisconnectionRequest(DisconnectionRequest {
+                    dcid: remote,
+                    scid: local,
+                }),
+            )];
+        }
+        Vec::new()
+    }
+
+    /// Handles an enhanced credit-based reconfigure request over the named
+    /// channels.
+    fn handle_reconfigure(
+        &mut self,
+        identifier: Identifier,
+        mtu: u16,
+        mps: u16,
+        dcids: &[Cid],
+    ) -> Vec<L2capFrame> {
+        let all_known =
+            !dcids.is_empty() && dcids.iter().all(|cid| self.ccbs.by_local(*cid).is_some());
+        let result = if !all_known {
+            0x0002 // invalid destination CID
+        } else if mtu < LE_MIN_MTU || mps < LE_MIN_MTU {
+            0x0001 // unacceptable parameters
+        } else {
+            for cid in dcids {
+                if let Some(ccb) = self.ccbs.by_local(*cid) {
+                    ccb.machine
+                        .on_command(CommandCode::CreditBasedReconfigureRequest, true);
+                }
+            }
+            0
+        };
+        if result != 0 {
+            self.rejects_sent += 1;
+        }
+        vec![self.reply(
+            identifier,
+            Command::CreditBasedReconfigureResponse(CreditBasedReconfigureResponse { result }),
+        )]
     }
 
     fn handle_channel_command(
@@ -918,6 +1161,219 @@ mod tests {
         let out = ep.handle_frame(&L2capFrame::new(Cid(0x0040), vec![1, 2, 3]));
         assert!(out.responses.is_empty());
         assert_eq!(ep.packets_processed(), 0);
+    }
+
+    fn le_endpoint(services: ServiceTable) -> L2capEndpoint {
+        L2capEndpoint::new_on(
+            LinkType::Le,
+            VendorStack::Zephyr.default_quirks(),
+            services,
+            Vec::new(),
+            FuzzRng::seed_from(7),
+        )
+    }
+
+    fn le_connect_frame(spsm: u16, scid: u16, id: u8) -> L2capFrame {
+        signaling_frame(
+            Identifier(id),
+            Command::LeCreditBasedConnectionRequest(
+                l2cap::command::LeCreditBasedConnectionRequest {
+                    spsm,
+                    scid: Cid(scid),
+                    mtu: 512,
+                    mps: 64,
+                    initial_credits: 8,
+                },
+            ),
+        )
+    }
+
+    #[test]
+    fn le_credit_based_connect_succeeds_on_a_supported_spsm() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(3));
+        let out = ep.handle_frame(&le_connect_frame(Psm::EATT.value(), 0x0040, 1));
+        match &first_command(&out.responses)[0] {
+            Command::LeCreditBasedConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, 0);
+                assert!(rsp.dcid.is_dynamic());
+                assert!(rsp.initial_credits > 0);
+            }
+            other => panic!("expected LE credit based response, got {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 1);
+        // The channel went straight to OPEN — no configuration phase on LE.
+        assert!(ep.visited_states().contains(&ChannelState::Open));
+        assert!(!ep
+            .visited_states()
+            .contains(&ChannelState::WaitConfigReqRsp));
+    }
+
+    #[test]
+    fn le_connect_refusals_use_the_spec_result_codes() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(4));
+        // Undefined SPSM (outside 0x0001..=0x00FF).
+        let out = ep.handle_frame(&le_connect_frame(0x1234, 0x0040, 1));
+        match &first_command(&out.responses)[0] {
+            Command::LeCreditBasedConnectionResponse(rsp) => assert_eq!(rsp.result, 0x0002),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Pairing-protected SPSM.
+        let out = ep.handle_frame(&le_connect_frame(0x0081, 0x0041, 2));
+        match &first_command(&out.responses)[0] {
+            Command::LeCreditBasedConnectionResponse(rsp) => assert_eq!(rsp.result, 0x0005),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 0);
+    }
+
+    #[test]
+    fn enhanced_connect_opens_up_to_five_channels_and_reconfigure_works() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(3));
+        let scids: Vec<Cid> = (0x0040..0x0045).map(Cid).collect();
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(1),
+            Command::CreditBasedConnectionRequest(l2cap::command::CreditBasedConnectionRequest {
+                spsm: Psm::EATT.value(),
+                mtu: 247,
+                mps: 64,
+                initial_credits: 4,
+                scids: scids.clone(),
+            }),
+        ));
+        let dcids = match &first_command(&out.responses)[0] {
+            Command::CreditBasedConnectionResponse(rsp) => {
+                // Five channels requested against Zephyr's budget of four:
+                // a partial grant with "some refused – no resources".
+                assert_eq!(rsp.result, 0x0004);
+                assert_eq!(rsp.dcids.len(), 4);
+                rsp.dcids.clone()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(2),
+            Command::CreditBasedReconfigureRequest(l2cap::command::CreditBasedReconfigureRequest {
+                mtu: 1024,
+                mps: 128,
+                dcids,
+            }),
+        ));
+        match &first_command(&out.responses)[0] {
+            Command::CreditBasedReconfigureResponse(rsp) => assert_eq!(rsp.result, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(ep.visited_states().contains(&ChannelState::WaitConfig));
+    }
+
+    #[test]
+    fn reused_or_repeated_source_cids_are_refused_with_0x000a() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(3));
+        ep.handle_frame(&le_connect_frame(Psm::EATT.value(), 0x0040, 1));
+        assert_eq!(ep.open_channels(), 1);
+        // A second connect reusing the bound SCID: refused, nothing leaks.
+        let out = ep.handle_frame(&le_connect_frame(Psm::EATT.value(), 0x0040, 2));
+        match &first_command(&out.responses)[0] {
+            Command::LeCreditBasedConnectionResponse(rsp) => assert_eq!(rsp.result, 0x000A),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 1);
+        // An enhanced request repeating an SCID within itself: same refusal.
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(3),
+            Command::CreditBasedConnectionRequest(l2cap::command::CreditBasedConnectionRequest {
+                spsm: Psm::EATT.value(),
+                mtu: 247,
+                mps: 64,
+                initial_credits: 4,
+                scids: vec![Cid(0x0050), Cid(0x0050)],
+            }),
+        ));
+        match &first_command(&out.responses)[0] {
+            Command::CreditBasedConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, 0x000A);
+                assert!(rsp.dcids.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 1);
+    }
+
+    #[test]
+    fn enhanced_connect_with_more_than_five_channels_is_refused() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(3));
+        let out = ep.handle_frame(&signaling_frame(
+            Identifier(1),
+            Command::CreditBasedConnectionRequest(l2cap::command::CreditBasedConnectionRequest {
+                spsm: Psm::EATT.value(),
+                mtu: 247,
+                mps: 64,
+                initial_credits: 4,
+                scids: (0x0040..0x0046).map(Cid).collect(),
+            }),
+        ));
+        match &first_command(&out.responses)[0] {
+            Command::CreditBasedConnectionResponse(rsp) => {
+                assert_eq!(rsp.result, 0x000B);
+                assert!(rsp.dcids.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ep.open_channels(), 0);
+    }
+
+    #[test]
+    fn credit_overflow_disconnects_the_channel() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(3));
+        ep.handle_frame(&le_connect_frame(Psm::EATT.value(), 0x0040, 1));
+        assert_eq!(ep.open_channels(), 1);
+        // Two maximal grants push the accumulated total past 65535; the
+        // acceptor must disconnect per the specification.
+        let grant = |credits: u16, id: u8| {
+            signaling_frame(
+                Identifier(id),
+                Command::FlowControlCreditInd(l2cap::command::FlowControlCreditInd {
+                    cid: Cid(0x0040),
+                    credits,
+                }),
+            )
+        };
+        let out = ep.handle_frame(&grant(0xFFF0, 2));
+        assert!(out.responses.is_empty());
+        let out = ep.handle_frame(&grant(0xFFF0, 3));
+        assert!(matches!(
+            first_command(&out.responses)[0],
+            Command::DisconnectionRequest(_)
+        ));
+        assert_eq!(ep.open_channels(), 0);
+    }
+
+    #[test]
+    fn classic_commands_are_rejected_on_le_symmetrically() {
+        let mut ep = le_endpoint(ServiceTable::le_typical(3));
+        for frame in [
+            connect_frame(Psm::SDP, 0x0040, 1),
+            signaling_frame(
+                Identifier(2),
+                Command::EchoRequest(EchoRequest { data: vec![1] }),
+            ),
+            signaling_frame(
+                Identifier(3),
+                Command::ConfigureRequest(ConfigureRequest {
+                    dcid: Cid(0x0040),
+                    flags: 0,
+                    options: vec![],
+                }),
+            ),
+        ] {
+            let out = ep.handle_frame(&frame);
+            match &first_command(&out.responses)[0] {
+                Command::CommandReject(rej) => {
+                    assert_eq!(rej.reason, RejectReason::CommandNotUnderstood)
+                }
+                other => panic!("classic command must be rejected on LE, got {other:?}"),
+            }
+        }
+        assert_eq!(ep.open_channels(), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! vulnerabilities corresponding to the zero-days the paper found on that
 //! device (none for D4, D6 and D7).
 
-use btcore::{BdAddr, DeviceClass, DeviceMeta, FuzzRng, SimClock};
+use btcore::{BdAddr, DeviceClass, DeviceMeta, FuzzRng, LinkType, SimClock};
 use serde::{Deserialize, Serialize};
 
 use crate::device::SimulatedDevice;
@@ -27,6 +27,13 @@ pub enum ProfileId {
     D6,
     D7,
     D8,
+    /// Extended scenario device (beyond the paper's Table V): LE-only
+    /// wearable.
+    D9,
+    /// Extended scenario device: dual-mode phone fuzzed over its LE-U link.
+    D10,
+    /// Extended scenario device: ERTM-capable BR/EDR audio device.
+    D11,
 }
 
 impl ProfileId {
@@ -41,6 +48,11 @@ impl ProfileId {
         ProfileId::D7,
         ProfileId::D8,
     ];
+
+    /// The extended scenario devices this reproduction adds beyond Table V:
+    /// an LE-only wearable, a dual-mode phone fuzzed over LE, and an
+    /// ERTM-capable audio device.
+    pub const EXTENDED: [ProfileId; 3] = [ProfileId::D9, ProfileId::D10, ProfileId::D11];
 }
 
 impl std::fmt::Display for ProfileId {
@@ -73,6 +85,8 @@ pub struct DeviceProfile {
     pub stack: VendorStack,
     /// Bluetooth version column.
     pub bt_version: String,
+    /// The transport the campaign fuzzes this device over.
+    pub link_type: LinkType,
     /// Bluetooth device address used in the simulation.
     pub addr: BdAddr,
     /// Device class broadcast during inquiry.
@@ -89,9 +103,65 @@ pub struct DeviceProfile {
 }
 
 impl DeviceProfile {
-    /// Returns the profile for one of the paper's devices.
+    /// Returns the profile for one of the paper's devices (D1–D8) or one of
+    /// this reproduction's extended scenario devices (D9–D11; not part of
+    /// the paper's Table V, see [`ProfileId::EXTENDED`]).
     pub fn table5(id: ProfileId) -> DeviceProfile {
         match id {
+            ProfileId::D9 => DeviceProfile {
+                id,
+                device_type: "Wearable".into(),
+                vendor: "Samsung".into(),
+                name: "Galaxy Fit e".into(),
+                year: 2019,
+                model: "SM-R375".into(),
+                chip: "nRF52832".into(),
+                os_or_firmware: "R375XXU0ASH2".into(),
+                stack: VendorStack::Zephyr,
+                bt_version: "5.0 LE only".into(),
+                link_type: LinkType::Le,
+                addr: BdAddr::new([0xC8, 0x7B, 0x23, 0x10, 0x00, 0x09]),
+                class: DeviceClass::Wearable,
+                service_ports: 3,
+                processing_cost_micros: 110,
+                vuln_probabilities: vec![("zephyr-le-credit-underflow".into(), 0.060)],
+            },
+            ProfileId::D10 => DeviceProfile {
+                id,
+                device_type: "Smartphone".into(),
+                vendor: "Google".into(),
+                name: "Pixel 6 (LE)".into(),
+                year: 2021,
+                model: "GB7N6".into(),
+                chip: "Tensor G1".into(),
+                os_or_firmware: "Android 13".into(),
+                stack: VendorStack::BlueDroid,
+                bt_version: "5.2 dual mode".into(),
+                link_type: LinkType::Le,
+                addr: BdAddr::new([0xF8, 0x8F, 0xCA, 0x10, 0x00, 0x0A]),
+                class: DeviceClass::Smartphone,
+                service_ports: 5,
+                processing_cost_micros: 190,
+                vuln_probabilities: vec![("bluedroid-spsm-confusion".into(), 0.100)],
+            },
+            ProfileId::D11 => DeviceProfile {
+                id,
+                device_type: "Speaker".into(),
+                vendor: "Sonos".into(),
+                name: "Move".into(),
+                year: 2019,
+                model: "S17".into(),
+                chip: "AMLogic A113".into(),
+                os_or_firmware: "Sonos OS S2".into(),
+                stack: VendorStack::BlueZ,
+                bt_version: "5.0 + EDR".into(),
+                link_type: LinkType::BrEdr,
+                addr: BdAddr::new([0x34, 0xE1, 0x2D, 0x10, 0x00, 0x0B]),
+                class: DeviceClass::Audio,
+                service_ports: 6,
+                processing_cost_micros: 230,
+                vuln_probabilities: vec![("bluez-ertm-mode-confusion".into(), 0.040)],
+            },
             ProfileId::D1 => DeviceProfile {
                 id,
                 device_type: "Tablet PC".into(),
@@ -103,6 +173,7 @@ impl DeviceProfile {
                 os_or_firmware: "Android 6.0.1".into(),
                 stack: VendorStack::BlueDroid,
                 bt_version: "4.0 + LE".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0xF8, 0x8F, 0xCA, 0x10, 0x00, 0x01]),
                 class: DeviceClass::Tablet,
                 service_ports: 7,
@@ -120,6 +191,7 @@ impl DeviceProfile {
                 os_or_firmware: "Android 11.0.1".into(),
                 stack: VendorStack::BlueDroid,
                 bt_version: "5.0 + LE".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0xF8, 0x8F, 0xCA, 0x10, 0x00, 0x02]),
                 class: DeviceClass::Smartphone,
                 service_ports: 8,
@@ -137,6 +209,7 @@ impl DeviceProfile {
                 os_or_firmware: "Android 8.0.0".into(),
                 stack: VendorStack::BlueDroid,
                 bt_version: "4.2".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0x84, 0x25, 0xDB, 0x10, 0x00, 0x03]),
                 class: DeviceClass::Smartphone,
                 service_ports: 9,
@@ -154,6 +227,7 @@ impl DeviceProfile {
                 os_or_firmware: "iOS 15.0.2".into(),
                 stack: VendorStack::AppleIos,
                 bt_version: "4.2".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0xAC, 0xBC, 0x32, 0x10, 0x00, 0x04]),
                 class: DeviceClass::Smartphone,
                 service_ports: 8,
@@ -171,6 +245,7 @@ impl DeviceProfile {
                 os_or_firmware: "6.8.8".into(),
                 stack: VendorStack::AppleRtkit,
                 bt_version: "4.2".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0xAC, 0xBC, 0x32, 0x10, 0x00, 0x05]),
                 class: DeviceClass::Audio,
                 service_ports: 6,
@@ -188,6 +263,7 @@ impl DeviceProfile {
                 os_or_firmware: "R175XXU0AUG1".into(),
                 stack: VendorStack::Btw,
                 bt_version: "5.0 + LE".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0x84, 0x25, 0xDB, 0x10, 0x00, 0x06]),
                 class: DeviceClass::Audio,
                 service_ports: 5,
@@ -205,6 +281,7 @@ impl DeviceProfile {
                 os_or_firmware: "Windows 10".into(),
                 stack: VendorStack::Windows,
                 bt_version: "5.0".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0x34, 0xE1, 0x2D, 0x10, 0x00, 0x07]),
                 class: DeviceClass::Computer,
                 service_ports: 11,
@@ -222,6 +299,7 @@ impl DeviceProfile {
                 os_or_firmware: "Ubuntu 18.04.4".into(),
                 stack: VendorStack::BlueZ,
                 bt_version: "5.0".into(),
+                link_type: LinkType::BrEdr,
                 addr: BdAddr::new([0x34, 0xE1, 0x2D, 0x10, 0x00, 0x08]),
                 class: DeviceClass::Computer,
                 service_ports: 13,
@@ -234,6 +312,15 @@ impl DeviceProfile {
     /// All eight Table V profiles.
     pub fn all() -> Vec<DeviceProfile> {
         ProfileId::ALL
+            .iter()
+            .map(|id| DeviceProfile::table5(*id))
+            .collect()
+    }
+
+    /// The extended scenario profiles (LE-only wearable, dual-mode phone
+    /// fuzzed over LE, ERTM-capable audio device).
+    pub fn extended() -> Vec<DeviceProfile> {
+        ProfileId::EXTENDED
             .iter()
             .map(|id| DeviceProfile::table5(*id))
             .collect()
@@ -255,17 +342,27 @@ impl DeviceProfile {
                 }
                 "rtkit-psm-crash" => VulnerabilitySpec::rtkit_psm_crash(*p),
                 "bluez-general-protection" => VulnerabilitySpec::bluez_general_protection(*p),
+                "zephyr-le-credit-underflow" => VulnerabilitySpec::zephyr_credit_underflow_dos(*p),
+                "bluedroid-spsm-confusion" => VulnerabilitySpec::bluedroid_spsm_confusion_crash(*p),
+                "bluez-ertm-mode-confusion" => VulnerabilitySpec::bluez_ertm_mode_confusion_dos(*p),
                 other => panic!("unknown seeded vulnerability kind {other:?}"),
             })
             .collect()
     }
 
-    /// Builds the simulated device for this profile.
+    /// Builds the simulated device for this profile.  LE profiles get the
+    /// LE acceptor and the SPSM service catalogue; classic profiles are
+    /// built exactly as before.
     pub fn build(&self, clock: SimClock, rng: FuzzRng) -> SimulatedDevice {
+        let services = match self.link_type {
+            LinkType::BrEdr => ServiceTable::typical(self.service_ports),
+            LinkType::Le => ServiceTable::le_typical(self.service_ports),
+        };
         SimulatedDevice::new(
-            DeviceMeta::new(self.addr, self.name.clone(), self.class),
+            DeviceMeta::new(self.addr, self.name.clone(), self.class)
+                .with_link_type(self.link_type),
             self.stack.default_quirks(),
-            ServiceTable::typical(self.service_ports),
+            services,
             self.vulnerabilities(),
             clock,
             self.processing_cost_micros,
@@ -366,5 +463,53 @@ mod tests {
             assert!(dev.bluetooth_alive());
             assert_eq!(dev.meta().addr, profile.addr);
         }
+    }
+
+    #[test]
+    fn table5_profiles_are_all_classic() {
+        use hci::device::VirtualDevice;
+        for profile in DeviceProfile::all() {
+            assert_eq!(profile.link_type, btcore::LinkType::BrEdr);
+            assert_eq!(
+                profile
+                    .build(SimClock::new(), FuzzRng::seed_from(1))
+                    .meta()
+                    .link_type,
+                btcore::LinkType::BrEdr
+            );
+        }
+    }
+
+    #[test]
+    fn extended_profiles_cover_the_new_scenarios() {
+        use hci::device::VirtualDevice;
+        let extended = DeviceProfile::extended();
+        assert_eq!(extended.len(), 3);
+        let d9 = &extended[0];
+        assert_eq!(d9.id, ProfileId::D9);
+        assert_eq!(d9.link_type, btcore::LinkType::Le);
+        assert_eq!(d9.stack, VendorStack::Zephyr);
+        let d10 = &extended[1];
+        assert_eq!(d10.link_type, btcore::LinkType::Le);
+        let d11 = &extended[2];
+        assert_eq!(d11.link_type, btcore::LinkType::BrEdr);
+        assert_eq!(d11.stack, VendorStack::BlueZ);
+        // Every extended profile carries a seeded vulnerability and builds a
+        // working device announcing its link type.
+        let clock = SimClock::new();
+        for profile in &extended {
+            assert!(profile.has_seeded_vulnerability());
+            assert!(!profile.vulnerabilities().is_empty());
+            let dev = profile.build(clock.clone(), FuzzRng::seed_from(2));
+            assert!(dev.bluetooth_alive());
+            assert_eq!(dev.meta().link_type, profile.link_type);
+        }
+        // Addresses stay unique across the full eleven-device set.
+        let all: Vec<DeviceProfile> = DeviceProfile::all()
+            .into_iter()
+            .chain(DeviceProfile::extended())
+            .collect();
+        let addrs: BTreeSet<_> = all.iter().map(|p| p.addr).collect();
+        assert_eq!(addrs.len(), 11);
     }
 }

@@ -80,6 +80,28 @@ impl ServiceTable {
         ServiceTable { records }
     }
 
+    /// Builds a typical LE service table with `n` services, drawn from the
+    /// SPSM catalogue (SIG-assigned fixed SPSMs first, then vendor SPSMs in
+    /// the dynamic `0x0080..=0x00FF` range).  The LE counterpart of
+    /// [`ServiceTable::typical`]: EATT and OTS never require pairing, the
+    /// deeper vendor channels do.
+    pub fn le_typical(n: usize) -> Self {
+        let catalogue: [(Psm, &str, bool); 6] = [
+            (Psm::EATT, "EATT", false),
+            (Psm::OTS_LE, "OTS", false),
+            (Psm::LE_DYNAMIC_START, "Vendor Stream", false),
+            (Psm(0x0081), "Vendor Sync", true),
+            (Psm(0x0082), "Vendor Debug", true),
+            (Psm(0x0029), "3D Sync", true),
+        ];
+        let records = catalogue
+            .iter()
+            .take(n.clamp(1, catalogue.len()))
+            .map(|(psm, name, pairing)| ServiceRecord::new(*psm, *name, *pairing))
+            .collect();
+        ServiceTable { records }
+    }
+
     /// Adds a record.
     pub fn push(&mut self, record: ServiceRecord) {
         self.records.push(record);
@@ -161,6 +183,24 @@ mod tests {
             assert!(t.connectable_without_pairing(Psm::SDP));
             assert!(t.pairing_free_ports().contains(&Psm::SDP));
         }
+    }
+
+    #[test]
+    fn le_typical_table_exposes_eatt_without_pairing() {
+        let t = ServiceTable::le_typical(4);
+        assert_eq!(t.len(), 4);
+        assert!(t.connectable_without_pairing(Psm::EATT));
+        assert!(t.supports(Psm::LE_DYNAMIC_START));
+        for record in t.records() {
+            assert!(
+                record.psm.is_valid_spsm(),
+                "{} must be a defined SPSM",
+                record.psm
+            );
+        }
+        // Clamped like the classic catalogue.
+        assert_eq!(ServiceTable::le_typical(50).len(), 6);
+        assert_eq!(ServiceTable::le_typical(0).len(), 1);
     }
 
     #[test]

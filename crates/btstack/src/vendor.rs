@@ -26,17 +26,20 @@ pub enum VendorStack {
     Windows,
     /// Broadcom/Samsung BTW stack (Galaxy Buds+).
     Btw,
+    /// The Zephyr RTOS Bluetooth LE stack (wearables, sensors).
+    Zephyr,
 }
 
 impl VendorStack {
-    /// All six stacks.
-    pub const ALL: [VendorStack; 6] = [
+    /// All seven stacks.
+    pub const ALL: [VendorStack; 7] = [
         VendorStack::BlueDroid,
         VendorStack::BlueZ,
         VendorStack::AppleIos,
         VendorStack::AppleRtkit,
         VendorStack::Windows,
         VendorStack::Btw,
+        VendorStack::Zephyr,
     ];
 
     /// Default behavioural quirks of this stack family.
@@ -90,6 +93,16 @@ impl VendorStack {
                 strict_malformed_filtering: true,
                 supports_echo: true,
             },
+            VendorStack::Zephyr => Quirks {
+                lenient_cid_validation_in_config: false,
+                lenient_unexpected_responses: true,
+                supports_amp_channels: false,
+                max_channels_per_link: 4,
+                strict_malformed_filtering: false,
+                // An LE-only stack never sees an ACL-U echo request; the
+                // link-type table rejects it before this quirk is consulted.
+                supports_echo: false,
+            },
         }
     }
 }
@@ -103,6 +116,7 @@ impl fmt::Display for VendorStack {
             VendorStack::AppleRtkit => "RTKit stack",
             VendorStack::Windows => "Windows stack",
             VendorStack::Btw => "BTW",
+            VendorStack::Zephyr => "Zephyr",
         };
         f.write_str(s)
     }
@@ -149,7 +163,9 @@ mod tests {
         for stack in VendorStack::ALL {
             let q = stack.default_quirks();
             assert!(q.max_channels_per_link > 0);
-            assert!(q.supports_echo);
+            // Every classic stack answers L2CAP echo; the LE-only Zephyr
+            // stack never sees one.
+            assert_eq!(q.supports_echo, stack != VendorStack::Zephyr);
             assert!(!stack.to_string().is_empty());
         }
     }
@@ -186,6 +202,6 @@ mod tests {
         let mut names: Vec<String> = VendorStack::ALL.iter().map(|s| s.to_string()).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
     }
 }

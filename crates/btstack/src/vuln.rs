@@ -42,6 +42,14 @@ pub struct PacketContext {
     pub garbage_len: usize,
     /// `true` if the declared length fields agree with the bytes carried.
     pub length_consistent: bool,
+    /// Simplified PSM carried by an LE credit-based command, if any.
+    pub spsm: Option<u16>,
+    /// Credit count carried by the packet (initial credits or a credit
+    /// grant), if any.
+    pub credits: Option<u16>,
+    /// The retransmission-and-flow-control option carried by a configuration
+    /// command, if any (the ERTM/streaming-mode fuzzing surface).
+    pub rfc_option: Option<l2cap::options::RetransmissionConfig>,
 }
 
 /// Structural conditions under which a seeded vulnerability fires.
@@ -58,6 +66,15 @@ pub struct Trigger {
     /// The packet must carry a CIDP value that does not match any allocated
     /// channel.
     pub requires_cidp_mismatch: bool,
+    /// The packet must carry an SPSM outside the defined LE SPSM space.
+    pub requires_abnormal_spsm: bool,
+    /// The packet must carry a credit count from the abnormal classes
+    /// (zero-credit stall or the overflow-prone upper half).
+    pub requires_abnormal_credits: bool,
+    /// The packet must carry a retransmission-and-flow-control option
+    /// selecting ERTM or streaming mode with abnormal parameters (zero
+    /// transmit window or an MPS below the minimum).
+    pub requires_abnormal_ertm_option: bool,
     /// Probability that a structurally matching packet actually lands in the
     /// defective path (models application-logic complexity).
     pub hit_probability: f64,
@@ -87,6 +104,26 @@ impl Trigger {
         }
         if self.requires_cidp_mismatch && (ctx.cidp.is_empty() || ctx.cidp_matches_allocation) {
             return false;
+        }
+        if self.requires_abnormal_spsm {
+            match ctx.spsm {
+                Some(spsm) if l2cap::ranges::is_abnormal_spsm(spsm) => {}
+                _ => return false,
+            }
+        }
+        if self.requires_abnormal_credits {
+            match ctx.credits {
+                Some(credits) if l2cap::ranges::is_abnormal_credits(credits) => {}
+                _ => return false,
+            }
+        }
+        if self.requires_abnormal_ertm_option {
+            match ctx.rfc_option {
+                Some(rfc)
+                    if matches!(rfc.mode, 3 | 4)
+                        && (rfc.tx_window == 0 || l2cap::ranges::is_abnormal_le_mtu(rfc.mps)) => {}
+                _ => return false,
+            }
         }
         true
     }
@@ -139,6 +176,9 @@ impl VulnerabilitySpec {
                 requires_garbage: true,
                 requires_abnormal_psm: false,
                 requires_cidp_mismatch: true,
+                requires_abnormal_spsm: false,
+                requires_abnormal_credits: false,
+                requires_abnormal_ertm_option: false,
                 hit_probability,
             },
             effect: Effect::DenialOfService,
@@ -162,6 +202,9 @@ impl VulnerabilitySpec {
                 requires_garbage: true,
                 requires_abnormal_psm: false,
                 requires_cidp_mismatch: false,
+                requires_abnormal_spsm: false,
+                requires_abnormal_credits: false,
+                requires_abnormal_ertm_option: false,
                 hit_probability,
             },
             effect: Effect::DenialOfService,
@@ -185,11 +228,100 @@ impl VulnerabilitySpec {
                 requires_garbage: false,
                 requires_abnormal_psm: true,
                 requires_cidp_mismatch: false,
+                requires_abnormal_spsm: false,
+                requires_abnormal_credits: false,
+                requires_abnormal_ertm_option: false,
                 hit_probability,
             },
             effect: Effect::Crash,
             crash_kind: CrashKind::UncontrolledTermination,
             produces_dump: false,
+        }
+    }
+
+    /// LE credit-accounting defect of the simulated LE-only wearable (D9): a
+    /// credit-based connect or credit grant carrying an abnormal credit count
+    /// (zero-credit stall or an overflow-prone grant) drives the stack's
+    /// credit arithmetic into a signed underflow and the service exits.
+    pub fn zephyr_credit_underflow_dos(hit_probability: f64) -> Self {
+        VulnerabilitySpec {
+            id: "SIM-ZEPHYR-LE-CREDIT-UNDERFLOW".to_owned(),
+            description: "credit-accounting underflow on abnormal initial credits or credit \
+                          grants over an LE credit-based channel (DoS)"
+                .to_owned(),
+            trigger: Trigger {
+                jobs: vec![Job::Closed, Job::Connection, Job::Configuration, Job::Open],
+                commands: vec![
+                    CommandCode::LeCreditBasedConnectionRequest,
+                    CommandCode::FlowControlCreditInd,
+                ],
+                requires_garbage: false,
+                requires_abnormal_psm: false,
+                requires_cidp_mismatch: false,
+                requires_abnormal_spsm: false,
+                requires_abnormal_credits: true,
+                requires_abnormal_ertm_option: false,
+                hit_probability,
+            },
+            effect: Effect::DenialOfService,
+            crash_kind: CrashKind::NullPointerDereference,
+            produces_dump: true,
+        }
+    }
+
+    /// SPSM-confusion crash of the simulated dual-mode phone (D10): an
+    /// enhanced credit-based connection request naming an SPSM outside the
+    /// defined space, whose channel list ignores the device's allocations,
+    /// indexes past the stack's registration table.  (The command's SCID
+    /// list is variable-length, so a garbage-tail condition cannot apply —
+    /// the CIDP mismatch is the malformed marker instead.)
+    pub fn bluedroid_spsm_confusion_crash(hit_probability: f64) -> Self {
+        VulnerabilitySpec {
+            id: "SIM-BLUEDROID-SPSM-OOB".to_owned(),
+            description: "out-of-bounds SPSM registration lookup on enhanced credit-based \
+                          connect with undefined SPSM and unallocated CIDs (crash)"
+                .to_owned(),
+            trigger: Trigger {
+                jobs: vec![Job::Closed, Job::Connection, Job::Open],
+                commands: vec![CommandCode::CreditBasedConnectionRequest],
+                requires_garbage: false,
+                requires_abnormal_psm: false,
+                requires_cidp_mismatch: true,
+                requires_abnormal_spsm: true,
+                requires_abnormal_credits: false,
+                requires_abnormal_ertm_option: false,
+                hit_probability,
+            },
+            effect: Effect::Crash,
+            crash_kind: CrashKind::GeneralProtectionFault,
+            produces_dump: true,
+        }
+    }
+
+    /// ERTM mode-confusion defect of the simulated BlueZ speaker (D11): a
+    /// Configuration Request selecting ERTM or streaming mode with a zero
+    /// transmit window (or an impossible MPS) leaves the retransmission
+    /// engine dividing by its window size.
+    pub fn bluez_ertm_mode_confusion_dos(hit_probability: f64) -> Self {
+        VulnerabilitySpec {
+            id: "SIM-BLUEZ-ERTM-ZERO-WINDOW".to_owned(),
+            description: "retransmission-engine division by a zero transmit window when ERTM/\
+                          streaming mode is configured with abnormal parameters (DoS)"
+                .to_owned(),
+            trigger: Trigger {
+                jobs: vec![Job::Configuration, Job::Open],
+                commands: vec![CommandCode::ConfigureRequest],
+                requires_garbage: false,
+                requires_abnormal_psm: false,
+                requires_cidp_mismatch: false,
+                requires_abnormal_spsm: false,
+                requires_abnormal_credits: false,
+                requires_abnormal_ertm_option: true,
+                hit_probability,
+            },
+            effect: Effect::DenialOfService,
+            crash_kind: CrashKind::NullPointerDereference,
+            produces_dump: true,
         }
     }
 
@@ -211,6 +343,9 @@ impl VulnerabilitySpec {
                 requires_garbage: true,
                 requires_abnormal_psm: false,
                 requires_cidp_mismatch: true,
+                requires_abnormal_spsm: false,
+                requires_abnormal_credits: false,
+                requires_abnormal_ertm_option: false,
                 hit_probability,
             },
             effect: Effect::Crash,
@@ -234,6 +369,9 @@ mod tests {
             cidp_matches_allocation: false,
             garbage_len: 4,
             length_consistent: false,
+            spsm: None,
+            credits: None,
+            rfc_option: None,
         }
     }
 
@@ -282,6 +420,9 @@ mod tests {
             cidp_matches_allocation: false,
             garbage_len: 0,
             length_consistent: true,
+            spsm: None,
+            credits: None,
+            rfc_option: None,
         };
         assert!(vuln.trigger.matches(&ctx));
         let normal_psm = PacketContext {
@@ -308,6 +449,9 @@ mod tests {
             cidp_matches_allocation: true,
             garbage_len: 8,
             length_consistent: false,
+            spsm: None,
+            credits: None,
+            rfc_option: None,
         };
         assert!(vuln.trigger.matches(&ctx));
         let wrong_cmd = PacketContext {
@@ -326,6 +470,121 @@ mod tests {
     }
 
     #[test]
+    fn le_credit_vuln_requires_an_abnormal_credit_count() {
+        let vuln = VulnerabilitySpec::zephyr_credit_underflow_dos(1.0);
+        let ctx = PacketContext {
+            job: Job::Closed,
+            state: ChannelState::Closed,
+            code: Some(CommandCode::LeCreditBasedConnectionRequest),
+            psm: None,
+            cidp: l2cap::fields::CidpValues::from_slice(&[0x0040]),
+            cidp_matches_allocation: false,
+            garbage_len: 0,
+            length_consistent: true,
+            spsm: Some(0x0080),
+            credits: Some(0),
+            rfc_option: None,
+        };
+        assert!(vuln.trigger.matches(&ctx), "zero credits must match");
+        let overflow = PacketContext {
+            credits: Some(0xFFFF),
+            ..ctx.clone()
+        };
+        assert!(vuln.trigger.matches(&overflow), "overflow grant matches");
+        let normal = PacketContext {
+            credits: Some(8),
+            ..ctx.clone()
+        };
+        assert!(!vuln.trigger.matches(&normal), "normal credits must not");
+        let absent = PacketContext {
+            credits: None,
+            ..ctx
+        };
+        assert!(!vuln.trigger.matches(&absent));
+    }
+
+    #[test]
+    fn spsm_confusion_vuln_requires_abnormal_spsm_and_cidp_mismatch() {
+        let vuln = VulnerabilitySpec::bluedroid_spsm_confusion_crash(1.0);
+        let ctx = PacketContext {
+            job: Job::Closed,
+            state: ChannelState::Closed,
+            code: Some(CommandCode::CreditBasedConnectionRequest),
+            psm: None,
+            cidp: l2cap::fields::CidpValues::from_slice(&[0x0040]),
+            cidp_matches_allocation: false,
+            garbage_len: 0,
+            length_consistent: true,
+            spsm: Some(0x1234),
+            credits: Some(8),
+            rfc_option: None,
+        };
+        assert!(vuln.trigger.matches(&ctx));
+        let defined_spsm = PacketContext {
+            spsm: Some(0x0080),
+            ..ctx.clone()
+        };
+        assert!(!vuln.trigger.matches(&defined_spsm));
+        let allocated_cids = PacketContext {
+            cidp_matches_allocation: true,
+            ..ctx
+        };
+        assert!(!vuln.trigger.matches(&allocated_cids));
+    }
+
+    #[test]
+    fn ertm_vuln_requires_an_abnormal_retransmission_option() {
+        use l2cap::options::RetransmissionConfig;
+        let vuln = VulnerabilitySpec::bluez_ertm_mode_confusion_dos(1.0);
+        let abnormal = RetransmissionConfig {
+            mode: 3,
+            tx_window: 0,
+            max_transmit: 1,
+            retransmission_timeout: 2000,
+            monitor_timeout: 12000,
+            mps: 0,
+        };
+        let ctx = PacketContext {
+            job: Job::Configuration,
+            state: ChannelState::WaitConfigReqRsp,
+            code: Some(CommandCode::ConfigureRequest),
+            psm: None,
+            cidp: l2cap::fields::CidpValues::from_slice(&[0x0040]),
+            cidp_matches_allocation: true,
+            garbage_len: 0,
+            length_consistent: true,
+            spsm: None,
+            credits: None,
+            rfc_option: Some(abnormal),
+        };
+        assert!(vuln.trigger.matches(&ctx));
+        // A well-formed ERTM option (sane window and MPS) does not match.
+        let sane = PacketContext {
+            rfc_option: Some(RetransmissionConfig {
+                tx_window: 8,
+                mps: 1010,
+                ..abnormal
+            }),
+            ..ctx.clone()
+        };
+        assert!(!vuln.trigger.matches(&sane));
+        // Basic mode never matches, however broken the parameters.
+        let basic = PacketContext {
+            rfc_option: Some(RetransmissionConfig {
+                mode: 0,
+                ..abnormal
+            }),
+            ..ctx.clone()
+        };
+        assert!(!vuln.trigger.matches(&basic));
+        let none = PacketContext {
+            rfc_option: None,
+            ..ctx
+        };
+        assert!(!vuln.trigger.matches(&none));
+    }
+
+    #[test]
     fn empty_job_and_command_lists_match_anything() {
         let trigger = Trigger {
             jobs: vec![],
@@ -333,6 +592,9 @@ mod tests {
             requires_garbage: false,
             requires_abnormal_psm: false,
             requires_cidp_mismatch: false,
+            requires_abnormal_spsm: false,
+            requires_abnormal_credits: false,
+            requires_abnormal_ertm_option: false,
             hit_probability: 1.0,
         };
         assert!(trigger.matches(&config_ctx()));

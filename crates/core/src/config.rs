@@ -30,6 +30,14 @@ pub struct FuzzConfig {
     /// Use the paper's "slightly more generous" valid-command boundaries
     /// (§III-C) instead of the strict Table III mapping.
     pub generous_boundaries: bool,
+    /// Mutate Configuration Request options on BR/EDR links: append a
+    /// retransmission-and-flow-control option selecting ERTM or streaming
+    /// mode with abnormal parameters (zero transmit window, zero MPS).
+    /// This goes beyond the paper's technique — which leaves every
+    /// mutable-application field at its default — so it is off by default
+    /// and the default packet streams are byte-identical to the paper
+    /// reproduction.
+    pub mutate_config_options: bool,
     /// Stop the campaign as soon as one vulnerability is detected (the
     /// paper's Table VI methodology).  When `false` the campaign keeps going
     /// until the packet budget is exhausted (used by the comparison
@@ -54,6 +62,7 @@ impl Default for FuzzConfig {
             append_garbage: true,
             max_garbage_len: 16,
             generous_boundaries: true,
+            mutate_config_options: false,
             stop_at_first_vulnerability: true,
             max_packets: 0,
             seed: 0x4c32_4675,
@@ -97,6 +106,13 @@ impl FuzzConfig {
     /// Ablation: do not append garbage tails.
     pub fn without_garbage(mut self) -> Self {
         self.append_garbage = false;
+        self
+    }
+
+    /// Extension: also mutate Configuration Request options (ERTM/streaming
+    /// retransmission modes with abnormal parameters) on BR/EDR links.
+    pub fn with_config_option_mutation(mut self) -> Self {
+        self.mutate_config_options = true;
         self
     }
 }

@@ -7,9 +7,9 @@
 //! [`TargetOracle`]).  *Connection Failed* means the Bluetooth service went
 //! away (denial of service); the other errors indicate a crash.
 
-use btcore::{ConnectionError, Identifier, PingOutcome, TargetOracle};
+use btcore::{ConnectionError, Identifier, LinkType, PingOutcome, TargetOracle};
 use hci::air::AclLink;
-use l2cap::command::{Command, EchoRequest};
+use l2cap::command::{Command, ConnectionParameterUpdateRequest, EchoRequest};
 use l2cap::packet::parse_signaling;
 use serde::{Deserialize, Serialize};
 
@@ -47,14 +47,27 @@ impl DetectionVerdict {
 pub struct VulnerabilityDetector {
     next_ping_id: u8,
     pings_sent: u64,
+    le: bool,
 }
 
 impl VulnerabilityDetector {
-    /// Creates a detector.
+    /// Creates a detector for a classic BR/EDR target.
     pub fn new() -> Self {
         VulnerabilityDetector {
             next_ping_id: 0x70,
             pings_sent: 0,
+            le: false,
+        }
+    }
+
+    /// Creates a detector for a target on the given link type.  On an LE
+    /// link — which has no Echo Request — the liveness probe is a
+    /// Connection Parameter Update Request, which every LE acceptor
+    /// answers.
+    pub fn new_on(link: LinkType) -> Self {
+        VulnerabilityDetector {
+            le: link == LinkType::Le,
+            ..VulnerabilityDetector::new()
         }
     }
 
@@ -63,7 +76,8 @@ impl VulnerabilityDetector {
         self.pings_sent
     }
 
-    /// Performs the L2CAP ping test over the link.
+    /// Performs the liveness probe over the link: an L2CAP Echo Request on
+    /// BR/EDR, a Connection Parameter Update Request on LE.
     pub fn ping(&mut self, link: &mut AclLink) -> bool {
         self.next_ping_id = if self.next_ping_id == 0xFF {
             0x70
@@ -71,18 +85,31 @@ impl VulnerabilityDetector {
             self.next_ping_id + 1
         };
         self.pings_sent += 1;
-        let frame = l2cap::packet::signaling_frame_in(
-            link.arena(),
-            Identifier(self.next_ping_id),
-            &Command::EchoRequest(EchoRequest {
-                data: vec![0x4C, 0x32],
-            }),
-        );
+        let (probe, expected_code) = if self.le {
+            (
+                Command::ConnectionParameterUpdateRequest(ConnectionParameterUpdateRequest {
+                    interval_min: 6,
+                    interval_max: 12,
+                    latency: 0,
+                    timeout: 200,
+                }),
+                l2cap::code::CommandCode::ConnectionParameterUpdateResponse,
+            )
+        } else {
+            (
+                Command::EchoRequest(EchoRequest {
+                    data: vec![0x4C, 0x32],
+                }),
+                l2cap::code::CommandCode::EchoResponse,
+            )
+        };
+        let frame =
+            l2cap::packet::signaling_frame_in(link.arena(), Identifier(self.next_ping_id), &probe);
         let responses = link.send_frame(&frame);
-        // An Echo Response is identified by its code byte alone.
+        // The answer is identified by its code byte alone.
         responses.iter().any(|f| {
             parse_signaling(f)
-                .map(|p| p.code == l2cap::code::CommandCode::EchoResponse.value())
+                .map(|p| p.code == expected_code.value())
                 .unwrap_or(false)
         })
     }

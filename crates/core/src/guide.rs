@@ -11,7 +11,8 @@ use btcore::{Cid, Identifier, Psm};
 use hci::air::AclLink;
 use l2cap::command::{
     Command, ConfigureRequest, ConfigureResponse, ConnectionRequest, CreateChannelRequest,
-    DisconnectionRequest, MoveChannelRequest,
+    CreditBasedReconfigureRequest, DisconnectionRequest, FlowControlCreditInd,
+    LeCreditBasedConnectionRequest, MoveChannelRequest,
 };
 use l2cap::consts::{ConfigureResult, ConnectionResult};
 use l2cap::jobs::{job_of, Job};
@@ -191,6 +192,86 @@ impl StateGuide {
                     scid: ctx.scid,
                 }),
             );
+        }
+    }
+
+    /// Opens an LE credit-based channel on `spsm` (command `0x14`) and
+    /// returns the channel context on success.  The channel goes straight to
+    /// `OPEN` — LE credit-based channels have no configuration handshake.
+    pub fn open_le_channel(&mut self, link: &mut AclLink, spsm: Psm) -> Option<ChannelContext> {
+        let scid = self.next_scid();
+        let responses = self.send(
+            link,
+            Command::LeCreditBasedConnectionRequest(LeCreditBasedConnectionRequest {
+                spsm: spsm.value(),
+                scid,
+                mtu: 247,
+                mps: 64,
+                initial_credits: 8,
+            }),
+        );
+        for rsp in responses {
+            if let Command::LeCreditBasedConnectionResponse(r) = rsp {
+                if r.result == 0 {
+                    return Some(ChannelContext {
+                        scid,
+                        dcid: r.dcid,
+                        psm: spsm,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Grants the target additional credits on an open LE channel.
+    pub fn send_credit_ind(&mut self, link: &mut AclLink, ctx: ChannelContext, credits: u16) {
+        self.send(
+            link,
+            Command::FlowControlCreditInd(FlowControlCreditInd {
+                cid: ctx.scid,
+                credits,
+            }),
+        );
+    }
+
+    /// Renegotiates MTU/MPS on an open LE channel via the enhanced
+    /// credit-based reconfigure, parking the target through `WAIT_CONFIG`.
+    pub fn send_reconfigure(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+        self.send(
+            link,
+            Command::CreditBasedReconfigureRequest(CreditBasedReconfigureRequest {
+                mtu: 512,
+                mps: 128,
+                dcids: vec![ctx.dcid],
+            }),
+        );
+    }
+
+    /// The LE counterpart of [`StateGuide::drive_to`]: drives the target's
+    /// LE-U channel toward `state` using the credit-based flows.
+    ///
+    /// `CLOSED` and `WAIT_CONNECT` fuzz without a channel, `WAIT_CONFIG` is
+    /// passed through by a reconfigure on an open channel, `OPEN` and
+    /// `WAIT_DISCONNECT` fuzz from an open channel.  States that do not
+    /// exist on an LE link return `None`.
+    pub fn drive_to_le(
+        &mut self,
+        link: &mut AclLink,
+        spsm: Psm,
+        state: ChannelState,
+    ) -> Option<ChannelContext> {
+        if !state.reachable_from_initiator_on(btcore::LinkType::Le) {
+            return None;
+        }
+        match state {
+            ChannelState::Closed | ChannelState::WaitConnect => Some(ChannelContext::closed(spsm)),
+            ChannelState::WaitConfig => {
+                let ctx = self.open_le_channel(link, spsm)?;
+                self.send_reconfigure(link, ctx);
+                Some(ctx)
+            }
+            _ => self.open_le_channel(link, spsm),
         }
     }
 

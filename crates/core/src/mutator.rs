@@ -9,7 +9,7 @@
 //! garbage tail is appended without updating the dependent length fields —
 //! exactly the mutation of the paper's Fig. 7 example.
 
-use btcore::{FrameArena, FuzzRng, Identifier};
+use btcore::{FrameArena, FuzzRng, Identifier, LinkType};
 use l2cap::code::CommandCode;
 use l2cap::fields::{self, FieldClass, FieldName};
 use l2cap::packet::SignalingPacket;
@@ -31,10 +31,19 @@ pub struct CoreFieldMutator {
     core_fields_only: bool,
     append_garbage: bool,
     max_garbage_len: usize,
+    /// The transport the generated packets target.  On an LE link the
+    /// credit-based channel fields (SPSM, MTU/MPS, credits) become the
+    /// mutation surface alongside the core CIDP fields; on BR/EDR they stay
+    /// at defaults, exactly as the paper's technique prescribes.
+    link: LinkType,
+    /// When set (BR/EDR only), Configuration Requests additionally carry a
+    /// retransmission-and-flow-control option selecting ERTM or streaming
+    /// mode with abnormal parameters.
+    mutate_config_options: bool,
 }
 
 impl CoreFieldMutator {
-    /// Creates a mutator following the paper's technique.
+    /// Creates a mutator following the paper's technique (BR/EDR link).
     pub fn new(rng: FuzzRng) -> Self {
         CoreFieldMutator {
             rng,
@@ -42,6 +51,8 @@ impl CoreFieldMutator {
             core_fields_only: true,
             append_garbage: true,
             max_garbage_len: 16,
+            link: LinkType::BrEdr,
+            mutate_config_options: false,
         }
     }
 
@@ -54,12 +65,23 @@ impl CoreFieldMutator {
         max_garbage_len: usize,
     ) -> Self {
         CoreFieldMutator {
-            rng,
-            arena: FrameArena::new(),
             core_fields_only,
             append_garbage,
             max_garbage_len,
+            ..CoreFieldMutator::new(rng)
         }
+    }
+
+    /// Sets the transport the generated packets target.
+    pub fn set_link(&mut self, link: LinkType) {
+        self.link = link;
+    }
+
+    /// Enables ERTM/streaming-mode option mutation on Configuration
+    /// Requests (BR/EDR links only; a no-op on LE where the command does
+    /// not exist).
+    pub fn set_config_option_mutation(&mut self, enabled: bool) {
+        self.mutate_config_options = enabled;
     }
 
     /// The arena recycling this mutator's packet buffers.
@@ -102,7 +124,32 @@ impl CoreFieldMutator {
                         write_field(data, spec.offset, width, value);
                     }
                     FieldClass::MutableApp => {
-                        if self.core_fields_only {
+                        if self.link.is_le() && width == 2 {
+                            // On an LE link the credit-based channel fields
+                            // are the interesting mutation surface: SPSM
+                            // from outside the defined space, credits from
+                            // the zero-stall/overflow classes, MTU/MPS below
+                            // the 23-octet minimum.  Other MA fields keep
+                            // their defaults.
+                            let value = match spec.name {
+                                FieldName::Spsm => {
+                                    Some(ranges::random_abnormal_spsm(&mut self.rng))
+                                }
+                                FieldName::Credit => {
+                                    Some(ranges::random_abnormal_credits(&mut self.rng))
+                                }
+                                FieldName::Mtu | FieldName::Mps => {
+                                    Some(ranges::random_abnormal_le_mtu(&mut self.rng))
+                                }
+                                _ => None,
+                            };
+                            if let Some(value) = value {
+                                write_field(data, spec.offset, width, value);
+                            } else if !self.core_fields_only {
+                                let value = self.rng.next_u16();
+                                write_field(data, spec.offset, width, value);
+                            }
+                        } else if self.core_fields_only {
                             // MA fields keep their default values (zeros
                             // encode "success"/"no flags"/"no info").
                         } else {
@@ -130,6 +177,24 @@ impl CoreFieldMutator {
                     }
                 }
             }
+        }
+
+        // ERTM/streaming-mode option mutation: a Configuration Request on a
+        // classic link additionally carries a retransmission-and-flow-control
+        // option whose mode selects ERTM (3) or streaming (4) with a zero
+        // transmit window and a zero MPS — the abnormal parameter classes
+        // real retransmission engines choke on.  The declared length covers
+        // the option, so the packet stays length-consistent and survives
+        // strict stacks' sanity filters.
+        if self.mutate_config_options && !self.link.is_le() && code == CommandCode::ConfigureRequest
+        {
+            let mode = if self.rng.chance(0.5) { 3 } else { 4 };
+            let retransmission_timeout = self.rng.next_u16();
+            let monitor_timeout = self.rng.next_u16();
+            buf.extend_from_slice(&[0x04, 0x09, mode, 0x00, 0x01]);
+            buf.extend_from_slice(&retransmission_timeout.to_le_bytes());
+            buf.extend_from_slice(&monitor_timeout.to_le_bytes());
+            buf.extend_from_slice(&0u16.to_le_bytes());
         }
 
         let spec_declared_len = (buf.len() - 4) as u16;
@@ -354,6 +419,77 @@ mod tests {
             "some packets should target the allocated channel"
         );
         assert!(reused < 64, "some packets should ignore the allocation");
+    }
+
+    #[test]
+    fn le_mutation_draws_the_credit_based_fields_from_the_abnormal_ranges() {
+        let mut m = mutator();
+        m.set_link(btcore::LinkType::Le);
+        for i in 0..200u8 {
+            let pkt = m.mutate(
+                CommandCode::LeCreditBasedConnectionRequest,
+                &ChannelContext::closed(Psm::EATT),
+                Identifier(i.max(1)),
+            );
+            let le =
+                fields::extract_le_values(CommandCode::LeCreditBasedConnectionRequest, &pkt.data);
+            assert!(ranges::is_abnormal_spsm(le.spsm.unwrap()));
+            assert!(ranges::is_abnormal_credits(le.credits.unwrap()));
+            assert!(ranges::is_abnormal_le_mtu(le.mtu.unwrap()));
+            assert!(ranges::is_abnormal_le_mtu(le.mps.unwrap()));
+            // The CIDP field is still mutated like any core field.
+            let core =
+                fields::extract_core_values(CommandCode::LeCreditBasedConnectionRequest, &pkt.data);
+            assert!(core.cidp.iter().all(|c| ranges::is_cidp_range(*c)));
+            assert!(pkt.garbage_len() > 0);
+        }
+    }
+
+    #[test]
+    fn bredr_mutation_of_le_commands_leaves_application_fields_at_defaults() {
+        // On a classic link the LE credit fields are plain MA fields and must
+        // stay zero, byte-identical to the pre-link-aware mutator.
+        let mut m = mutator();
+        let pkt = m.mutate(
+            CommandCode::LeCreditBasedConnectionRequest,
+            &ChannelContext::closed(Psm::SDP),
+            Identifier(1),
+        );
+        // SPSM (0..2), MTU (4..6), MPS (6..8), credits (8..10) all default.
+        assert_eq!(&pkt.data[0..2], &[0, 0]);
+        assert_eq!(&pkt.data[4..10], &[0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn config_option_mutation_appends_an_abnormal_ertm_option() {
+        use l2cap::options::ConfigOption;
+        let mut m = mutator();
+        m.set_config_option_mutation(true);
+        let mut saw_ertm = false;
+        let mut saw_streaming = false;
+        for i in 1..=64u8 {
+            let pkt = m.mutate(
+                CommandCode::ConfigureRequest,
+                &ctx_with_channel(),
+                Identifier(i),
+            );
+            let rfc = ConfigOption::scan_rfc_option(&pkt.data[4..])
+                .expect("mutated config request must carry an RFC option");
+            assert!(matches!(rfc.mode, 3 | 4), "mode must be ERTM or streaming");
+            assert_eq!(rfc.tx_window, 0, "transmit window must be abnormal");
+            assert_eq!(rfc.mps, 0, "MPS must be abnormal");
+            saw_ertm |= rfc.mode == 3;
+            saw_streaming |= rfc.mode == 4;
+        }
+        assert!(saw_ertm && saw_streaming, "both modes must be drawn");
+        // Disabled (the default), no option is appended.
+        let mut m = mutator();
+        let pkt = m.mutate(
+            CommandCode::ConfigureRequest,
+            &ctx_with_channel(),
+            Identifier(1),
+        );
+        assert_eq!(ConfigOption::scan_rfc_option(&pkt.data[4..]), None);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! classifies the response.  If every offered port demands pairing it falls
 //! back to SDP, which is always pairing-free.
 
-use btcore::{Cid, DeviceMeta, Identifier, Psm};
+use btcore::{Cid, DeviceMeta, Identifier, LinkType, Psm};
 use hci::air::AclLink;
-use l2cap::command::{Command, ConnectionRequest, DisconnectionRequest};
+use l2cap::command::{
+    Command, ConnectionRequest, DisconnectionRequest, LeCreditBasedConnectionRequest,
+};
 use l2cap::consts::ConnectionResult;
 use l2cap::packet::parse_signaling;
 use serde::{Deserialize, Serialize};
@@ -83,30 +85,84 @@ impl TargetScanner {
         TargetScanner { next_scid: 0x0070 }
     }
 
-    /// Probes every well-known PSM over `link` and produces the scan report.
+    /// Probes every well-known port over `link` and produces the scan
+    /// report: classic PSMs via Connection Request on a BR/EDR link, LE
+    /// SPSMs via LE Credit Based Connection Request on an LE-U link.
     ///
     /// Connections opened during probing are immediately torn down again so
     /// the scan does not consume the target's channel budget.
     pub fn scan(&mut self, meta: DeviceMeta, link: &mut AclLink) -> ScanReport {
+        let le = meta.link_type == LinkType::Le;
+        let catalogue = if le {
+            Psm::well_known_le()
+        } else {
+            Psm::well_known()
+        };
         let mut probes = Vec::new();
-        for psm in Psm::well_known() {
-            probes.push(PortProbe {
-                psm: *psm,
-                status: self.probe_port(link, *psm),
-            });
+        for psm in catalogue {
+            let status = if le {
+                self.probe_le_port(link, *psm)
+            } else {
+                self.probe_port(link, *psm)
+            };
+            probes.push(PortProbe { psm: *psm, status });
         }
         let chosen_port = probes
             .iter()
             .find(|p| p.status == PortStatus::OpenWithoutPairing)
             .map(|p| p.psm)
-            // SDP never requires pairing and is supported by every device; it
-            // is the paper's fallback when everything else is locked down.
-            .or(Some(Psm::SDP));
+            // The pairing-free fallback: SDP on classic (every device has
+            // it), EATT on LE.
+            .or(Some(if le { Psm::EATT } else { Psm::SDP }));
         ScanReport {
             meta,
             probes,
             chosen_port,
         }
+    }
+
+    fn probe_le_port(&mut self, link: &mut AclLink, spsm: Psm) -> PortStatus {
+        let scid = Cid(self.next_scid);
+        self.next_scid += 1;
+        let frame = l2cap::packet::signaling_frame_in(
+            link.arena(),
+            Identifier(1),
+            &Command::LeCreditBasedConnectionRequest(LeCreditBasedConnectionRequest {
+                spsm: spsm.value(),
+                scid,
+                mtu: 247,
+                mps: 64,
+                initial_credits: 4,
+            }),
+        );
+        let responses = link.send_frame(&frame);
+        let mut status = PortStatus::NoResponse;
+        let mut allocated_dcid = None;
+        for rsp in &responses {
+            if let Ok(sig) = parse_signaling(rsp) {
+                if let Command::LeCreditBasedConnectionResponse(rsp) = sig.command() {
+                    status = match rsp.result {
+                        0 => {
+                            allocated_dcid = Some(rsp.dcid);
+                            PortStatus::OpenWithoutPairing
+                        }
+                        // Insufficient authentication / authorization /
+                        // encryption: the SPSM exists but wants pairing.
+                        0x0005..=0x0008 => PortStatus::RequiresPairing,
+                        _ => PortStatus::NotSupported,
+                    };
+                }
+            }
+        }
+        if let Some(dcid) = allocated_dcid {
+            let frame = l2cap::packet::signaling_frame_in(
+                link.arena(),
+                Identifier(2),
+                &Command::DisconnectionRequest(DisconnectionRequest { dcid, scid }),
+            );
+            let _ = link.send_frame(&frame);
+        }
+        status
     }
 
     fn probe_port(&mut self, link: &mut AclLink, psm: Psm) -> PortStatus {

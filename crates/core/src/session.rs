@@ -44,6 +44,7 @@ impl L2FuzzSession {
         mut oracle: Option<&mut dyn TargetOracle>,
     ) -> FuzzReport {
         let started = self.clock.now().as_secs();
+        let link_type = meta.link_type;
         let mut rng = FuzzRng::seed_from(self.config.seed);
         let mut scanner = TargetScanner::new();
         let mut guide = StateGuide::new();
@@ -53,7 +54,9 @@ impl L2FuzzSession {
             self.config.append_garbage,
             self.config.max_garbage_len,
         );
-        let mut detector = VulnerabilityDetector::new();
+        mutator.set_link(link_type);
+        mutator.set_config_option_mutation(self.config.mutate_config_options);
+        let mut detector = VulnerabilityDetector::new_on(link_type);
         let mut queue = PacketQueue::new();
 
         // Phase 1: target scanning.
@@ -71,9 +74,13 @@ impl L2FuzzSession {
             elapsed_secs: 0,
         };
 
-        // Phases 2-4, repeated per reachable state.
+        // Phases 2-4, repeated per reachable state (of the target's link
+        // type — an LE target exposes the credit-based subset).
         let states: Vec<ChannelState> = if self.config.state_guiding {
-            ChannelState::REACHABLE_FROM_INITIATOR.to_vec()
+            match link_type {
+                btcore::LinkType::BrEdr => ChannelState::REACHABLE_FROM_INITIATOR.to_vec(),
+                btcore::LinkType::Le => ChannelState::REACHABLE_FROM_INITIATOR_LE.to_vec(),
+            }
         } else {
             vec![ChannelState::Closed]
         };
@@ -81,7 +88,11 @@ impl L2FuzzSession {
         'states: for state in states {
             // Phase 2: state guiding.
             let ctx = if self.config.state_guiding {
-                match guide.drive_to(link, psm, state) {
+                let driven = match link_type {
+                    btcore::LinkType::BrEdr => guide.drive_to(link, psm, state),
+                    btcore::LinkType::Le => guide.drive_to_le(link, psm, state),
+                };
+                match driven {
                     Some(ctx) => ctx,
                     None => continue,
                 }
@@ -94,9 +105,9 @@ impl L2FuzzSession {
             let job = job_of(state);
             let commands = if self.config.state_guiding {
                 if self.config.generous_boundaries {
-                    job.generous_valid_commands()
+                    job.generous_valid_commands_on(link_type)
                 } else {
-                    job.valid_commands()
+                    job.valid_commands_on(link_type)
                 }
             } else {
                 // Without state guiding, commands are picked at random per

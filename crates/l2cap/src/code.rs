@@ -116,8 +116,24 @@ impl CommandCode {
     ];
 
     /// Converts a raw code byte into a [`CommandCode`], if defined.
+    ///
+    /// This sits on the per-packet classification hot path (every sniffed
+    /// record and every endpoint dispatch goes through it), so it is a single
+    /// indexed load into a 256-entry constant table rather than a scan over
+    /// the 26 variants; `tests` assert the table agrees with the scan for
+    /// every possible byte.
     pub fn from_u8(v: u8) -> Option<CommandCode> {
-        CommandCode::ALL.iter().copied().find(|c| *c as u8 == v)
+        const LUT: [Option<CommandCode>; 256] = {
+            let mut table = [None; 256];
+            let mut i = 0;
+            while i < CommandCode::ALL.len() {
+                let code = CommandCode::ALL[i];
+                table[code as u8 as usize] = Some(code);
+                i += 1;
+            }
+            table
+        };
+        LUT[usize::from(v)]
     }
 
     /// Returns the on-air code value.
@@ -205,6 +221,44 @@ impl CommandCode {
                 | CommandCode::LeCreditBasedConnectionRequest
                 | CommandCode::LeCreditBasedConnectionResponse
         )
+    }
+
+    /// Returns `true` if the command is only meaningful on classic BR/EDR
+    /// (ACL-U) links; the LE acceptor rejects these with "command not
+    /// understood", symmetrically to [`CommandCode::is_le_only`].
+    ///
+    /// These are connection establishment/configuration, echo, information
+    /// and the AMP create/move family (`0x02–0x05`, `0x08–0x11`).  Command
+    /// Reject, disconnection, the flow-control credit indication and the
+    /// enhanced credit-based family (`0x16–0x1A`) are valid on both links.
+    pub const fn is_classic_only(&self) -> bool {
+        matches!(
+            self,
+            CommandCode::ConnectionRequest
+                | CommandCode::ConnectionResponse
+                | CommandCode::ConfigureRequest
+                | CommandCode::ConfigureResponse
+                | CommandCode::EchoRequest
+                | CommandCode::EchoResponse
+                | CommandCode::InformationRequest
+                | CommandCode::InformationResponse
+                | CommandCode::CreateChannelRequest
+                | CommandCode::CreateChannelResponse
+                | CommandCode::MoveChannelRequest
+                | CommandCode::MoveChannelResponse
+                | CommandCode::MoveChannelConfirmationRequest
+                | CommandCode::MoveChannelConfirmationResponse
+        )
+    }
+
+    /// Returns `true` if a spec-conformant acceptor on the given link type
+    /// processes this command at all (rather than rejecting it as "command
+    /// not understood" because it belongs to the other transport).
+    pub const fn valid_on(&self, link: btcore::LinkType) -> bool {
+        match link {
+            btcore::LinkType::BrEdr => !self.is_le_only(),
+            btcore::LinkType::Le => !self.is_classic_only(),
+        }
     }
 
     /// Short mnemonic used in traces and reports (e.g. `Connect Req`).
@@ -315,6 +369,48 @@ mod tests {
         assert!(CommandCode::ConnectionParameterUpdateRequest.is_le_only());
         assert!(!CommandCode::ConnectionRequest.is_le_only());
         assert!(!CommandCode::CreditBasedConnectionRequest.is_le_only());
+    }
+
+    #[test]
+    fn from_u8_lookup_table_matches_a_linear_scan_for_every_byte() {
+        for v in 0..=u8::MAX {
+            let scanned = CommandCode::ALL.iter().copied().find(|c| *c as u8 == v);
+            assert_eq!(
+                CommandCode::from_u8(v),
+                scanned,
+                "lookup table diverges from linear scan at 0x{v:02X}"
+            );
+        }
+    }
+
+    #[test]
+    fn link_validity_partitions_the_code_space() {
+        use btcore::LinkType;
+        for c in CommandCode::ALL {
+            // No command is both LE-only and classic-only.
+            assert!(!(c.is_le_only() && c.is_classic_only()), "{c} is both");
+            assert_eq!(c.valid_on(LinkType::BrEdr), !c.is_le_only());
+            assert_eq!(c.valid_on(LinkType::Le), !c.is_classic_only());
+        }
+        // The partition sizes: 4 LE-only, 14 classic-only, 8 on both links.
+        let le_only = CommandCode::ALL.iter().filter(|c| c.is_le_only()).count();
+        let classic = CommandCode::ALL
+            .iter()
+            .filter(|c| c.is_classic_only())
+            .count();
+        assert_eq!(le_only, 4);
+        assert_eq!(classic, 14);
+        assert_eq!(26 - le_only - classic, 8);
+        // Spot checks for the shared family.
+        for c in [
+            CommandCode::CommandReject,
+            CommandCode::DisconnectionRequest,
+            CommandCode::FlowControlCreditInd,
+            CommandCode::CreditBasedConnectionRequest,
+            CommandCode::CreditBasedReconfigureResponse,
+        ] {
+            assert!(c.valid_on(LinkType::BrEdr) && c.valid_on(LinkType::Le));
+        }
     }
 
     #[test]

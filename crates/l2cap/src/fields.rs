@@ -517,6 +517,46 @@ pub fn extract_core_values(code: CommandCode, data: &[u8]) -> CoreFieldValues {
     out
 }
 
+/// The LE credit-based channel values carried by one encoded command payload
+/// (the LE analogue of [`CoreFieldValues`]): SPSM, MTU, MPS and credits.
+/// These are mutable-application fields on a classic link but the interesting
+/// mutation surface of the LE credit-based flows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeFieldValues {
+    /// Simplified PSM, if the command carries one.
+    pub spsm: Option<u16>,
+    /// MTU field, if present.
+    pub mtu: Option<u16>,
+    /// MPS field, if present.
+    pub mps: Option<u16>,
+    /// Credit count (initial credits or a credit grant), if present.
+    pub credits: Option<u16>,
+}
+
+/// Extracts the LE credit-based field values (SPSM/MTU/MPS/credits) from an
+/// encoded data-field byte slice, using the command's layout.  Truncated
+/// fields are simply absent; this never fails and never allocates.
+pub fn extract_le_values(code: CommandCode, data: &[u8]) -> LeFieldValues {
+    let mut out = LeFieldValues::default();
+    for spec in data_field_layout(code) {
+        let slot = match spec.name {
+            FieldName::Spsm => &mut out.spsm,
+            FieldName::Mtu => &mut out.mtu,
+            FieldName::Mps => &mut out.mps,
+            FieldName::Credit => &mut out.credits,
+            _ => continue,
+        };
+        let width = spec.len.unwrap_or(2);
+        if width == 2 && data.len() >= spec.offset + 2 {
+            *slot = Some(u16::from_le_bytes([
+                data[spec.offset],
+                data[spec.offset + 1],
+            ]));
+        }
+    }
+    out
+}
+
 /// Number of bytes present beyond the command's defined data fields — the
 /// "garbage tail" appended by L2Fuzz's mutation (0 for spec-sized packets and
 /// for commands whose last field is variable-length).
@@ -751,6 +791,23 @@ mod tests {
         let values = extract_core_values(CommandCode::CreateChannelRequest, &data);
         assert_eq!(values.psm, Some(0x0001));
         assert_eq!(values.cidp, vec![0x0044, 0x0002]);
+    }
+
+    #[test]
+    fn extract_le_values_from_le_credit_based_request() {
+        // SPSM 0x0080, SCID 0x0040, MTU 512, MPS 64, credits 10.
+        let data = [0x80, 0x00, 0x40, 0x00, 0x00, 0x02, 0x40, 0x00, 0x0A, 0x00];
+        let v = extract_le_values(CommandCode::LeCreditBasedConnectionRequest, &data);
+        assert_eq!(v.spsm, Some(0x0080));
+        assert_eq!(v.mtu, Some(512));
+        assert_eq!(v.mps, Some(64));
+        assert_eq!(v.credits, Some(10));
+        // Commands without LE fields yield an empty extraction.
+        let v = extract_le_values(CommandCode::ConnectionRequest, &[0x01, 0x00, 0x40, 0x00]);
+        assert_eq!(v, LeFieldValues::default());
+        // Truncation drops the absent fields without failing.
+        let v = extract_le_values(CommandCode::FlowControlCreditInd, &[0x40, 0x00, 0x05]);
+        assert_eq!(v.credits, None);
     }
 
     #[test]

@@ -129,6 +129,64 @@ impl Job {
         }
         cmds
     }
+
+    /// Returns the commands valid for this job on a link of the given type.
+    ///
+    /// The BR/EDR arm is exactly [`Job::valid_commands`] (Table III).  On an
+    /// LE link the connection job maps to the credit-based connect pairs,
+    /// the configuration job to the enhanced reconfigure pair plus the
+    /// flow-control credit indication, and the creation/move jobs are empty
+    /// (AMP does not exist on LE).
+    pub fn valid_commands_on(&self, link: btcore::LinkType) -> Vec<CommandCode> {
+        match link {
+            btcore::LinkType::BrEdr => self.valid_commands(),
+            btcore::LinkType::Le => match self {
+                Job::Closed | Job::Open => CommandCode::ALL
+                    .iter()
+                    .copied()
+                    .filter(|c| c.valid_on(btcore::LinkType::Le))
+                    .collect(),
+                Job::Connection => vec![
+                    CommandCode::LeCreditBasedConnectionRequest,
+                    CommandCode::LeCreditBasedConnectionResponse,
+                    CommandCode::CreditBasedConnectionRequest,
+                    CommandCode::CreditBasedConnectionResponse,
+                ],
+                Job::Creation | Job::Move => Vec::new(),
+                Job::Configuration => vec![
+                    CommandCode::FlowControlCreditInd,
+                    CommandCode::CreditBasedReconfigureRequest,
+                    CommandCode::CreditBasedReconfigureResponse,
+                ],
+                Job::Disconnection => vec![
+                    CommandCode::DisconnectionRequest,
+                    CommandCode::DisconnectionResponse,
+                ],
+            },
+        }
+    }
+
+    /// Link-aware variant of [`Job::generous_valid_commands`]: on BR/EDR the
+    /// generous extras are the echo/information commands; on LE they are the
+    /// connection-parameter-update pair, which every LE stack processes in
+    /// any state.
+    pub fn generous_valid_commands_on(&self, link: btcore::LinkType) -> Vec<CommandCode> {
+        match link {
+            btcore::LinkType::BrEdr => self.generous_valid_commands(),
+            btcore::LinkType::Le => {
+                let mut cmds = self.valid_commands_on(link);
+                for extra in [
+                    CommandCode::ConnectionParameterUpdateRequest,
+                    CommandCode::ConnectionParameterUpdateResponse,
+                ] {
+                    if !cmds.contains(&extra) {
+                        cmds.push(extra);
+                    }
+                }
+                cmds
+            }
+        }
+    }
 }
 
 impl fmt::Display for Job {

@@ -239,6 +239,38 @@ impl ConfigOption {
         true
     }
 
+    /// Scans an encoded option sequence for the first retransmission-and-
+    /// flow-control option (type `0x04`, length 9) and returns its parsed
+    /// body.  Tolerates malformed tails: the walk stops at the first
+    /// truncated TLV, keeping whatever was found before it.  This is the
+    /// allocation-free probe the endpoint's vulnerability evaluation and the
+    /// sniffer use to spot ERTM/streaming-mode configuration attempts without
+    /// decoding the whole option list.
+    pub fn scan_rfc_option(bytes: &[u8]) -> Option<RetransmissionConfig> {
+        let mut pos = 0usize;
+        while pos + 2 <= bytes.len() {
+            let option_type = bytes[pos] & 0x7F;
+            let len = usize::from(bytes[pos + 1]);
+            let body_end = pos + 2 + len;
+            if body_end > bytes.len() {
+                return None;
+            }
+            if option_type == 0x04 && len == 9 {
+                let b = &bytes[pos + 2..body_end];
+                return Some(RetransmissionConfig {
+                    mode: b[0],
+                    tx_window: b[1],
+                    max_transmit: b[2],
+                    retransmission_timeout: u16::from_le_bytes([b[3], b[4]]),
+                    monitor_timeout: u16::from_le_bytes([b[5], b[6]]),
+                    mps: u16::from_le_bytes([b[7], b[8]]),
+                });
+            }
+            pos = body_end;
+        }
+        None
+    }
+
     /// Encodes a sequence of options into raw bytes.
     pub fn encode_all(options: &[ConfigOption]) -> Vec<u8> {
         let mut w = ByteWriter::new();
@@ -325,6 +357,31 @@ mod tests {
             }
             other => panic!("expected Unknown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_rfc_option_finds_the_option_among_others_and_tolerates_garbage() {
+        let rfc = RetransmissionConfig {
+            mode: 3,
+            tx_window: 0,
+            max_transmit: 1,
+            retransmission_timeout: 2000,
+            monitor_timeout: 12000,
+            mps: 0,
+        };
+        let mut bytes = ConfigOption::encode_all(&[
+            ConfigOption::Mtu(672),
+            ConfigOption::RetransmissionAndFlowControl(rfc),
+            ConfigOption::Fcs(1),
+        ]);
+        assert_eq!(ConfigOption::scan_rfc_option(&bytes), Some(rfc));
+        // A truncated garbage tail after the option does not hide it.
+        bytes.extend_from_slice(&[0xD2, 0x3A, 0x91]);
+        assert_eq!(ConfigOption::scan_rfc_option(&bytes), Some(rfc));
+        // No RFC option present.
+        let bytes = ConfigOption::encode_all(&[ConfigOption::Mtu(672)]);
+        assert_eq!(ConfigOption::scan_rfc_option(&bytes), None);
+        assert_eq!(ConfigOption::scan_rfc_option(&[]), None);
     }
 
     #[test]

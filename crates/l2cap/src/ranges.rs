@@ -64,6 +64,75 @@ pub fn random_cidp(rng: &mut FuzzRng) -> u16 {
     rng.range_u16(*CIDP_RANGE.start(), *CIDP_RANGE.end())
 }
 
+// ---------------------------------------------------------------------------
+// LE credit-based channel ranges (the Table IV analogue for LE-U links).
+//
+// The defined SPSM space is `0x0001..=0x00FF` (SIG-assigned `0x01..=0x7F`,
+// dynamic `0x80..=0xFF`); everything above it — and the reserved zero — is
+// abnormal.  Credits are a 16-bit counter a peer accumulates: zero initial
+// credits stall the channel, and values in the upper half drive the
+// accumulated total toward the 65535 overflow the specification says must
+// disconnect the channel — both are the abnormal classes the LE mutation
+// draws from.  The LE minimum MTU/MPS is 23 octets; values below it are
+// abnormal.
+
+/// The abnormal SPSM space: zero, or any value above the defined `0x00FF`.
+pub const ABNORMAL_SPSM_FLOOR: u16 = 0x0100;
+
+/// Credits at or above this value are in the overflow-prone abnormal class.
+pub const ABNORMAL_CREDIT_FLOOR: u16 = 0x8000;
+
+/// The LE minimum MTU/MPS in octets; values below are abnormal.
+pub const LE_MIN_MTU: u16 = 23;
+
+/// Returns `true` if `spsm` lies outside the defined LE SPSM space
+/// (`0x0001..=0x00FF`).
+pub fn is_abnormal_spsm(spsm: u16) -> bool {
+    spsm == 0 || spsm >= ABNORMAL_SPSM_FLOOR
+}
+
+/// Returns `true` if `credits` belongs to one of the abnormal credit
+/// classes: the zero-credit stall or the overflow-prone upper half.
+pub fn is_abnormal_credits(credits: u16) -> bool {
+    credits == 0 || credits >= ABNORMAL_CREDIT_FLOOR
+}
+
+/// Returns `true` if an LE MTU or MPS value is below the 23-octet minimum.
+pub fn is_abnormal_le_mtu(value: u16) -> bool {
+    value < LE_MIN_MTU
+}
+
+/// Draws a random abnormal SPSM: one quarter of the draws are the reserved
+/// zero, the rest land above the defined space.
+pub fn random_abnormal_spsm(rng: &mut FuzzRng) -> u16 {
+    let spsm = if rng.chance(0.25) {
+        0
+    } else {
+        rng.range_u16(ABNORMAL_SPSM_FLOOR, u16::MAX)
+    };
+    debug_assert!(is_abnormal_spsm(spsm));
+    spsm
+}
+
+/// Draws a random abnormal credit count: half zero-credit stalls, half
+/// overflow-prone values.
+pub fn random_abnormal_credits(rng: &mut FuzzRng) -> u16 {
+    let credits = if rng.chance(0.5) {
+        0
+    } else {
+        rng.range_u16(ABNORMAL_CREDIT_FLOOR, u16::MAX)
+    };
+    debug_assert!(is_abnormal_credits(credits));
+    credits
+}
+
+/// Draws a random abnormal LE MTU/MPS (below the 23-octet minimum).
+pub fn random_abnormal_le_mtu(rng: &mut FuzzRng) -> u16 {
+    let value = rng.range_u16(0, LE_MIN_MTU - 1);
+    debug_assert!(is_abnormal_le_mtu(value));
+    value
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +218,51 @@ mod tests {
         for _ in 0..2_000 {
             assert!(is_cidp_range(random_cidp(&mut rng)));
         }
+    }
+
+    #[test]
+    fn le_abnormal_classifiers_match_the_defined_spaces() {
+        // SPSM: the defined space 0x0001..=0x00FF is normal.
+        assert!(is_abnormal_spsm(0x0000));
+        assert!(is_abnormal_spsm(0x0100));
+        assert!(is_abnormal_spsm(0xFFFF));
+        assert!(!is_abnormal_spsm(0x0025)); // OTS
+        assert!(!is_abnormal_spsm(0x0080)); // first dynamic SPSM
+        assert!(!is_abnormal_spsm(0x00FF));
+        // Credits: zero stalls, the upper half overflows.
+        assert!(is_abnormal_credits(0));
+        assert!(is_abnormal_credits(0x8000));
+        assert!(is_abnormal_credits(0xFFFF));
+        assert!(!is_abnormal_credits(1));
+        assert!(!is_abnormal_credits(0x7FFF));
+        // MTU/MPS: the 23-octet minimum.
+        assert!(is_abnormal_le_mtu(0));
+        assert!(is_abnormal_le_mtu(22));
+        assert!(!is_abnormal_le_mtu(23));
+        assert!(!is_abnormal_le_mtu(512));
+    }
+
+    #[test]
+    fn random_le_draws_land_in_the_abnormal_spaces_and_cover_both_classes() {
+        let mut rng = FuzzRng::seed_from(45);
+        let (mut zero_spsm, mut high_spsm) = (false, false);
+        let (mut zero_credit, mut high_credit) = (false, false);
+        for _ in 0..500 {
+            let spsm = random_abnormal_spsm(&mut rng);
+            assert!(is_abnormal_spsm(spsm));
+            zero_spsm |= spsm == 0;
+            high_spsm |= spsm >= ABNORMAL_SPSM_FLOOR;
+            let credits = random_abnormal_credits(&mut rng);
+            assert!(is_abnormal_credits(credits));
+            zero_credit |= credits == 0;
+            high_credit |= credits >= ABNORMAL_CREDIT_FLOOR;
+            assert!(is_abnormal_le_mtu(random_abnormal_le_mtu(&mut rng)));
+        }
+        assert!(zero_spsm && high_spsm, "both abnormal SPSM classes drawn");
+        assert!(
+            zero_credit && high_credit,
+            "both abnormal credit classes drawn"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use std::fmt;
 
+use btcore::LinkType;
 use serde::{Deserialize, Serialize};
 
 use crate::code::CommandCode;
@@ -81,6 +82,19 @@ impl ChannelState {
         ChannelState::WaitConfirmRsp,
     ];
 
+    /// The five states an initiator-side fuzzer can drive a target's LE-U
+    /// channel into: LE credit-based channels have no configuration
+    /// handshake, so a successful connect passes straight through
+    /// `WAIT_CONNECT` to `OPEN`, an enhanced reconfigure dips through
+    /// `WAIT_CONFIG`, and disconnection passes `WAIT_DISCONNECT`.
+    pub const REACHABLE_FROM_INITIATOR_LE: [ChannelState; 5] = [
+        ChannelState::Closed,
+        ChannelState::WaitConnect,
+        ChannelState::WaitConfig,
+        ChannelState::Open,
+        ChannelState::WaitDisconnect,
+    ];
+
     /// The 13 states an initiator-side fuzzer can drive a target into.
     pub const REACHABLE_FROM_INITIATOR: [ChannelState; 13] = [
         ChannelState::Closed,
@@ -127,6 +141,21 @@ impl ChannelState {
     /// into this state (see module docs).
     pub fn reachable_from_initiator(&self) -> bool {
         ChannelState::REACHABLE_FROM_INITIATOR.contains(self)
+    }
+
+    /// Returns `true` if an initiator can drive a target channel into this
+    /// state on the given link type.
+    pub fn reachable_from_initiator_on(&self, link: LinkType) -> bool {
+        match link {
+            LinkType::BrEdr => self.reachable_from_initiator(),
+            LinkType::Le => ChannelState::REACHABLE_FROM_INITIATOR_LE.contains(self),
+        }
+    }
+
+    /// Position of this state in [`ChannelState::ALL`] (0..19); used as the
+    /// bit index of the visited-state mask.
+    pub const fn index(&self) -> u32 {
+        *self as u32
     }
 }
 
@@ -191,12 +220,24 @@ impl Transition {
 
 /// The acceptor-side event/action table: how a spec-conformant device in
 /// `state` reacts to a received signalling command addressed to one of its
-/// channels (the paper's Table II, generalised).
+/// channels on a link of type `link` (the paper's Table II, generalised to
+/// both transports).
 ///
-/// Connection-less commands (echo, information) are accepted in every state;
-/// LE-only commands are rejected as "command not understood" on a BR/EDR
-/// link.
-pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
+/// The table is two-sided and symmetric about the link type: on a BR/EDR
+/// link the connection-less commands (echo, information) are accepted in
+/// every state and LE-only commands are rejected as "command not
+/// understood"; on an LE link the classic-only commands are rejected the
+/// same way and the credit-based channel flows take the place of the
+/// connect/configure handshake.
+pub fn spec_transition(state: ChannelState, code: CommandCode, link: LinkType) -> Transition {
+    match link {
+        LinkType::BrEdr => spec_transition_bredr(state, code),
+        LinkType::Le => spec_transition_le(state, code),
+    }
+}
+
+/// The BR/EDR (ACL-U) side of the table — exactly the paper's Table II.
+fn spec_transition_bredr(state: ChannelState, code: CommandCode) -> Transition {
     use ChannelState as S;
     use CommandCode as C;
 
@@ -391,13 +432,108 @@ pub fn spec_transition(state: ChannelState, code: CommandCode) -> Transition {
     }
 }
 
+/// The LE (LE-U) side of the table: credit-based channel flows.
+///
+/// LE credit-based channels have no configuration phase — a successful
+/// connection request passes through `WAIT_CONNECT` straight to `OPEN`.  The
+/// enhanced reconfigure (`0x19`) renegotiates MTU/MPS on an open channel,
+/// dipping through `WAIT_CONFIG`; the flow-control credit indication
+/// (`0x16`) is consumed silently on an open channel.
+fn spec_transition_le(state: ChannelState, code: CommandCode) -> Transition {
+    use ChannelState as S;
+    use CommandCode as C;
+
+    // Link-level commands are state-independent.
+    match code {
+        C::ConnectionParameterUpdateRequest => {
+            return Transition::stay(state, Action::Respond(C::ConnectionParameterUpdateResponse))
+        }
+        C::CommandReject | C::ConnectionParameterUpdateResponse => {
+            return Transition::stay(state, Action::Ignore)
+        }
+        c if c.is_classic_only() => {
+            return Transition::reject(state, RejectReason::CommandNotUnderstood)
+        }
+        _ => {}
+    }
+
+    match (state, code) {
+        // ----- CLOSED: only credit-based connection establishment.
+        (S::Closed, C::LeCreditBasedConnectionRequest) => Transition {
+            action: Action::Respond(C::LeCreditBasedConnectionResponse),
+            passes_through: &[S::WaitConnect, S::Open],
+            next: S::Open,
+        },
+        (S::Closed, C::CreditBasedConnectionRequest) => Transition {
+            action: Action::Respond(C::CreditBasedConnectionResponse),
+            passes_through: &[S::WaitConnect, S::Open],
+            next: S::Open,
+        },
+        (S::Closed, C::DisconnectionRequest) => {
+            Transition::reject(S::Closed, RejectReason::InvalidCidInRequest)
+        }
+        (S::Closed, _) => Transition::reject(S::Closed, RejectReason::CommandNotUnderstood),
+
+        // ----- WAIT_CONNECT: only the matching request is valid.
+        (S::WaitConnect, C::LeCreditBasedConnectionRequest) => Transition {
+            action: Action::Respond(C::LeCreditBasedConnectionResponse),
+            passes_through: &[S::Open],
+            next: S::Open,
+        },
+        (S::WaitConnect, C::CreditBasedConnectionRequest) => Transition {
+            action: Action::Respond(C::CreditBasedConnectionResponse),
+            passes_through: &[S::Open],
+            next: S::Open,
+        },
+        (S::WaitConnect, _) => {
+            Transition::reject(S::WaitConnect, RejectReason::CommandNotUnderstood)
+        }
+
+        // ----- OPEN: credits, reconfiguration and disconnection are valid.
+        (S::Open, C::FlowControlCreditInd) => Transition::stay(S::Open, Action::Ignore),
+        (S::Open, C::CreditBasedReconfigureRequest) => Transition {
+            action: Action::Respond(C::CreditBasedReconfigureResponse),
+            passes_through: &[S::WaitConfig, S::Open],
+            next: S::Open,
+        },
+        (S::Open, C::CreditBasedReconfigureResponse) => Transition::stay(S::Open, Action::Ignore),
+        (S::Open, C::DisconnectionRequest) => Transition {
+            action: Action::Respond(C::DisconnectionResponse),
+            passes_through: &[S::WaitDisconnect],
+            next: S::Closed,
+        },
+        (S::Open, _) => Transition::reject(S::Open, RejectReason::CommandNotUnderstood),
+
+        // ----- Disconnection job, same as on BR/EDR.
+        (S::WaitDisconnect, C::DisconnectionRequest) => Transition {
+            action: Action::Respond(C::DisconnectionResponse),
+            passes_through: &[],
+            next: S::Closed,
+        },
+        (S::WaitDisconnect, _) => {
+            Transition::reject(S::WaitDisconnect, RejectReason::CommandNotUnderstood)
+        }
+
+        // ----- Everything else (classic configuration/move internals) does
+        // not exist on an LE link; reject without a state change.
+        (s, _) => Transition::reject(s, RejectReason::CommandNotUnderstood),
+    }
+}
+
 /// A per-channel state machine instance that applies [`spec_transition`],
 /// adds the eager-configuration behaviour and records visited states.
 #[derive(Debug, Clone)]
 pub struct StateMachine {
     state: ChannelState,
+    /// States visited so far, in first-visit order.
     visited: Vec<ChannelState>,
+    /// One bit per state of [`ChannelState::ALL`]; a set bit means the state
+    /// is already in `visited`.  First-visit checks are per-packet work on
+    /// both the device side and the coverage replay, so they must not scan
+    /// the ordered vector.
+    visited_mask: u32,
     eager_config: bool,
+    link: LinkType,
 }
 
 impl Default for StateMachine {
@@ -418,18 +554,28 @@ pub struct Reaction {
 }
 
 impl StateMachine {
-    /// Creates a machine in `CLOSED` with eager configuration enabled (the
-    /// behaviour of every mainstream stack).
+    /// Creates a BR/EDR machine in `CLOSED` with eager configuration enabled
+    /// (the behaviour of every mainstream stack).
     pub fn new() -> Self {
+        StateMachine::for_link(LinkType::BrEdr)
+    }
+
+    /// Creates a machine for a channel on the given link type.  LE channels
+    /// have no configuration handshake, so eager configuration only applies
+    /// on BR/EDR.
+    pub fn for_link(link: LinkType) -> Self {
         StateMachine {
             state: ChannelState::Closed,
             visited: vec![ChannelState::Closed],
-            eager_config: true,
+            visited_mask: 1 << ChannelState::Closed.index(),
+            eager_config: link == LinkType::BrEdr,
+            link,
         }
     }
 
-    /// Creates a machine with eager configuration disabled: the device never
-    /// initiates its own Configuration Request and simply waits.
+    /// Creates a BR/EDR machine with eager configuration disabled: the
+    /// device never initiates its own Configuration Request and simply
+    /// waits.
     pub fn without_eager_config() -> Self {
         StateMachine {
             eager_config: false,
@@ -442,17 +588,58 @@ impl StateMachine {
         self.state
     }
 
+    /// The link type this machine's channel lives on.
+    pub fn link(&self) -> LinkType {
+        self.link
+    }
+
     /// Every state this channel has visited, in first-visit order.
     pub fn visited(&self) -> &[ChannelState] {
         &self.visited
     }
 
     fn visit(&mut self, state: ChannelState, out: &mut Vec<ChannelState>) {
-        if !self.visited.contains(&state) {
-            self.visited.push(state);
-        }
+        self.record_first_visit(state);
         out.push(state);
         self.state = state;
+    }
+
+    #[inline]
+    fn record_first_visit(&mut self, state: ChannelState) {
+        let bit = 1u32 << state.index();
+        if self.visited_mask & bit == 0 {
+            self.visited_mask |= bit;
+            self.visited.push(state);
+        }
+    }
+
+    /// Returns `true` if a connection-establishing request of this link type
+    /// can be refused by the upper layer from `CLOSED` (the `accept = false`
+    /// path of [`StateMachine::on_command`]).
+    fn is_refusable_connect(&self, code: CommandCode) -> bool {
+        if self.state != ChannelState::Closed {
+            return false;
+        }
+        match self.link {
+            LinkType::BrEdr => matches!(
+                code,
+                CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
+            ),
+            LinkType::Le => matches!(
+                code,
+                CommandCode::LeCreditBasedConnectionRequest
+                    | CommandCode::CreditBasedConnectionRequest
+            ),
+        }
+    }
+
+    /// The short-lived deciding state a refused connect passes through.
+    fn deciding_state(&self, code: CommandCode) -> ChannelState {
+        if code == CommandCode::CreateChannelRequest {
+            ChannelState::WaitCreate
+        } else {
+            ChannelState::WaitConnect
+        }
     }
 
     /// Feeds a command into the machine for its state effects only, without
@@ -461,25 +648,15 @@ impl StateMachine {
     /// allocation — the path trace replay uses to re-drive machines record by
     /// record.
     pub fn advance(&mut self, code: CommandCode, accept: bool) {
-        if matches!(
-            code,
-            CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
-        ) && self.state == ChannelState::Closed
-            && !accept
-        {
-            let deciding = if code == CommandCode::ConnectionRequest {
-                ChannelState::WaitConnect
-            } else {
-                ChannelState::WaitCreate
-            };
-            self.visit_only(deciding);
+        if !accept && self.is_refusable_connect(code) {
+            self.visit_only(self.deciding_state(code));
             self.visit_only(ChannelState::Closed);
             return;
         }
         if self.eager_config && self.state == ChannelState::WaitConfig {
             self.visit_only(ChannelState::WaitConfigReqRsp);
         }
-        let transition = spec_transition(self.state, code);
+        let transition = spec_transition(self.state, code, self.link);
         for s in transition.passes_through {
             self.visit_only(*s);
         }
@@ -487,9 +664,7 @@ impl StateMachine {
     }
 
     fn visit_only(&mut self, state: ChannelState) {
-        if !self.visited.contains(&state) {
-            self.visited.push(state);
-        }
+        self.record_first_visit(state);
         self.state = state;
     }
 
@@ -506,18 +681,8 @@ impl StateMachine {
 
         // Refused connection / creation: pass through the deciding state and
         // fall back to CLOSED with a refusal response.
-        if matches!(
-            code,
-            CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
-        ) && self.state == ChannelState::Closed
-            && !accept
-        {
-            let deciding = if code == CommandCode::ConnectionRequest {
-                ChannelState::WaitConnect
-            } else {
-                ChannelState::WaitCreate
-            };
-            self.visit(deciding, &mut visited);
+        if !accept && self.is_refusable_connect(code) {
+            self.visit(self.deciding_state(code), &mut visited);
             actions.push(Action::Respond(
                 code.expected_response().expect("requests have responses"),
             ));
@@ -533,7 +698,7 @@ impl StateMachine {
             self.visit(ChannelState::WaitConfigReqRsp, &mut visited);
         }
 
-        let transition = spec_transition(self.state, code);
+        let transition = spec_transition(self.state, code, self.link);
         actions.push(transition.action);
         for s in transition.passes_through {
             self.visit(*s, &mut visited);
@@ -592,7 +757,11 @@ mod tests {
     fn table2_wait_connect_rejects_everything_but_connect_req() {
         // Paper Table II: in WAIT_CONNECT only Connect Req triggers a
         // transition; the other channel commands are rejected.
-        let t = spec_transition(ChannelState::WaitConnect, CommandCode::ConnectionRequest);
+        let t = spec_transition(
+            ChannelState::WaitConnect,
+            CommandCode::ConnectionRequest,
+            LinkType::BrEdr,
+        );
         assert_eq!(t.action, Action::Respond(CommandCode::ConnectionResponse));
         assert_eq!(t.next, ChannelState::WaitConfig);
 
@@ -608,7 +777,7 @@ mod tests {
             CommandCode::MoveChannelConfirmationRequest,
             CommandCode::MoveChannelConfirmationResponse,
         ] {
-            let t = spec_transition(ChannelState::WaitConnect, code);
+            let t = spec_transition(ChannelState::WaitConnect, code, LinkType::BrEdr);
             assert!(
                 matches!(t.action, Action::Reject(_)),
                 "{code} must be rejected in WAIT_CONNECT"
@@ -624,10 +793,10 @@ mod tests {
     #[test]
     fn echo_and_information_are_valid_in_every_state() {
         for state in ChannelState::ALL {
-            let t = spec_transition(state, CommandCode::EchoRequest);
+            let t = spec_transition(state, CommandCode::EchoRequest, LinkType::BrEdr);
             assert_eq!(t.action, Action::Respond(CommandCode::EchoResponse));
             assert_eq!(t.next, state);
-            let t = spec_transition(state, CommandCode::InformationRequest);
+            let t = spec_transition(state, CommandCode::InformationRequest, LinkType::BrEdr);
             assert_eq!(t.action, Action::Respond(CommandCode::InformationResponse));
             assert_eq!(t.next, state);
         }
@@ -638,6 +807,7 @@ mod tests {
         let t = spec_transition(
             ChannelState::Open,
             CommandCode::LeCreditBasedConnectionRequest,
+            LinkType::BrEdr,
         );
         assert_eq!(t.action, Action::Reject(RejectReason::CommandNotUnderstood));
     }

@@ -11,7 +11,7 @@
 use hci::link::Direction;
 use l2cap::packet::parse_signaling;
 
-use crate::classify::{is_malformed_signaling, is_rejection_signaling};
+use crate::classify::{is_malformed_signaling_on, is_rejection_signaling};
 use crate::coverage::{CoverageBuilder, StateCoverage};
 use crate::metrics::MetricsSummary;
 use crate::trace::Trace;
@@ -26,10 +26,18 @@ pub struct TraceAnalysis {
 }
 
 impl TraceAnalysis {
-    /// Computes metrics and coverage in one pass, parsing each record once.
+    /// Computes metrics and coverage in one pass, parsing each record once
+    /// (BR/EDR trace).
     pub fn from_trace(trace: &Trace) -> TraceAnalysis {
+        TraceAnalysis::from_trace_on(trace, btcore::LinkType::BrEdr)
+    }
+
+    /// Single-pass analysis of a trace captured on a link of the given type;
+    /// the coverage replay follows that transport's side of the transition
+    /// table.
+    pub fn from_trace_on(trace: &Trace, link: btcore::LinkType) -> TraceAnalysis {
         let (mut transmitted, mut malformed, mut received, mut rejections) = (0, 0, 0, 0);
-        let mut coverage = CoverageBuilder::new();
+        let mut coverage = CoverageBuilder::for_link(link);
         for record in trace.records() {
             let frame = &record.frame;
             let signaling = frame.cid.is_signaling();
@@ -41,11 +49,12 @@ impl TraceAnalysis {
             match record.direction {
                 Direction::Tx => {
                     transmitted += 1;
-                    // `classify::is_malformed`, inlined over the shared parse.
+                    // `classify::is_malformed_on`, inlined over the shared
+                    // parse.
                     let is_malformed = signaling
                         && (!frame.is_length_consistent()
                             || match &parsed {
-                                Some(packet) => is_malformed_signaling(packet),
+                                Some(packet) => is_malformed_signaling_on(packet, link),
                                 None => true,
                             });
                     if is_malformed {

@@ -15,9 +15,16 @@ use l2cap::command::Command;
 use l2cap::packet::{parse_signaling, L2capFrame};
 use l2cap::ranges::is_abnormal_psm;
 
-/// Returns `true` if a transmitted frame should be counted as a malformed
-/// packet.
+/// Returns `true` if a frame transmitted on a BR/EDR link should be counted
+/// as a malformed packet.
 pub fn is_malformed(frame: &L2capFrame) -> bool {
+    is_malformed_on(frame, btcore::LinkType::BrEdr)
+}
+
+/// Link-aware variant of [`is_malformed`]: on an LE link the credit-based
+/// fields (SPSM, credits) are additionally checked against their abnormal
+/// ranges.
+pub fn is_malformed_on(frame: &L2capFrame, link: btcore::LinkType) -> bool {
     if !frame.cid.is_signaling() {
         // Data traffic is out of scope for the signalling fuzzers compared in
         // the paper.
@@ -29,13 +36,26 @@ pub fn is_malformed(frame: &L2capFrame) -> bool {
     let Ok(packet) = parse_signaling(frame) else {
         return true;
     };
-    is_malformed_signaling(&packet)
+    is_malformed_signaling_on(&packet, link)
 }
 
-/// The signalling-layer half of [`is_malformed`], for callers that already
-/// parsed the C-frame (the single-pass trace analysis parses each record
-/// once and feeds every classifier from it).
+/// The signalling-layer half of [`is_malformed`] (BR/EDR), for callers that
+/// already parsed the C-frame (the single-pass trace analysis parses each
+/// record once and feeds every classifier from it).
 pub fn is_malformed_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
+    is_malformed_signaling_on(packet, btcore::LinkType::BrEdr)
+}
+
+/// The signalling-layer half of [`is_malformed_on`].
+///
+/// The LE credit-range checks only apply on an LE link: on BR/EDR the same
+/// byte positions are plain application fields that legitimately hold zero
+/// (e.g. a default-valued LE-family packet a classic fuzzer sends just to be
+/// rejected), so classifying them by LE rules would skew classic metrics.
+pub fn is_malformed_signaling_on(
+    packet: &l2cap::packet::SignalingPacket,
+    link: btcore::LinkType,
+) -> bool {
     if !packet.is_length_consistent() || packet.garbage_len() > 0 {
         return true;
     }
@@ -52,6 +72,21 @@ pub fn is_malformed_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
     if let Some(psm) = core.psm {
         if is_abnormal_psm(psm) {
             return true;
+        }
+    }
+    // The LE credit-based analogues: an SPSM outside the defined space or a
+    // credit count from the zero-stall/overflow classes.
+    if link.is_le() {
+        let le = l2cap::fields::extract_le_values(code, &packet.data);
+        if let Some(spsm) = le.spsm {
+            if l2cap::ranges::is_abnormal_spsm(spsm) {
+                return true;
+            }
+        }
+        if let Some(credits) = le.credits {
+            if l2cap::ranges::is_abnormal_credits(credits) {
+                return true;
+            }
         }
     }
     false
@@ -71,7 +106,7 @@ pub fn is_rejection(frame: &L2capFrame) -> bool {
 /// The signalling-layer half of [`is_rejection`], for callers that already
 /// parsed the C-frame.
 pub fn is_rejection_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
-    // Only five command kinds can ever express a rejection; everything else
+    // Only eight command kinds can ever express a rejection; everything else
     // skips decoding entirely (this runs per received record of every trace).
     match CommandCode::from_u8(packet.code) {
         Some(
@@ -79,7 +114,10 @@ pub fn is_rejection_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
             | CommandCode::ConnectionResponse
             | CommandCode::CreateChannelResponse
             | CommandCode::ConfigureResponse
-            | CommandCode::MoveChannelResponse,
+            | CommandCode::MoveChannelResponse
+            | CommandCode::LeCreditBasedConnectionResponse
+            | CommandCode::CreditBasedConnectionResponse
+            | CommandCode::CreditBasedReconfigureResponse,
         ) => {}
         _ => return false,
     }
@@ -89,6 +127,11 @@ pub fn is_rejection_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
         Some(Command::CreateChannelResponse(rsp)) => rsp.result.is_refusal(),
         Some(Command::ConfigureResponse(rsp)) => rsp.result.is_failure(),
         Some(Command::MoveChannelResponse(rsp)) => rsp.result.is_refusal(),
+        // The LE credit-based responses carry a plain result word: non-zero
+        // refuses the request.
+        Some(Command::LeCreditBasedConnectionResponse(rsp)) => rsp.result != 0,
+        Some(Command::CreditBasedConnectionResponse(rsp)) => rsp.result != 0,
+        Some(Command::CreditBasedReconfigureResponse(rsp)) => rsp.result != 0,
         _ => false,
     }
 }
@@ -182,6 +225,65 @@ mod tests {
         let frame = L2capFrame::new(Cid(0x0040), vec![0xFF; 32]);
         assert!(!is_malformed(&frame));
         assert!(!is_rejection(&frame));
+    }
+
+    #[test]
+    fn le_credit_abnormalities_count_only_on_le_links() {
+        use l2cap::command::LeCreditBasedConnectionRequest;
+        // Zero credits and a zero SPSM: abnormal by LE rules, but on a
+        // classic link the same bytes are inert application fields.
+        let frame = signaling_frame(
+            Identifier(1),
+            Command::LeCreditBasedConnectionRequest(LeCreditBasedConnectionRequest {
+                spsm: 0,
+                scid: Cid(0x0040),
+                mtu: 512,
+                mps: 64,
+                initial_credits: 0,
+            }),
+        );
+        assert!(is_malformed_on(&frame, btcore::LinkType::Le));
+        assert!(!is_malformed_on(&frame, btcore::LinkType::BrEdr));
+        assert!(!is_malformed(&frame), "BR/EDR classification is unchanged");
+        // A well-formed LE connect is clean on both.
+        let frame = signaling_frame(
+            Identifier(2),
+            Command::LeCreditBasedConnectionRequest(LeCreditBasedConnectionRequest {
+                spsm: 0x0080,
+                scid: Cid(0x0040),
+                mtu: 512,
+                mps: 64,
+                initial_credits: 8,
+            }),
+        );
+        assert!(!is_malformed_on(&frame, btcore::LinkType::Le));
+    }
+
+    #[test]
+    fn le_refusal_responses_are_rejections() {
+        use l2cap::command::LeCreditBasedConnectionResponse;
+        let refused = signaling_frame(
+            Identifier(1),
+            Command::LeCreditBasedConnectionResponse(LeCreditBasedConnectionResponse {
+                dcid: Cid::NULL,
+                mtu: 512,
+                mps: 64,
+                initial_credits: 0,
+                result: 0x0002,
+            }),
+        );
+        assert!(is_rejection(&refused));
+        let accepted = signaling_frame(
+            Identifier(2),
+            Command::LeCreditBasedConnectionResponse(LeCreditBasedConnectionResponse {
+                dcid: Cid(0x0041),
+                mtu: 512,
+                mps: 64,
+                initial_credits: 8,
+                result: 0,
+            }),
+        );
+        assert!(!is_rejection(&accepted));
     }
 
     #[test]

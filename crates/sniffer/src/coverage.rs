@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use btcore::Cid;
+use btcore::{Cid, LinkType};
 use hci::link::Direction;
 use l2cap::code::CommandCode;
 use l2cap::command::Command;
@@ -27,9 +27,17 @@ pub struct StateCoverage {
 }
 
 impl StateCoverage {
-    /// Replays a trace and infers the covered states.
+    /// Replays a trace captured on a BR/EDR link and infers the covered
+    /// states.
     pub fn from_trace(trace: &Trace) -> StateCoverage {
-        let mut builder = CoverageBuilder::new();
+        StateCoverage::from_trace_on(trace, LinkType::BrEdr)
+    }
+
+    /// Replays a trace captured on a link of the given type.  The link type
+    /// selects which side of the two-sided transition table the replay
+    /// machines follow — an LE trace replays the credit-based channel flows.
+    pub fn from_trace_on(trace: &Trace, link: LinkType) -> StateCoverage {
+        let mut builder = CoverageBuilder::for_link(link);
         for record in trace.records() {
             builder.observe_frame(record.direction, &record.frame);
         }
@@ -70,6 +78,7 @@ impl StateCoverage {
 /// single-pass trace analysis drives this alongside the metrics counters so
 /// each record is parsed exactly once.
 pub struct CoverageBuilder {
+    link: LinkType,
     covered: BTreeSet<ChannelState>,
     /// One replay machine per channel, with an index from every CID seen on
     /// the wire (the initiator's SCID and the target's allocated DCID) to
@@ -77,8 +86,9 @@ pub struct CoverageBuilder {
     /// must not scan them per record.
     channels: Vec<StateMachine>,
     cid_index: CidMap,
-    /// Connection requests the target has not answered yet: (scid, is_create).
-    pending_connects: Vec<(u16, bool)>,
+    /// Connection requests the target has not answered yet: the initiator
+    /// CID announced and which connect-shaped command carried it.
+    pending_connects: Vec<(u16, CommandCode)>,
     saw_tx_signaling: bool,
 }
 
@@ -89,9 +99,16 @@ impl Default for CoverageBuilder {
 }
 
 impl CoverageBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder for a BR/EDR trace.
     pub fn new() -> CoverageBuilder {
+        CoverageBuilder::for_link(LinkType::BrEdr)
+    }
+
+    /// Creates an empty builder replaying against the given link type's side
+    /// of the transition table.
+    pub fn for_link(link: LinkType) -> CoverageBuilder {
         CoverageBuilder {
+            link,
             covered: BTreeSet::new(),
             channels: Vec::new(),
             cid_index: CidMap::new(),
@@ -127,34 +144,53 @@ impl CoverageBuilder {
         match direction {
             Direction::Tx => {
                 let mut settled = false;
-                if matches!(
-                    code,
-                    CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
-                ) {
+                if self.is_connect_shaped(code) {
                     match Command::decode_opt(packet.code, &packet.data) {
                         Some(Command::ConnectionRequest(req)) => {
-                            self.pending_connects.push((req.scid.value(), false));
+                            self.pending_connects.push((req.scid.value(), code));
                             settled = true;
                         }
                         Some(Command::CreateChannelRequest(req)) => {
-                            self.pending_connects.push((req.scid.value(), true));
+                            self.pending_connects.push((req.scid.value(), code));
+                            settled = true;
+                        }
+                        Some(Command::LeCreditBasedConnectionRequest(req)) => {
+                            self.pending_connects.push((req.scid.value(), code));
+                            settled = true;
+                        }
+                        Some(Command::CreditBasedConnectionRequest(req)) => {
+                            // An enhanced request opens several channels at
+                            // once; the replay follows its first channel
+                            // (one machine per exchange suffices for state
+                            // coverage).
+                            let scid = req.scids.first().map(|c| c.value()).unwrap_or(0);
+                            self.pending_connects.push((scid, code));
                             settled = true;
                         }
                         _ => {}
                     }
                 }
                 if !settled {
-                    // Link-level commands (echo, information, rejects) are
-                    // handled outside the channel state machines by every
-                    // stack; only channel commands advance a machine.
-                    let link_level = matches!(
-                        code,
-                        CommandCode::EchoRequest
-                            | CommandCode::EchoResponse
-                            | CommandCode::InformationRequest
-                            | CommandCode::InformationResponse
-                            | CommandCode::CommandReject
-                    );
+                    // Link-level commands (echo/information on BR/EDR, the
+                    // connection-parameter update on LE, rejects on both)
+                    // are handled outside the channel state machines by
+                    // every stack; only channel commands advance a machine.
+                    let link_level = match self.link {
+                        LinkType::BrEdr => matches!(
+                            code,
+                            CommandCode::EchoRequest
+                                | CommandCode::EchoResponse
+                                | CommandCode::InformationRequest
+                                | CommandCode::InformationResponse
+                                | CommandCode::CommandReject
+                        ),
+                        LinkType::Le => matches!(
+                            code,
+                            CommandCode::ConnectionParameterUpdateRequest
+                                | CommandCode::ConnectionParameterUpdateResponse
+                                | CommandCode::CommandReject
+                        ),
+                    };
                     if link_level {
                         return;
                     }
@@ -166,33 +202,42 @@ impl CoverageBuilder {
                 }
             }
             Direction::Rx => {
-                if matches!(
-                    code,
-                    CommandCode::ConnectionResponse | CommandCode::CreateChannelResponse
-                ) {
+                if self.is_connect_response(code) {
                     match Command::decode_opt(packet.code, &packet.data) {
                         Some(Command::ConnectionResponse(rsp)) => {
-                            settle_connect(
-                                &mut self.channels,
-                                &mut self.cid_index,
-                                &mut self.pending_connects,
-                                &mut self.covered,
-                                rsp.scid,
+                            self.settle_connect(
+                                Some(rsp.scid),
                                 rsp.dcid,
                                 rsp.result.is_refusal(),
-                                false,
+                                CommandCode::ConnectionRequest,
                             );
                         }
                         Some(Command::CreateChannelResponse(rsp)) => {
-                            settle_connect(
-                                &mut self.channels,
-                                &mut self.cid_index,
-                                &mut self.pending_connects,
-                                &mut self.covered,
-                                rsp.scid,
+                            self.settle_connect(
+                                Some(rsp.scid),
                                 rsp.dcid,
                                 rsp.result.is_refusal(),
-                                true,
+                                CommandCode::CreateChannelRequest,
+                            );
+                        }
+                        // The LE responses do not echo the initiator CID, so
+                        // they settle the oldest pending request of their
+                        // kind.
+                        Some(Command::LeCreditBasedConnectionResponse(rsp)) => {
+                            self.settle_connect(
+                                None,
+                                rsp.dcid,
+                                rsp.result != 0,
+                                CommandCode::LeCreditBasedConnectionRequest,
+                            );
+                        }
+                        Some(Command::CreditBasedConnectionResponse(rsp)) => {
+                            let dcid = rsp.dcids.first().copied().unwrap_or(Cid::NULL);
+                            self.settle_connect(
+                                None,
+                                dcid,
+                                rsp.result != 0 && rsp.dcids.is_empty(),
+                                CommandCode::CreditBasedConnectionRequest,
                             );
                         }
                         _ => {}
@@ -200,6 +245,76 @@ impl CoverageBuilder {
                 }
             }
         }
+    }
+
+    /// Returns `true` for the connect-shaped requests of this link type.
+    fn is_connect_shaped(&self, code: CommandCode) -> bool {
+        match self.link {
+            LinkType::BrEdr => matches!(
+                code,
+                CommandCode::ConnectionRequest | CommandCode::CreateChannelRequest
+            ),
+            LinkType::Le => matches!(
+                code,
+                CommandCode::LeCreditBasedConnectionRequest
+                    | CommandCode::CreditBasedConnectionRequest
+            ),
+        }
+    }
+
+    /// Returns `true` for the responses that settle a pending connect.
+    fn is_connect_response(&self, code: CommandCode) -> bool {
+        match self.link {
+            LinkType::BrEdr => matches!(
+                code,
+                CommandCode::ConnectionResponse | CommandCode::CreateChannelResponse
+            ),
+            LinkType::Le => matches!(
+                code,
+                CommandCode::LeCreditBasedConnectionResponse
+                    | CommandCode::CreditBasedConnectionResponse
+            ),
+        }
+    }
+
+    /// Settles a pending connect: a refusal walks a transient machine
+    /// through the deciding state; a success opens a replay machine and
+    /// indexes both CIDs of the exchange.  `scid` is `None` for the LE
+    /// responses, which do not echo the initiator CID — the oldest pending
+    /// request of `request_code`'s kind is matched instead.
+    fn settle_connect(
+        &mut self,
+        scid: Option<Cid>,
+        dcid: Cid,
+        refused: bool,
+        request_code: CommandCode,
+    ) {
+        let pos = self.pending_connects.iter().position(|(s, c)| {
+            *c == request_code && scid.map(|scid| *s == scid.value()).unwrap_or(true)
+        });
+        let pending_scid = match pos {
+            Some(pos) => Some(self.pending_connects.remove(pos).0),
+            None => None,
+        };
+        if refused {
+            // A refused request still exercises the deciding state on the
+            // target.
+            let mut machine = StateMachine::for_link(self.link);
+            machine.advance(request_code, false);
+            self.covered.extend(machine.visited().iter().copied());
+            return;
+        }
+        let mut machine = StateMachine::for_link(self.link);
+        machine.advance(request_code, true);
+        let idx = self.channels.len();
+        self.channels.push(machine);
+        // First mapping wins: a reused CID keeps routing to the earliest
+        // channel that carried it, exactly as an in-order list scan would.
+        let scid = scid.map(|c| c.value()).or(pending_scid);
+        if let Some(scid) = scid {
+            self.cid_index.insert_first(scid, idx);
+        }
+        self.cid_index.insert_first(dcid.value(), idx);
     }
 
     /// Marks that at least one signalling frame was transmitted (exercising
@@ -312,46 +427,6 @@ fn resolve_machine<'a>(
         .min()
         .or_else(|| channels.len().checked_sub(1))?;
     Some(&mut channels[idx])
-}
-
-#[allow(clippy::too_many_arguments)]
-fn settle_connect(
-    channels: &mut Vec<StateMachine>,
-    cid_index: &mut CidMap,
-    pending: &mut Vec<(u16, bool)>,
-    covered: &mut BTreeSet<ChannelState>,
-    scid: Cid,
-    dcid: Cid,
-    refused: bool,
-    is_create: bool,
-) {
-    let code = if is_create {
-        CommandCode::CreateChannelRequest
-    } else {
-        CommandCode::ConnectionRequest
-    };
-    // Match the response to the oldest pending request of the same kind.
-    let pos = pending
-        .iter()
-        .position(|(s, c)| *c == is_create && *s == scid.value());
-    if let Some(pos) = pos {
-        pending.remove(pos);
-    }
-    if refused {
-        // A refused request still exercises the deciding state on the target.
-        let mut machine = StateMachine::new();
-        machine.advance(code, false);
-        covered.extend(machine.visited().iter().copied());
-        return;
-    }
-    let mut machine = StateMachine::new();
-    machine.advance(code, true);
-    let idx = channels.len();
-    channels.push(machine);
-    // First mapping wins: a reused CID keeps routing to the earliest channel
-    // that carried it, exactly as an in-order list scan would.
-    cid_index.insert_first(scid.value(), idx);
-    cid_index.insert_first(dcid.value(), idx);
 }
 
 #[cfg(test)]

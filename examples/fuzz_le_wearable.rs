@@ -1,0 +1,58 @@
+//! Fuzz an LE-only target: the simulated Zephyr wearable (extended profile
+//! D9) over its LE-U link.
+//!
+//! The campaign is identical in shape to the classic quickstart — the
+//! builder reads the profile's link type and the whole pipeline switches
+//! sides: the scanner probes LE SPSMs with LE Credit Based Connection
+//! Requests, the state guide drives the five LE-reachable states through
+//! the credit-based flows, the mutator draws SPSM/MTU/MPS/credits from the
+//! LE abnormal ranges, and the detector probes liveness with a Connection
+//! Parameter Update Request (there is no Echo on LE).
+//!
+//! Run with: `cargo run --example fuzz_le_wearable`
+
+use btcore::LinkType;
+use btstack::profiles::{DeviceProfile, ProfileId};
+use l2fuzz::campaign::Campaign;
+use sniffer::TraceAnalysis;
+
+fn main() {
+    let profile = DeviceProfile::table5(ProfileId::D9);
+    assert_eq!(profile.link_type, LinkType::Le);
+
+    let outcome = Campaign::builder()
+        .target(profile)
+        .seed(51)
+        .run()
+        .expect("campaign runs")
+        .into_single();
+
+    let report = &outcome.report;
+    println!(
+        "target        : {} ({})",
+        report.target, report.target.link_type
+    );
+    println!("chosen SPSM   : {:?}", report.scan.chosen_port);
+    println!("states tested : {:?}", report.states_tested);
+    println!(
+        "packets sent  : {} ({} malformed)",
+        report.packets_sent, report.malformed_sent
+    );
+    println!("vulnerable    : {}", report.vulnerable());
+    if let Some(finding) = report.findings.first() {
+        println!(
+            "finding       : {} in {} ({})",
+            finding.evidence.description, finding.state, finding.command
+        );
+    }
+    for dump in outcome.device.lock().crash_dumps() {
+        println!("--- crash dump ---\n{}", dump.render());
+    }
+
+    let analysis = TraceAnalysis::from_trace_on(&outcome.trace, LinkType::Le);
+    println!("{}", analysis.metrics.table_row("L2Fuzz-LE"));
+    println!(
+        "state coverage: {}/5 LE-reachable states",
+        analysis.coverage.count()
+    );
+}

@@ -33,7 +33,7 @@ fn table2_style_rejections_hold_for_every_wait_state() {
         (ChannelState::WaitConfigRsp, CommandCode::MoveChannelRequest),
     ];
     for (state, code) in cases {
-        let t = spec_transition(state, code);
+        let t = spec_transition(state, code, btcore::LinkType::BrEdr);
         assert!(
             matches!(t.action, Action::Reject(_)),
             "{code} in {state} must be rejected"
