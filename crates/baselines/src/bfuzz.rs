@@ -8,7 +8,7 @@
 //! and a very small effective mutation efficiency.
 
 use btcore::{Cid, FuzzRng, Identifier, Psm, SimClock};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::{Command, ConfigureRequest, ConnectionRequest, DisconnectionRequest};
 use l2cap::options::ConfigOption;
 use l2cap::packet::SignalingPacket;
@@ -38,14 +38,14 @@ impl BFuzzFuzzer {
     fn send_cmd(
         &mut self,
         clock: &SimClock,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         id: u8,
         command: Command,
     ) -> Vec<Command> {
         crate::send_command(clock, Duration::from_micros(1_200), link, id, &command)
     }
 
-    fn send_raw(&mut self, clock: &SimClock, link: &mut AclLink, packet: SignalingPacket) {
+    fn send_raw(&mut self, clock: &SimClock, link: &mut LinkHandle, packet: SignalingPacket) {
         clock.advance(Duration::from_micros(1_200));
         let _ = link.send_frame(&packet.to_frame_in(link.arena()));
     }

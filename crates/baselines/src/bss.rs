@@ -8,7 +8,7 @@
 //! rejections (0 % MP, 0 % PR, three covered states), at a very low speed.
 
 use btcore::{Cid, FuzzRng, Psm, SimClock};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::{Command, ConnectionRequest, EchoRequest, InformationRequest};
 use l2fuzz::fuzzer::{FuzzCtx, Fuzzer};
 use l2fuzz::report::FuzzReport;
@@ -30,7 +30,7 @@ impl BssFuzzer {
     fn send(
         &mut self,
         clock: &SimClock,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         id: u8,
         command: Command,
     ) -> Vec<Command> {

@@ -7,7 +7,7 @@
 //! second in §IV-C).  Those are exactly the behaviours reproduced here.
 
 use btcore::{Cid, Identifier, Psm, SimClock};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::{
     Command, ConfigureRequest, ConfigureResponse, ConnectionRequest, DisconnectionRequest,
 };
@@ -47,14 +47,14 @@ impl DefensicsFuzzer {
     fn send(
         &mut self,
         clock: &SimClock,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         id: u8,
         command: Command,
     ) -> Vec<Command> {
         crate::send_command(clock, self.think_time, link, id, &command)
     }
 
-    fn send_raw(&mut self, clock: &SimClock, link: &mut AclLink, packet: SignalingPacket) {
+    fn send_raw(&mut self, clock: &SimClock, link: &mut LinkHandle, packet: SignalingPacket) {
         clock.advance(self.think_time);
         let _ = link.send_frame(&packet.to_frame_in(link.arena()));
     }

@@ -26,7 +26,7 @@ pub use bss::BssFuzzer;
 pub use defensics::DefensicsFuzzer;
 
 use btcore::{Identifier, SimClock};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::Command;
 use l2cap::packet::parse_signaling;
 use std::time::Duration;
@@ -41,7 +41,7 @@ use std::time::Duration;
 pub(crate) fn send_command(
     clock: &SimClock,
     think_time: Duration,
-    link: &mut AclLink,
+    link: &mut LinkHandle,
     id: u8,
     command: &Command,
 ) -> Vec<Command> {

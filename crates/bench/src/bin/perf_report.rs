@@ -1,17 +1,18 @@
 //! Quick-mode performance report: runs the workload of each of the five
-//! Criterion benches — plus an LE-pipeline campaign — a fixed number of
-//! times, records the median wall-clock per iteration plus derived
-//! packets/second and measured heap allocations per packet, and writes the
-//! result as JSON.
+//! Criterion benches — plus the LE-pipeline, multi-initiator and seed-sweep
+//! campaigns — a fixed number of times, records the median wall-clock per
+//! iteration plus derived packets/second and measured heap allocations per
+//! packet, and writes the result as JSON.
 //!
-//! The committed `BENCH_PR4.json` at the repository root is the tracked
-//! baseline of this report (`BENCH_PR3.json` remains as the zero-copy
-//! pipeline's reference point); CI re-runs it on every change (non-gating)
-//! and uploads the fresh report as an artifact so perf regressions are
-//! visible in review.
+//! The committed `BENCH_PR5.json` at the repository root is the tracked
+//! baseline of this report (`BENCH_PR3.json`/`BENCH_PR4.json` remain as
+//! earlier reference points); CI re-runs it on every change (non-gating),
+//! uploads the fresh report as an artifact and — via `--baseline` —
+//! compares it against the previous PR's numbers, flagging
+//! `packet_throughput` regressions beyond 10 % in the job summary.
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_report [output.json]
+//! cargo run --release -p bench --bin perf_report [output.json] [--baseline OLD.json]
 //! ```
 
 use std::time::Instant;
@@ -24,7 +25,7 @@ use l2cap::code::CommandCode;
 use l2cap::command::{Command, ConnectionRequest};
 use l2cap::packet::{parse_signaling, signaling_frame, L2capFrame};
 use l2cap::state::StateMachine;
-use l2fuzz::campaign::{Campaign, OraclePolicy};
+use l2fuzz::campaign::{Campaign, OraclePolicy, SeedSweepExecutor};
 use l2fuzz::config::FuzzConfig;
 use l2fuzz::fuzzer::TxBudget;
 use l2fuzz::guide::ChannelContext;
@@ -80,9 +81,17 @@ fn measure(
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_PR5.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--baseline" {
+            baseline_path = iter.next();
+        } else {
+            out_path = arg;
+        }
+    }
     let mut results: Vec<Measured> = Vec::new();
 
     // 1. packet_codec — encode + decode of a Connection Request frame
@@ -180,26 +189,62 @@ fn main() {
         }));
     }
 
-    let mut obj: Vec<(String, serde::Value)> = Vec::new();
+    // 7. multi_initiator — two concurrent initiators on one hardened
+    //    target, every exchange passing the event scheduler's turnstile
+    //    (2 × 250 packets per iteration).  Measures the cost of the
+    //    concurrent medium, including cross-thread event ordering.
+    {
+        results.push(measure("multi_initiator", 15, 500, || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D4))
+                .initiators_per_target(2)
+                .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())))
+                .budget(TxBudget::packets(250))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .seed(0x2141)
+                .run()
+                .expect("multi-initiator campaign runs")
+                .into_single();
+            std::hint::black_box(outcome.trace.len() + outcome.secondary[0].trace.len());
+        }));
+    }
+
+    // 8. seed_sweep — four independently seeded 125-packet campaigns per
+    //    iteration through `SeedSweepExecutor` (500 packets total),
+    //    exercising per-seed environment setup and teardown.
+    {
+        results.push(measure("seed_sweep", 15, 500, || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())))
+                .budget(TxBudget::packets(125))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .executor(SeedSweepExecutor::derived(0x53ED, 4))
+                .run()
+                .expect("seed sweep runs");
+            std::hint::black_box(outcome.targets.len());
+        }));
+    }
+
+    // The report is written through the streaming JSON writer — the same
+    // no-`Value`-tree path the campaign reports use.
+    let mut w = serde_json::JsonStreamWriter::pretty();
+    w.begin_object();
     for m in &results {
-        obj.push((
-            m.name.to_owned(),
-            serde::Value::Object(vec![
-                ("median_ns".to_owned(), serde::Value::U64(m.median_ns)),
-                (
-                    "packets_per_iter".to_owned(),
-                    serde::Value::U64(m.packets_per_iter),
-                ),
-                (
-                    "packets_per_sec".to_owned(),
-                    serde::Value::F64((m.packets_per_sec() * 10.0).round() / 10.0),
-                ),
-                (
-                    "allocs_per_packet".to_owned(),
-                    serde::Value::F64((m.allocs_per_packet * 100.0).round() / 100.0),
-                ),
-            ]),
-        ));
+        w.key(m.name).begin_object();
+        w.field("median_ns", &m.median_ns);
+        w.field("packets_per_iter", &m.packets_per_iter);
+        w.field(
+            "packets_per_sec",
+            &((m.packets_per_sec() * 10.0).round() / 10.0),
+        );
+        w.field(
+            "allocs_per_packet",
+            &((m.allocs_per_packet * 100.0).round() / 100.0),
+        );
+        w.end_object();
         println!(
             "{:<20} median {:>12} ns   {:>12.1} packets/s   {:>6.2} allocs/packet",
             m.name,
@@ -208,7 +253,67 @@ fn main() {
             m.allocs_per_packet
         );
     }
-    let json = serde_json::to_string_pretty(&serde::Value::Object(obj)).expect("report serializes");
+    w.end_object();
+    let json = w.finish();
     std::fs::write(&out_path, json + "\n").expect("report written");
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline_path {
+        compare_against_baseline(&results, &baseline_path);
+    }
+}
+
+/// Prints a GitHub-flavoured markdown comparison against a previous
+/// baseline report and flags `packet_throughput` regressions beyond 10 %.
+/// The CI bench job appends this to its step summary; the job itself stays
+/// non-gating, so the exit code still signals the regression to scripts
+/// that care.
+fn compare_against_baseline(results: &[Measured], baseline_path: &str) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("\n> baseline {baseline_path} not readable ({err}); comparison skipped");
+            return;
+        }
+    };
+    let baseline: serde::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(err) => {
+            println!("\n> baseline {baseline_path} not valid JSON ({err}); comparison skipped");
+            return;
+        }
+    };
+    let baseline_median = |name: &str| -> Option<f64> {
+        match baseline.get(name)?.get("median_ns")? {
+            serde::Value::U64(n) => Some(*n as f64),
+            serde::Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    };
+
+    println!("\n### Perf vs `{baseline_path}`\n");
+    println!("| bench | baseline | now | change |");
+    println!("|---|---:|---:|---:|");
+    let mut gating_regression = false;
+    for m in results {
+        let Some(base_ns) = baseline_median(m.name) else {
+            println!("| {} | — | {} ns | new bench |", m.name, m.median_ns);
+            continue;
+        };
+        let delta = (m.median_ns as f64 - base_ns) / base_ns * 100.0;
+        let mut note = format!("{delta:+.1} %");
+        if m.name == "packet_throughput" && delta > 10.0 {
+            note.push_str(" ⚠️ **regression >10 %**");
+            gating_regression = true;
+        }
+        println!(
+            "| {} | {:.0} ns | {} ns | {note} |",
+            m.name, base_ns, m.median_ns
+        );
+    }
+    if gating_regression {
+        println!("\n**`packet_throughput` regressed more than 10 % against the baseline.**");
+        std::process::exit(2);
+    }
+    println!("\npacket_throughput within 10 % of the baseline.");
 }

@@ -63,6 +63,14 @@ impl SimClock {
         self.micros.fetch_add(us, Ordering::SeqCst);
     }
 
+    /// Advances the clock *to* the given instant if it is ahead of the
+    /// current time; a no-op otherwise.  The event-driven medium uses this
+    /// to keep its timeline at the latest fired event when links run on
+    /// their own local clocks.
+    pub fn advance_to(&self, micros: u64) {
+        self.micros.fetch_max(micros, Ordering::SeqCst);
+    }
+
     /// Returns a timestamp in whole microseconds (handy for trace records).
     pub fn now_micros(&self) -> u64 {
         self.micros.load(Ordering::SeqCst)

@@ -84,6 +84,27 @@ impl fmt::Display for LinkType {
     }
 }
 
+/// Index of one established link on a target device.
+///
+/// The event-driven medium lets several initiators hold independent links to
+/// one device at the same time; the device keeps one isolated L2CAP acceptor
+/// (own CID space, own channel state) per slot.  Slot numbers are assigned
+/// per device in connection order, starting at [`LinkSlot::PRIMARY`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkSlot(pub u16);
+
+impl LinkSlot {
+    /// The first link established to a device — the only one that exists in
+    /// single-initiator campaigns.
+    pub const PRIMARY: LinkSlot = LinkSlot(0);
+}
+
+impl fmt::Display for LinkSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
 /// Metadata about a discovered device, as gathered by target scanning
 /// (§III-B): MAC address, friendly name, device class, vendor OUI and link
 /// type.

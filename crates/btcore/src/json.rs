@@ -1,0 +1,115 @@
+//! Streaming JSON serialization for the vocabulary types.
+//!
+//! These mirror the derived `serde::Serialize` encodings byte for byte (the
+//! equivalence is pinned by the report-path tests in the `l2fuzz` crate), so
+//! reports and traces can be written through
+//! [`serde_json::JsonStreamWriter`] without materializing a `Value` tree.
+
+use serde_json::{JsonStreamWriter, StreamSerialize};
+
+use crate::addr::{BdAddr, Oui};
+use crate::device::{DeviceClass, DeviceMeta, LinkSlot, LinkType};
+use crate::error::ConnectionError;
+use crate::framebuf::FrameBuf;
+use crate::ids::{Cid, ConnectionHandle, Identifier, Psm};
+
+serde_json::stream_unit_enum!(DeviceClass, LinkType, ConnectionError);
+
+impl StreamSerialize for BdAddr {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        self.bytes().stream(w);
+    }
+}
+
+impl StreamSerialize for Oui {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        self.bytes().stream(w);
+    }
+}
+
+impl StreamSerialize for DeviceMeta {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("oui", &self.oui)
+            .field("link_type", &self.link_type)
+            .end_object();
+    }
+}
+
+impl StreamSerialize for Cid {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.u64(u64::from(self.0));
+    }
+}
+
+impl StreamSerialize for Psm {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.u64(u64::from(self.0));
+    }
+}
+
+impl StreamSerialize for Identifier {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.u64(u64::from(self.0));
+    }
+}
+
+impl StreamSerialize for ConnectionHandle {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.u64(u64::from(self.0));
+    }
+}
+
+impl StreamSerialize for LinkSlot {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.u64(u64::from(self.0));
+    }
+}
+
+/// Streams exactly like `Vec<u8>` (a JSON array of numbers), matching the
+/// tree-based `Serialize` impl.
+impl StreamSerialize for FrameBuf {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        self.as_slice().stream(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::to_string_streamed;
+
+    #[test]
+    fn vocabulary_types_stream_like_their_derived_encodings() {
+        let meta = DeviceMeta::new(
+            BdAddr::new([0xF8, 0x0F, 0xF9, 1, 2, 3]),
+            "Pixel 3",
+            DeviceClass::Smartphone,
+        )
+        .with_link_type(LinkType::Le);
+        assert_eq!(
+            to_string_streamed(&meta),
+            serde_json::to_string(&meta).unwrap()
+        );
+        let buf: FrameBuf = vec![1u8, 2, 250].into();
+        assert_eq!(
+            to_string_streamed(&buf),
+            serde_json::to_string(&buf).unwrap()
+        );
+        for err in [
+            ConnectionError::Failed,
+            ConnectionError::Aborted,
+            ConnectionError::Timeout,
+        ] {
+            assert_eq!(
+                to_string_streamed(&err),
+                serde_json::to_string(&err).unwrap()
+            );
+        }
+        assert_eq!(to_string_streamed(&Psm::SDP), "1");
+        assert_eq!(to_string_streamed(&Cid(0x40)), "64");
+    }
+}

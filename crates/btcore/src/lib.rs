@@ -37,16 +37,19 @@ pub mod clock;
 pub mod codec;
 pub mod device;
 pub mod error;
+pub mod event;
 pub mod framebuf;
 pub mod ids;
+pub mod json;
 pub mod oracle;
 pub mod rng;
 
 pub use addr::{BdAddr, Oui, ParseBdAddrError};
 pub use clock::SimClock;
 pub use codec::{ByteReader, ByteWriter, CodecError};
-pub use device::{DeviceClass, DeviceMeta, LinkType};
+pub use device::{DeviceClass, DeviceMeta, LinkSlot, LinkType};
 pub use error::{BtError, ConnectionError};
+pub use event::{EventScheduler, EventTicket, SourceId};
 pub use framebuf::{FrameArena, FrameBuf, FrameBufMut};
 pub use ids::{Cid, ConnectionHandle, Identifier, Psm};
 pub use oracle::{PingOutcome, TargetOracle};

@@ -1,12 +1,19 @@
-//! The complete simulated device: endpoint + host status + crash dumps.
+//! The complete simulated device: endpoints + host status + crash dumps.
 //!
-//! [`SimulatedDevice`] is what gets registered on the virtual air medium.  It
-//! owns the L2CAP acceptor, tracks whether the Bluetooth service is still
-//! running, applies the effects of fired vulnerabilities (denial of service
-//! or crash) and stores the crash dumps the detection phase later collects
-//! through the [`btcore::TargetOracle`] interface.
+//! [`SimulatedDevice`] is what gets registered on the virtual medium.  It
+//! owns one L2CAP acceptor *per established link* — every link slot gets an
+//! isolated CID space and channel state, which is what lets concurrent
+//! initiators (and a dual-transport pair of them) fuzz one device without
+//! cross-talk — tracks whether the Bluetooth service is still running,
+//! applies the effects of fired vulnerabilities (denial of service or
+//! crash, both device-wide: a dead stack answers on no link) and stores the
+//! crash dumps the detection phase later collects through the
+//! [`btcore::TargetOracle`] interface.
 
-use btcore::{ConnectionError, DeviceMeta, FuzzRng, PingOutcome, SimClock, TargetOracle};
+use btcore::{
+    splitmix64, ConnectionError, DeviceMeta, FuzzRng, LinkSlot, LinkType, PingOutcome, SimClock,
+    TargetOracle,
+};
 use hci::device::VirtualDevice;
 use l2cap::packet::L2capFrame;
 use parking_lot::Mutex;
@@ -42,7 +49,20 @@ pub struct FiredVulnerability {
 /// A complete simulated target device.
 pub struct SimulatedDevice {
     meta: DeviceMeta,
-    endpoint: L2capEndpoint,
+    /// One isolated acceptor per link slot, indexed by slot number.  Slot 0
+    /// is built eagerly at construction (with the constructor's RNG, so
+    /// single-link behaviour is unchanged); further slots appear as links
+    /// attach.
+    endpoints: Vec<L2capEndpoint>,
+    quirks: Quirks,
+    /// Template for extra acceptors on the primary transport.
+    services: ServiceTable,
+    /// Template for acceptors on the other transport, present on dual-mode
+    /// devices.
+    alt_services: Option<ServiceTable>,
+    vulns: Arc<[VulnerabilitySpec]>,
+    /// Base of the derived RNG streams for extra acceptors.
+    endpoint_seed: u64,
     status: HostStatus,
     crash_dumps: CrashDumpStore,
     fired: Vec<FiredVulnerability>,
@@ -66,12 +86,26 @@ impl SimulatedDevice {
         processing_cost_micros: u64,
         rng: FuzzRng,
     ) -> Self {
-        // The endpoint serves whatever transport the metadata announces, so
-        // an LE-only profile automatically gets the LE acceptor.
+        // The primary endpoint serves whatever transport the metadata
+        // announces, so an LE-only profile automatically gets the LE
+        // acceptor.
         let link_type = meta.link_type;
+        let vulns = vulns.into();
+        let endpoint_seed = rng.seed();
         SimulatedDevice {
             meta,
-            endpoint: L2capEndpoint::new_on(link_type, quirks, services, vulns, rng),
+            endpoints: vec![L2capEndpoint::new_on(
+                link_type,
+                quirks,
+                services.clone(),
+                vulns.clone(),
+                rng,
+            )],
+            quirks,
+            services,
+            alt_services: None,
+            vulns,
+            endpoint_seed,
             status: HostStatus::Running,
             crash_dumps: CrashDumpStore::new(),
             fired: Vec::new(),
@@ -79,6 +113,37 @@ impl SimulatedDevice {
             processing_cost_micros,
             auto_restart: false,
         }
+    }
+
+    /// Makes the device dual-mode: links over the transport *other* than the
+    /// primary one are accepted and served from `services`.
+    pub fn enable_dual_mode(&mut self, services: ServiceTable) {
+        self.alt_services = Some(services);
+    }
+
+    /// The transport opposite the device's primary one.
+    fn other_link_type(&self) -> LinkType {
+        match self.meta.link_type {
+            LinkType::BrEdr => LinkType::Le,
+            LinkType::Le => LinkType::BrEdr,
+        }
+    }
+
+    /// Builds a fresh acceptor for `slot` over `link_type`, with its RNG
+    /// stream derived from the device seed, the slot and the transport so
+    /// every acceptor is independent and the whole device stays a pure
+    /// function of its construction seed.
+    fn build_endpoint(&self, slot: LinkSlot, link_type: LinkType) -> L2capEndpoint {
+        let services = if link_type == self.meta.link_type {
+            self.services.clone()
+        } else {
+            self.alt_services
+                .clone()
+                .expect("endpoint for unsupported transport")
+        };
+        let tag = u64::from(slot.0) << 1 | u64::from(link_type.is_le());
+        let rng = FuzzRng::seed_from(splitmix64(self.endpoint_seed ^ tag ^ 0x51A7_E11D));
+        L2capEndpoint::new_on(link_type, self.quirks, services, self.vulns.clone(), rng)
     }
 
     /// Enables automatic restart of the Bluetooth service after a
@@ -104,9 +169,14 @@ impl SimulatedDevice {
         self.crash_dumps.all()
     }
 
-    /// The device's service table.
+    /// The device's service table (primary transport).
     pub fn services(&self) -> &ServiceTable {
-        self.endpoint.services()
+        &self.services
+    }
+
+    /// Number of link slots with an acceptor (at least one).
+    pub fn link_count(&self) -> usize {
+        self.endpoints.len()
     }
 
     /// Restarts the Bluetooth service (the "manual reset" of the paper's
@@ -149,11 +219,40 @@ impl VirtualDevice for SimulatedDevice {
         self.meta.clone()
     }
 
-    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
+    fn supports_link(&self, link_type: LinkType) -> bool {
+        link_type == self.meta.link_type
+            || (self.alt_services.is_some() && link_type == self.other_link_type())
+    }
+
+    fn attach_link(&mut self, slot: LinkSlot, link_type: LinkType) {
+        let index = usize::from(slot.0);
+        if index == 0 && link_type == self.endpoints[0].link_type() {
+            // The eagerly built primary acceptor already serves this link;
+            // replacing it would perturb single-link RNG streams.
+            return;
+        }
+        while self.endpoints.len() < index {
+            let fill = LinkSlot(self.endpoints.len() as u16);
+            self.endpoints
+                .push(self.build_endpoint(fill, self.meta.link_type));
+        }
+        let endpoint = self.build_endpoint(slot, link_type);
+        if self.endpoints.len() == index {
+            self.endpoints.push(endpoint);
+        } else {
+            self.endpoints[index] = endpoint;
+        }
+    }
+
+    fn receive(&mut self, slot: LinkSlot, frame: &L2capFrame) -> Vec<L2capFrame> {
         if self.status != HostStatus::Running {
             return Vec::new();
         }
-        let outcome = self.endpoint.handle_frame(frame);
+        let Some(endpoint) = self.endpoints.get_mut(usize::from(slot.0)) else {
+            // Frame on a never-attached slot: nobody serves it.
+            return Vec::new();
+        };
+        let outcome = endpoint.handle_frame(frame);
         if let Some(vuln) = outcome.triggered {
             self.apply_effect(&vuln);
             return Vec::new();
@@ -251,7 +350,7 @@ mod tests {
                 scid: Cid(0x0040),
             }),
         );
-        assert!(!dev.receive(&frame).is_empty());
+        assert!(!dev.receive(LinkSlot::PRIMARY, &frame).is_empty());
     }
 
     fn malformed_config(dev: &mut SimulatedDevice) -> Vec<L2capFrame> {
@@ -261,7 +360,7 @@ mod tests {
             declared_data_len: 8,
             data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
         };
-        dev.receive(&packet.into_frame())
+        dev.receive(LinkSlot::PRIMARY, &packet.into_frame())
     }
 
     #[test]
@@ -288,7 +387,7 @@ mod tests {
                 scid: Cid(0x0050),
             }),
         );
-        assert!(dev.receive(&frame).is_empty());
+        assert!(dev.receive(LinkSlot::PRIMARY, &frame).is_empty());
     }
 
     #[test]
@@ -306,14 +405,16 @@ mod tests {
                 scid: Cid(0x0040),
             }),
         );
-        adapter.lock().receive(&frame);
+        adapter.lock().receive(LinkSlot::PRIMARY, &frame);
         let packet = SignalingPacket {
             identifier: Identifier(6),
             code: 0x04,
             declared_data_len: 8,
             data: vec![0x8F, 0x7B, 0, 0, 0, 0, 0, 0, 0xD2, 0x3A, 0x91, 0x0E].into(),
         };
-        adapter.lock().receive(&packet.into_frame());
+        adapter
+            .lock()
+            .receive(LinkSlot::PRIMARY, &packet.into_frame());
 
         assert!(!oracle.bluetooth_alive());
         assert_eq!(oracle.ping(), PingOutcome::Failed(ConnectionError::Failed));
@@ -354,7 +455,7 @@ mod tests {
                 Identifier(i.max(1)),
                 Command::EchoRequest(l2cap::command::EchoRequest { data: vec![i] }),
             );
-            assert!(!dev.receive(&frame).is_empty());
+            assert!(!dev.receive(LinkSlot::PRIMARY, &frame).is_empty());
         }
         assert_eq!(dev.status(), HostStatus::Running);
         assert!(dev.fired_vulnerabilities().is_empty());

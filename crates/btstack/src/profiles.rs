@@ -87,6 +87,10 @@ pub struct DeviceProfile {
     pub bt_version: String,
     /// The transport the campaign fuzzes this device over.
     pub link_type: LinkType,
+    /// Whether the device also serves the *other* transport (a dual-mode
+    /// controller).  A dual-mode device accepts links over both BR/EDR and
+    /// LE at once, each with its own isolated acceptor.
+    pub dual_mode: bool,
     /// Bluetooth device address used in the simulation.
     pub addr: BdAddr,
     /// Device class broadcast during inquiry.
@@ -120,6 +124,7 @@ impl DeviceProfile {
                 stack: VendorStack::Zephyr,
                 bt_version: "5.0 LE only".into(),
                 link_type: LinkType::Le,
+                dual_mode: false,
                 addr: BdAddr::new([0xC8, 0x7B, 0x23, 0x10, 0x00, 0x09]),
                 class: DeviceClass::Wearable,
                 service_ports: 3,
@@ -138,6 +143,7 @@ impl DeviceProfile {
                 stack: VendorStack::BlueDroid,
                 bt_version: "5.2 dual mode".into(),
                 link_type: LinkType::Le,
+                dual_mode: true,
                 addr: BdAddr::new([0xF8, 0x8F, 0xCA, 0x10, 0x00, 0x0A]),
                 class: DeviceClass::Smartphone,
                 service_ports: 5,
@@ -156,6 +162,7 @@ impl DeviceProfile {
                 stack: VendorStack::BlueZ,
                 bt_version: "5.0 + EDR".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0x34, 0xE1, 0x2D, 0x10, 0x00, 0x0B]),
                 class: DeviceClass::Audio,
                 service_ports: 6,
@@ -174,6 +181,7 @@ impl DeviceProfile {
                 stack: VendorStack::BlueDroid,
                 bt_version: "4.0 + LE".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0xF8, 0x8F, 0xCA, 0x10, 0x00, 0x01]),
                 class: DeviceClass::Tablet,
                 service_ports: 7,
@@ -192,6 +200,7 @@ impl DeviceProfile {
                 stack: VendorStack::BlueDroid,
                 bt_version: "5.0 + LE".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0xF8, 0x8F, 0xCA, 0x10, 0x00, 0x02]),
                 class: DeviceClass::Smartphone,
                 service_ports: 8,
@@ -210,6 +219,7 @@ impl DeviceProfile {
                 stack: VendorStack::BlueDroid,
                 bt_version: "4.2".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0x84, 0x25, 0xDB, 0x10, 0x00, 0x03]),
                 class: DeviceClass::Smartphone,
                 service_ports: 9,
@@ -228,6 +238,7 @@ impl DeviceProfile {
                 stack: VendorStack::AppleIos,
                 bt_version: "4.2".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0xAC, 0xBC, 0x32, 0x10, 0x00, 0x04]),
                 class: DeviceClass::Smartphone,
                 service_ports: 8,
@@ -246,6 +257,7 @@ impl DeviceProfile {
                 stack: VendorStack::AppleRtkit,
                 bt_version: "4.2".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0xAC, 0xBC, 0x32, 0x10, 0x00, 0x05]),
                 class: DeviceClass::Audio,
                 service_ports: 6,
@@ -264,6 +276,7 @@ impl DeviceProfile {
                 stack: VendorStack::Btw,
                 bt_version: "5.0 + LE".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0x84, 0x25, 0xDB, 0x10, 0x00, 0x06]),
                 class: DeviceClass::Audio,
                 service_ports: 5,
@@ -282,6 +295,7 @@ impl DeviceProfile {
                 stack: VendorStack::Windows,
                 bt_version: "5.0".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0x34, 0xE1, 0x2D, 0x10, 0x00, 0x07]),
                 class: DeviceClass::Computer,
                 service_ports: 11,
@@ -300,6 +314,7 @@ impl DeviceProfile {
                 stack: VendorStack::BlueZ,
                 bt_version: "5.0".into(),
                 link_type: LinkType::BrEdr,
+                dual_mode: false,
                 addr: BdAddr::new([0x34, 0xE1, 0x2D, 0x10, 0x00, 0x08]),
                 class: DeviceClass::Computer,
                 service_ports: 13,
@@ -350,24 +365,37 @@ impl DeviceProfile {
             .collect()
     }
 
-    /// Builds the simulated device for this profile.  LE profiles get the
-    /// LE acceptor and the SPSM service catalogue; classic profiles are
-    /// built exactly as before.
-    pub fn build(&self, clock: SimClock, rng: FuzzRng) -> SimulatedDevice {
-        let services = match self.link_type {
+    /// The service catalogue this profile exposes over the given transport.
+    pub fn services_on(&self, link_type: LinkType) -> ServiceTable {
+        match link_type {
             LinkType::BrEdr => ServiceTable::typical(self.service_ports),
             LinkType::Le => ServiceTable::le_typical(self.service_ports),
-        };
-        SimulatedDevice::new(
+        }
+    }
+
+    /// Builds the simulated device for this profile.  LE profiles get the
+    /// LE acceptor and the SPSM service catalogue; classic profiles are
+    /// built exactly as before.  A dual-mode profile additionally serves
+    /// links over the other transport, each with its own acceptor.
+    pub fn build(&self, clock: SimClock, rng: FuzzRng) -> SimulatedDevice {
+        let mut device = SimulatedDevice::new(
             DeviceMeta::new(self.addr, self.name.clone(), self.class)
                 .with_link_type(self.link_type),
             self.stack.default_quirks(),
-            services,
+            self.services_on(self.link_type),
             self.vulnerabilities(),
             clock,
             self.processing_cost_micros,
             rng,
-        )
+        );
+        if self.dual_mode {
+            let other = match self.link_type {
+                LinkType::BrEdr => LinkType::Le,
+                LinkType::Le => LinkType::BrEdr,
+            };
+            device.enable_dual_mode(self.services_on(other));
+        }
+        device
     }
 }
 

@@ -8,7 +8,7 @@
 //! away (denial of service); the other errors indicate a crash.
 
 use btcore::{ConnectionError, Identifier, LinkType, PingOutcome, TargetOracle};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::{Command, ConnectionParameterUpdateRequest, EchoRequest};
 use l2cap::packet::parse_signaling;
 use serde::{Deserialize, Serialize};
@@ -24,6 +24,17 @@ pub struct VulnerabilityEvidence {
     pub crash_dump: bool,
     /// Human-readable classification ("DoS" / "Crash").
     pub description: String,
+}
+
+impl serde_json::StreamSerialize for VulnerabilityEvidence {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("error", &self.error)
+            .field("ping_failed", &self.ping_failed)
+            .field("crash_dump", &self.crash_dump)
+            .field("description", &self.description)
+            .end_object();
+    }
 }
 
 /// Verdict for one detection check.
@@ -78,7 +89,7 @@ impl VulnerabilityDetector {
 
     /// Performs the liveness probe over the link: an L2CAP Echo Request on
     /// BR/EDR, a Connection Parameter Update Request on LE.
-    pub fn ping(&mut self, link: &mut AclLink) -> bool {
+    pub fn ping(&mut self, link: &mut LinkHandle) -> bool {
         self.next_ping_id = if self.next_ping_id == 0xFF {
             0x70
         } else {
@@ -122,7 +133,7 @@ impl VulnerabilityDetector {
     /// refines the verdict with service status and crash dumps.
     pub fn check(
         &mut self,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         oracle: Option<&mut dyn TargetOracle>,
         target_went_silent: bool,
     ) -> DetectionVerdict {
@@ -168,16 +179,16 @@ mod tests {
     use btcore::{Cid, FuzzRng, Psm, SimClock};
     use btstack::device::{share, DeviceOracle, SharedSimulatedDevice};
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::{AclLink, AirMedium};
     use hci::device::VirtualDevice;
     use hci::link::LinkConfig;
+    use hci::medium::{EventMedium, LinkHandle, Medium};
     use l2cap::command::ConnectionRequest;
     use l2cap::packet::signaling_frame;
     use l2cap::packet::SignalingPacket;
 
-    fn setup(id: ProfileId) -> (SharedSimulatedDevice, AclLink) {
+    fn setup(id: ProfileId) -> (SharedSimulatedDevice, LinkHandle) {
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(9)));
         air.register_shared(adapter);

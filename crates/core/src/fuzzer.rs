@@ -8,8 +8,8 @@
 //! are computed from, mirroring the paper's sniffing-based methodology.
 
 use btcore::{DeviceMeta, FuzzRng, SimClock, TargetOracle};
-use hci::air::AclLink;
 use hci::link::SharedTap;
+use hci::medium::LinkHandle;
 
 use crate::report::FuzzReport;
 
@@ -51,7 +51,7 @@ impl TxBudget {
 /// Everything a fuzzer needs to run one campaign against one target.
 pub struct FuzzCtx<'a> {
     /// The established ACL link to the target.
-    pub link: &'a mut AclLink,
+    pub link: &'a mut LinkHandle,
     /// The shared virtual clock of this target's environment.
     pub clock: SimClock,
     /// The packet tap the harness attached to the link.
@@ -72,7 +72,7 @@ pub struct FuzzCtx<'a> {
 impl<'a> FuzzCtx<'a> {
     /// Wires up a context over an established link.
     pub fn new(
-        link: &'a mut AclLink,
+        link: &'a mut LinkHandle,
         clock: SimClock,
         tap: SharedTap,
         meta: DeviceMeta,
@@ -131,7 +131,7 @@ impl<'a> FuzzCtx<'a> {
     ///
     /// The two live in disjoint fields, so a tool can hold both mutably at
     /// once — the shape [`crate::session::L2FuzzSession::run`] needs.
-    pub fn link_and_oracle(&mut self) -> (&mut AclLink, Option<&mut dyn TargetOracle>) {
+    pub fn link_and_oracle(&mut self) -> (&mut LinkHandle, Option<&mut dyn TargetOracle>) {
         let oracle = match self.oracle {
             Some(ref mut o) => {
                 // Coerce on the bare reference so the trait-object lifetime
@@ -152,7 +152,10 @@ impl<'a> FuzzCtx<'a> {
 /// whatever its strategy dictates.  Tools that produce structured findings
 /// (L2Fuzz) return a [`FuzzReport`]; trace-only baselines return `None` and
 /// the campaign synthesizes a skeleton report from the link statistics.
-pub trait Fuzzer {
+///
+/// Tools are `Send` because the campaign harness runs concurrent initiators
+/// on worker threads, each driving its own fresh tool instance.
+pub trait Fuzzer: Send {
     /// Human-readable tool name ("L2Fuzz", "Defensics", ...).
     fn name(&self) -> &'static str;
 
@@ -194,11 +197,11 @@ mod tests {
         use btcore::{FuzzRng, SimClock};
         use btstack::device::share;
         use btstack::profiles::{DeviceProfile, ProfileId};
-        use hci::air::AirMedium;
         use hci::link::{new_tap, LinkConfig};
+        use hci::medium::{EventMedium, Medium};
 
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let profile = DeviceProfile::table5(ProfileId::D2);
         let (device, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(1)));
         air.register_shared(adapter);

@@ -8,7 +8,7 @@
 
 use btcore::{Cid, Identifier, Psm};
 
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::{
     Command, ConfigureRequest, ConfigureResponse, ConnectionRequest, CreateChannelRequest,
     CreditBasedReconfigureRequest, DisconnectionRequest, FlowControlCreditInd,
@@ -91,7 +91,7 @@ impl StateGuide {
         cid
     }
 
-    fn send(&mut self, link: &mut AclLink, command: Command) -> Vec<Command> {
+    fn send(&mut self, link: &mut LinkHandle, command: Command) -> Vec<Command> {
         let id = self.next_identifier();
         self.transition_packets_sent += 1;
         link.send_frame(&l2cap::packet::signaling_frame_in(
@@ -108,7 +108,7 @@ impl StateGuide {
     /// job) Create Channel Request.  Returns the channel context on success.
     pub fn open_channel(
         &mut self,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         psm: Psm,
         via_create: bool,
     ) -> Option<ChannelContext> {
@@ -138,7 +138,7 @@ impl StateGuide {
 
     /// Sends our Configuration Request for the channel (the target answers
     /// and waits for the rest of the handshake).
-    pub fn send_configure_request(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+    pub fn send_configure_request(&mut self, link: &mut LinkHandle, ctx: ChannelContext) {
         self.send(
             link,
             Command::ConfigureRequest(ConfigureRequest {
@@ -151,7 +151,7 @@ impl StateGuide {
 
     /// Answers the target's own Configuration Request with a success
     /// response.
-    pub fn send_configure_response(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+    pub fn send_configure_response(&mut self, link: &mut LinkHandle, ctx: ChannelContext) {
         self.send(
             link,
             Command::ConfigureResponse(ConfigureResponse {
@@ -165,14 +165,14 @@ impl StateGuide {
 
     /// Completes the configuration handshake in both directions so the
     /// target's channel reaches `OPEN`.
-    pub fn complete_configuration(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+    pub fn complete_configuration(&mut self, link: &mut LinkHandle, ctx: ChannelContext) {
         self.send_configure_request(link, ctx);
         self.send_configure_response(link, ctx);
     }
 
     /// Sends a Move Channel Request, parking an AMP-capable target in the
     /// move-confirmation wait state.
-    pub fn request_move(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+    pub fn request_move(&mut self, link: &mut LinkHandle, ctx: ChannelContext) {
         self.send(
             link,
             Command::MoveChannelRequest(MoveChannelRequest {
@@ -183,7 +183,7 @@ impl StateGuide {
     }
 
     /// Tears down the channel.
-    pub fn disconnect(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+    pub fn disconnect(&mut self, link: &mut LinkHandle, ctx: ChannelContext) {
         if ctx.has_channel() {
             self.send(
                 link,
@@ -198,7 +198,7 @@ impl StateGuide {
     /// Opens an LE credit-based channel on `spsm` (command `0x14`) and
     /// returns the channel context on success.  The channel goes straight to
     /// `OPEN` — LE credit-based channels have no configuration handshake.
-    pub fn open_le_channel(&mut self, link: &mut AclLink, spsm: Psm) -> Option<ChannelContext> {
+    pub fn open_le_channel(&mut self, link: &mut LinkHandle, spsm: Psm) -> Option<ChannelContext> {
         let scid = self.next_scid();
         let responses = self.send(
             link,
@@ -225,7 +225,7 @@ impl StateGuide {
     }
 
     /// Grants the target additional credits on an open LE channel.
-    pub fn send_credit_ind(&mut self, link: &mut AclLink, ctx: ChannelContext, credits: u16) {
+    pub fn send_credit_ind(&mut self, link: &mut LinkHandle, ctx: ChannelContext, credits: u16) {
         self.send(
             link,
             Command::FlowControlCreditInd(FlowControlCreditInd {
@@ -237,7 +237,7 @@ impl StateGuide {
 
     /// Renegotiates MTU/MPS on an open LE channel via the enhanced
     /// credit-based reconfigure, parking the target through `WAIT_CONFIG`.
-    pub fn send_reconfigure(&mut self, link: &mut AclLink, ctx: ChannelContext) {
+    pub fn send_reconfigure(&mut self, link: &mut LinkHandle, ctx: ChannelContext) {
         self.send(
             link,
             Command::CreditBasedReconfigureRequest(CreditBasedReconfigureRequest {
@@ -257,7 +257,7 @@ impl StateGuide {
     /// exist on an LE link return `None`.
     pub fn drive_to_le(
         &mut self,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         spsm: Psm,
         state: ChannelState,
     ) -> Option<ChannelContext> {
@@ -284,7 +284,7 @@ impl StateGuide {
     /// disconnection.  Responder-only states return `None`.
     pub fn drive_to(
         &mut self,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         psm: Psm,
         state: ChannelState,
     ) -> Option<ChannelContext> {
@@ -340,12 +340,12 @@ mod tests {
     use btcore::{FuzzRng, SimClock};
     use btstack::device::share;
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::AirMedium;
     use hci::link::LinkConfig;
+    use hci::medium::{EventMedium, Medium};
 
-    fn link_to(id: ProfileId) -> (btstack::device::SharedSimulatedDevice, AclLink) {
+    fn link_to(id: ProfileId) -> (btstack::device::SharedSimulatedDevice, LinkHandle) {
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
         air.register_shared(adapter);

@@ -51,18 +51,24 @@
 //! and, to spread them across worker threads, a
 //! [`campaign::ShardedExecutor`] — per-target results are bit-for-bit
 //! identical at any thread count because every target runs in an isolated
-//! environment seeded from the campaign seed.
+//! environment seeded from the campaign seed.  Within one target,
+//! [`campaign::CampaignBuilder::initiators_per_target`] runs several
+//! concurrent initiators over the event-driven medium (and
+//! [`campaign::CampaignBuilder::dual_transport`] splits them across BR/EDR
+//! and LE on a dual-mode device); [`campaign::SeedSweepExecutor`] runs one
+//! campaign per sweep seed per target.  All of it replays bit-for-bit from
+//! the campaign seed.
 //!
 //! # Migrating from `L2FuzzSession::run`
 //!
-//! Code written before the campaign API built an `AirMedium`, registered a
+//! Code written before the campaign API built a medium, registered a
 //! device, connected a link, attached a tap and called
 //! [`session::L2FuzzSession::run`] by hand.  That wiring now lives behind
 //! [`campaign::Campaign::builder`]:
 //!
-//! * `AirMedium::new` + `register` + `connect` + `new_tap` →
-//!   `.target(profile)` (the builder creates an isolated clock, air medium,
-//!   link and tap per target).
+//! * `EventMedium::new` (née `AirMedium::new`) + `register` + `connect` +
+//!   `new_tap` → `.target(profile)` (the builder creates an isolated
+//!   clock, medium, link and tap per target).
 //! * `L2FuzzSession::new(config, clock).run(&mut link, meta, Some(&mut
 //!   oracle))` → `.fuzzer(|| Box::new(L2FuzzTool::detection(config, rounds)))`
 //!   plus `.oracle(OraclePolicy::OutOfBand)` (the default); the report comes

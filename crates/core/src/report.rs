@@ -73,13 +73,15 @@ impl FuzzReport {
     }
 
     /// Serializes the report as pretty-printed JSON (the reproduction's log
-    /// file format).
+    /// file format), written through the streaming writer — the document is
+    /// built straight into the output buffer, never as an owned `Value`
+    /// tree, and is byte-identical to what the tree path produced.
     ///
     /// # Errors
-    /// Returns a `serde_json::Error` if serialization fails (it cannot for
-    /// this type in practice).
+    /// Kept for API stability; the streaming writer cannot fail for this
+    /// type.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+        Ok(serde_json::to_string_pretty_streamed(self))
     }
 
     /// Parses a report back from JSON.
@@ -106,6 +108,34 @@ impl FuzzReport {
     /// Total elapsed time as a [`Duration`].
     pub fn elapsed(&self) -> Duration {
         Duration::from_secs(self.elapsed_secs)
+    }
+}
+
+impl serde_json::StreamSerialize for VulnerabilityFinding {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("state", &self.state)
+            .field("job", &self.job)
+            .field("command", &self.command)
+            .field("packet_hex", &self.packet_hex)
+            .field("evidence", &self.evidence)
+            .field("elapsed_secs", &self.elapsed_secs)
+            .end_object();
+    }
+}
+
+impl serde_json::StreamSerialize for FuzzReport {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("fuzzer", &self.fuzzer)
+            .field("target", &self.target)
+            .field("scan", &self.scan)
+            .field("states_tested", &self.states_tested)
+            .field("packets_sent", &self.packets_sent)
+            .field("malformed_sent", &self.malformed_sent)
+            .field("findings", &self.findings)
+            .field("elapsed_secs", &self.elapsed_secs)
+            .end_object();
     }
 }
 

@@ -7,7 +7,7 @@
 //! back to SDP, which is always pairing-free.
 
 use btcore::{Cid, DeviceMeta, Identifier, LinkType, Psm};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::command::{
     Command, ConnectionRequest, DisconnectionRequest, LeCreditBasedConnectionRequest,
 };
@@ -46,6 +46,27 @@ pub struct ScanReport {
     pub probes: Vec<PortProbe>,
     /// The port chosen for fuzzing (pairing-free), if any.
     pub chosen_port: Option<Psm>,
+}
+
+serde_json::stream_unit_enum!(PortStatus);
+
+impl serde_json::StreamSerialize for PortProbe {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("psm", &self.psm)
+            .field("status", &self.status)
+            .end_object();
+    }
+}
+
+impl serde_json::StreamSerialize for ScanReport {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("meta", &self.meta)
+            .field("probes", &self.probes)
+            .field("chosen_port", &self.chosen_port)
+            .end_object();
+    }
 }
 
 impl ScanReport {
@@ -91,7 +112,7 @@ impl TargetScanner {
     ///
     /// Connections opened during probing are immediately torn down again so
     /// the scan does not consume the target's channel budget.
-    pub fn scan(&mut self, meta: DeviceMeta, link: &mut AclLink) -> ScanReport {
+    pub fn scan(&mut self, meta: DeviceMeta, link: &mut LinkHandle) -> ScanReport {
         let le = meta.link_type == LinkType::Le;
         let catalogue = if le {
             Psm::well_known_le()
@@ -121,7 +142,7 @@ impl TargetScanner {
         }
     }
 
-    fn probe_le_port(&mut self, link: &mut AclLink, spsm: Psm) -> PortStatus {
+    fn probe_le_port(&mut self, link: &mut LinkHandle, spsm: Psm) -> PortStatus {
         let scid = Cid(self.next_scid);
         self.next_scid += 1;
         let frame = l2cap::packet::signaling_frame_in(
@@ -165,7 +186,7 @@ impl TargetScanner {
         status
     }
 
-    fn probe_port(&mut self, link: &mut AclLink, psm: Psm) -> PortStatus {
+    fn probe_port(&mut self, link: &mut LinkHandle, psm: Psm) -> PortStatus {
         let scid = Cid(self.next_scid);
         self.next_scid += 1;
         let frame = l2cap::packet::signaling_frame_in(
@@ -212,13 +233,13 @@ mod tests {
     use super::*;
     use btcore::{BdAddr, FuzzRng, SimClock};
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::AirMedium;
     use hci::link::LinkConfig;
+    use hci::medium::{EventMedium, Medium};
     use l2cap::packet::signaling_frame;
 
     fn scan_profile(id: ProfileId) -> ScanReport {
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (_, adapter) =
             btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));
@@ -264,7 +285,7 @@ mod tests {
         // After scanning, a fresh connection must still be possible even on a
         // device with a small channel budget (the probes disconnect).
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let profile = DeviceProfile::table5(ProfileId::D5);
         let (shared, adapter) =
             btstack::device::share(profile.build(clock.clone(), FuzzRng::seed_from(3)));

@@ -1,7 +1,7 @@
 //! The L2Fuzz session: orchestration of the four phases (Fig. 5).
 
 use btcore::{DeviceMeta, FuzzRng, SimClock, TargetOracle};
-use hci::air::AclLink;
+use hci::medium::LinkHandle;
 use l2cap::jobs::job_of;
 use l2cap::state::ChannelState;
 
@@ -39,7 +39,7 @@ impl L2FuzzSession {
     /// target's on-air behaviour alone.
     pub fn run(
         &mut self,
-        link: &mut AclLink,
+        link: &mut LinkHandle,
         meta: DeviceMeta,
         mut oracle: Option<&mut dyn TargetOracle>,
     ) -> FuzzReport {
@@ -282,12 +282,15 @@ mod tests {
     use btcore::SimClock;
     use btstack::device::{share, DeviceOracle, SharedSimulatedDevice};
     use btstack::profiles::{DeviceProfile, ProfileId};
-    use hci::air::AirMedium;
     use hci::link::LinkConfig;
+    use hci::medium::{EventMedium, Medium};
 
-    fn setup(id: ProfileId, seed: u64) -> (SharedSimulatedDevice, AclLink, DeviceMeta, SimClock) {
+    fn setup(
+        id: ProfileId,
+        seed: u64,
+    ) -> (SharedSimulatedDevice, LinkHandle, DeviceMeta, SimClock) {
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let profile = DeviceProfile::table5(id);
         let (shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(seed)));
         air.register_shared(adapter);

@@ -1,374 +1,26 @@
-//! The virtual air medium and ACL links.
+//! Compatibility names for the pre-event-driven medium API.
 //!
-//! [`AirMedium`] plays the role of the radio environment: virtual devices are
-//! registered on it, inquiry discovers the ones whose Bluetooth service is
-//! alive, and [`AirMedium::connect`] establishes an [`AclLink`] to one of
-//! them.  The link is synchronous and deterministic: sending a frame delivers
-//! it to the device, charges virtual time on the shared [`SimClock`], applies
-//! the configured loss/latency model, feeds every crossing frame to the
-//! attached taps and returns the device's response frames.
+//! The synchronous `AirMedium`/`AclLink` pair was replaced by the
+//! event-driven [`crate::medium`] module: [`crate::medium::EventMedium`]
+//! implements the [`crate::medium::Medium`] trait over an ordered event
+//! queue, and [`crate::medium::LinkHandle`] is an independent event source
+//! per link, which is what lets several initiators fuzz one device
+//! concurrently.
+//!
+//! Single-link use is a drop-in swap — `EventMedium::new(clock)` behaves
+//! exactly like `AirMedium::new(clock)` did: same inquiry/connect surface,
+//! and for loss-free links (the default) bit-identical packet streams and
+//! timestamps.  (With `loss_probability > 0` the loss stream is now seeded
+//! per event instead of drawn from one sequential per-link stream, so
+//! lossy runs drop different — equally deterministic — frames.)  This
+//! module keeps the old names as aliases for code migrating at its own
+//! pace; new code should name the `medium` types directly.
 
-use btcore::{
-    BdAddr, BtError, ConnectionError, ConnectionHandle, DeviceMeta, FrameArena, FuzzRng, SimClock,
-};
-use l2cap::packet::L2capFrame;
-use parking_lot::Mutex;
-use std::sync::Arc;
+/// The event-driven medium under its pre-PR-5 name.
+pub type AirMedium = crate::medium::EventMedium;
 
-use crate::acl;
-use crate::device::{SharedDevice, VirtualDevice};
-use crate::link::{Direction, LinkConfig, PacketRecord, SharedTap};
+/// A link handle under its pre-PR-5 name.
+pub type AclLink = crate::medium::LinkHandle;
 
-/// The virtual radio environment holding every registered device.
-pub struct AirMedium {
-    devices: Vec<SharedDevice>,
-    clock: SimClock,
-    next_handle: u16,
-}
-
-impl AirMedium {
-    /// Creates an empty medium driven by `clock`.
-    pub fn new(clock: SimClock) -> Self {
-        AirMedium {
-            devices: Vec::new(),
-            clock,
-            next_handle: 0x0001,
-        }
-    }
-
-    /// Registers a device (consumes a boxed implementation).
-    pub fn register(&mut self, device: Box<dyn VirtualDevice>) -> SharedDevice {
-        let shared: SharedDevice = Arc::new(Mutex::new(BoxedDevice(device)));
-        self.devices.push(shared.clone());
-        shared
-    }
-
-    /// Registers an already-shared device handle.
-    pub fn register_shared(&mut self, device: SharedDevice) {
-        self.devices.push(device);
-    }
-
-    /// Number of registered devices (alive or not).
-    pub fn device_count(&self) -> usize {
-        self.devices.len()
-    }
-
-    /// Performs an inquiry: returns the metadata of every device whose
-    /// Bluetooth service is currently running.  Each discovered device costs
-    /// a little virtual time, as a real inquiry scan would.
-    pub fn inquiry(&self) -> Vec<DeviceMeta> {
-        let mut found = Vec::new();
-        for dev in &self.devices {
-            let guard = dev.lock();
-            self.clock.advance_micros(1_000);
-            if guard.bluetooth_alive() {
-                found.push(guard.meta());
-            }
-        }
-        found
-    }
-
-    /// Establishes an ACL link to the device with the given address.
-    ///
-    /// # Errors
-    /// Returns [`BtError::UnknownDevice`] if no device has that address and
-    /// [`BtError::Connection`] if the device exists but its Bluetooth service
-    /// is down.
-    pub fn connect(
-        &mut self,
-        addr: BdAddr,
-        config: LinkConfig,
-        rng: FuzzRng,
-    ) -> Result<AclLink, BtError> {
-        let device = self
-            .devices
-            .iter()
-            .find(|d| d.lock().meta().addr == addr)
-            .cloned()
-            .ok_or(BtError::UnknownDevice {
-                addr: addr.to_string(),
-            })?;
-        if !device.lock().bluetooth_alive() {
-            return Err(BtError::Connection(ConnectionError::Refused));
-        }
-        let handle = ConnectionHandle(self.next_handle);
-        self.next_handle = (self.next_handle + 1) & 0x0EFF;
-        // Link setup (paging) costs a few milliseconds of virtual time.
-        self.clock.advance_micros(5_000);
-        Ok(AclLink {
-            device,
-            clock: self.clock.clone(),
-            config,
-            rng,
-            taps: Vec::new(),
-            handle,
-            frames_sent: 0,
-            frames_received: 0,
-            arena: FrameArena::new(),
-        })
-    }
-
-    /// Returns the shared clock driving this medium.
-    pub fn clock(&self) -> SimClock {
-        self.clock.clone()
-    }
-}
-
-/// Adapter so `Box<dyn VirtualDevice>` itself implements [`VirtualDevice`]
-/// behind the shared mutex.
-struct BoxedDevice(Box<dyn VirtualDevice>);
-
-impl VirtualDevice for BoxedDevice {
-    fn meta(&self) -> DeviceMeta {
-        self.0.meta()
-    }
-    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
-        self.0.receive(frame)
-    }
-    fn bluetooth_alive(&self) -> bool {
-        self.0.bluetooth_alive()
-    }
-    fn processing_cost_micros(&self) -> u64 {
-        self.0.processing_cost_micros()
-    }
-}
-
-/// An established ACL link between the fuzzer and one virtual device.
-pub struct AclLink {
-    device: SharedDevice,
-    clock: SimClock,
-    config: LinkConfig,
-    rng: FuzzRng,
-    taps: Vec<SharedTap>,
-    handle: ConnectionHandle,
-    frames_sent: u64,
-    frames_received: u64,
-    /// Per-link buffer arena: serialization buffers checked out here return
-    /// to the pool once the frame — and every tap record sharing its payload
-    /// — has been dropped, so steady-state transmission does not allocate
-    /// fresh backing stores.
-    arena: FrameArena,
-}
-
-impl AclLink {
-    /// Attaches a packet tap that will observe every frame in both
-    /// directions.
-    pub fn attach_tap(&mut self, tap: SharedTap) {
-        self.taps.push(tap);
-    }
-
-    /// The HCI connection handle of this link.
-    pub fn handle(&self) -> ConnectionHandle {
-        self.handle
-    }
-
-    /// Number of frames sent over this link so far.
-    pub fn frames_sent(&self) -> u64 {
-        self.frames_sent
-    }
-
-    /// Number of frames received over this link so far.
-    pub fn frames_received(&self) -> u64 {
-        self.frames_received
-    }
-
-    /// Returns `true` if the target's Bluetooth service is still running.
-    pub fn device_alive(&self) -> bool {
-        self.device.lock().bluetooth_alive()
-    }
-
-    /// Shared handle to the device at the other end of the link (used by the
-    /// out-of-band oracle, e.g. crash-dump collection).
-    pub fn device(&self) -> SharedDevice {
-        self.device.clone()
-    }
-
-    /// The link's frame-buffer arena.  Encoders feeding this link (the packet
-    /// queue, hand-driven flows) check their payload buffers out of it so the
-    /// buffers recycle once each exchange completes.
-    pub fn arena(&self) -> &FrameArena {
-        &self.arena
-    }
-
-    fn record(&self, direction: Direction, frame: &L2capFrame) {
-        for tap in &self.taps {
-            tap.lock().push(PacketRecord {
-                direction,
-                timestamp_micros: self.clock.now_micros(),
-                frame: frame.clone(),
-            });
-        }
-    }
-
-    /// Sends an L2CAP frame to the target and returns the frames it answers
-    /// with (possibly none).
-    ///
-    /// The frame is fragmented into ACL packets, carried across the virtual
-    /// air (applying latency, loss and processing cost to the shared clock)
-    /// and reassembled on the device side; responses travel the same way
-    /// back.  Every frame crossing the link is reported to the attached taps,
-    /// including frames that are subsequently lost.
-    pub fn send_frame(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
-        self.clock.advance_micros(self.config.tx_overhead_micros);
-        self.record(Direction::Tx, frame);
-        self.frames_sent += 1;
-
-        let fragment_count = frame.wire_len().div_ceil(acl::ACL_FRAGMENT_SIZE).max(1);
-        self.clock
-            .advance_micros(self.config.latency_micros * fragment_count as u64);
-
-        if self.config.loss_probability > 0.0 && self.rng.chance(self.config.loss_probability) {
-            // Frame lost on the air: the target never sees it.
-            return Vec::new();
-        }
-
-        // A single fragment crosses the air byte-for-byte, so re-parsing its
-        // serialized form is the identity: the device is handed a borrowed
-        // view of the original frame and no byte is serialized or copied.
-        // Larger frames go through the full ACL fragmentation/reassembly
-        // path — zero-copy fragments sliced from one arena buffer —
-        // exercising the same code a real controller buffer would.
-        let reassembled;
-        let delivered_frame = if fragment_count == 1 {
-            frame
-        } else {
-            let mut wire = self.arena.checkout();
-            frame.encode_into(&mut wire);
-            let wire = wire.freeze();
-            let fragments = acl::fragment(self.handle, &wire);
-            match acl::reassemble(&fragments).and_then(|bytes| L2capFrame::parse_buf(&bytes)) {
-                Ok(f) => {
-                    reassembled = f;
-                    &reassembled
-                }
-                Err(_) => return Vec::new(),
-            }
-        };
-
-        let responses = {
-            let mut dev = self.device.lock();
-            self.clock.advance_micros(dev.processing_cost_micros());
-            if !dev.bluetooth_alive() {
-                Vec::new()
-            } else {
-                dev.receive(delivered_frame)
-            }
-        };
-
-        for rsp in &responses {
-            self.clock.advance_micros(self.config.latency_micros);
-            self.record(Direction::Rx, rsp);
-            self.frames_received += 1;
-        }
-        responses
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::device::EchoDevice;
-    use crate::link::new_tap;
-    use btcore::Cid;
-
-    fn setup() -> (AirMedium, BdAddr) {
-        let clock = SimClock::new();
-        let mut air = AirMedium::new(clock);
-        let addr = BdAddr::new([0xAA, 0xBB, 0xCC, 0x00, 0x00, 0x01]);
-        air.register(Box::new(EchoDevice::new(addr)));
-        (air, addr)
-    }
-
-    #[test]
-    fn inquiry_finds_registered_devices() {
-        let (air, addr) = setup();
-        let found = air.inquiry();
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].addr, addr);
-        assert_eq!(air.device_count(), 1);
-    }
-
-    #[test]
-    fn connect_unknown_device_fails() {
-        let (mut air, _) = setup();
-        match air.connect(
-            BdAddr::new([9, 9, 9, 9, 9, 9]),
-            LinkConfig::ideal(),
-            FuzzRng::seed_from(1),
-        ) {
-            Err(err) => assert!(matches!(err, BtError::UnknownDevice { .. })),
-            Ok(_) => panic!("connecting to an unknown address must fail"),
-        }
-    }
-
-    #[test]
-    fn send_frame_roundtrips_through_echo_device() {
-        let (mut air, addr) = setup();
-        let mut link = air
-            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
-            .unwrap();
-        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
-        let responses = link.send_frame(&frame);
-        assert_eq!(responses, vec![frame]);
-        assert_eq!(link.frames_sent(), 1);
-        assert_eq!(link.frames_received(), 1);
-        assert!(link.device_alive());
-    }
-
-    #[test]
-    fn taps_see_both_directions() {
-        let (mut air, addr) = setup();
-        let mut link = air
-            .connect(addr, LinkConfig::default(), FuzzRng::seed_from(1))
-            .unwrap();
-        let tap = new_tap();
-        link.attach_tap(tap.clone());
-        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
-        link.send_frame(&frame);
-        let records = tap.lock();
-        assert_eq!(records.len(), 2);
-        assert_eq!(records[0].direction, Direction::Tx);
-        assert_eq!(records[1].direction, Direction::Rx);
-        assert!(records[1].timestamp_micros >= records[0].timestamp_micros);
-    }
-
-    #[test]
-    fn clock_advances_with_traffic() {
-        let (mut air, addr) = setup();
-        let clock = air.clock();
-        let before = clock.now_micros();
-        let mut link = air
-            .connect(addr, LinkConfig::default(), FuzzRng::seed_from(1))
-            .unwrap();
-        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
-        link.send_frame(&frame);
-        assert!(clock.now_micros() > before);
-    }
-
-    #[test]
-    fn total_loss_drops_every_frame() {
-        let (mut air, addr) = setup();
-        let mut link = air
-            .connect(addr, LinkConfig::lossy(1.0), FuzzRng::seed_from(1))
-            .unwrap();
-        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
-        for _ in 0..10 {
-            assert!(link.send_frame(&frame).is_empty());
-        }
-        assert_eq!(link.frames_received(), 0);
-        assert_eq!(link.frames_sent(), 10);
-    }
-
-    #[test]
-    fn large_frame_survives_fragmentation() {
-        let (mut air, addr) = setup();
-        let mut link = air
-            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
-            .unwrap();
-        let payload = vec![0x5A; 3000];
-        let frame = L2capFrame::new(Cid::SIGNALING, payload);
-        let responses = link.send_frame(&frame);
-        assert_eq!(responses.len(), 1);
-        assert_eq!(responses[0], frame);
-    }
-}
+#[allow(unused_imports)]
+pub use crate::medium::Medium as _;

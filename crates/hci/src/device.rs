@@ -1,25 +1,43 @@
-//! The interface a simulated target device presents to the air medium.
+//! The interface a simulated target device presents to the medium.
 
-use btcore::DeviceMeta;
+use btcore::{DeviceMeta, LinkSlot, LinkType};
 use l2cap::packet::L2capFrame;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A virtual Bluetooth device reachable over the [`crate::air::AirMedium`].
+/// A virtual Bluetooth device reachable over the
+/// [`crate::medium::EventMedium`].
 ///
 /// The `btstack` crate provides vendor-flavoured implementations; this crate
 /// only ships the tiny [`EchoDevice`] used in examples and tests.
+///
+/// A device may serve several links at once — each established link is
+/// identified by its [`LinkSlot`], and a multi-link device keeps isolated
+/// per-slot acceptor state (CID spaces never leak between slots).  Simple
+/// single-link devices can ignore the slot entirely.
 pub trait VirtualDevice: Send {
     /// Device metadata reported during inquiry.
     fn meta(&self) -> DeviceMeta;
 
-    /// Processes one inbound L2CAP frame from the initiator and returns the
+    /// Whether the device serves the given transport.  The default accepts
+    /// exactly the primary transport announced in the metadata; dual-mode
+    /// devices override this to accept both.
+    fn supports_link(&self, link_type: LinkType) -> bool {
+        link_type == self.meta().link_type
+    }
+
+    /// Notifies the device that the medium established a new link in `slot`
+    /// over `link_type`.  Multi-link devices allocate the slot's acceptor
+    /// here; the default does nothing.
+    fn attach_link(&mut self, _slot: LinkSlot, _link_type: LinkType) {}
+
+    /// Processes one inbound L2CAP frame arriving on `slot` and returns the
     /// frames the device sends back, in order.
     ///
     /// The frame is a borrowed view: its payload buffer is shared with the
     /// transmitting link (and any attached taps), so a device that wants to
     /// keep the bytes clones the frame — a reference-count bump, not a copy.
-    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame>;
+    fn receive(&mut self, slot: LinkSlot, frame: &L2capFrame) -> Vec<L2capFrame>;
 
     /// Whether the device's Bluetooth service is still running (a device
     /// whose stack crashed or shut down stops answering inquiries and
@@ -32,6 +50,38 @@ pub trait VirtualDevice: Send {
     /// spreads the elapsed-time column of Table VI.
     fn processing_cost_micros(&self) -> u64 {
         150
+    }
+}
+
+/// Adapter so `Box<dyn VirtualDevice>` itself implements [`VirtualDevice`]
+/// behind the shared mutex.
+pub struct BoxedDevice(Box<dyn VirtualDevice>);
+
+impl BoxedDevice {
+    /// Wraps a boxed device.
+    pub fn new(device: Box<dyn VirtualDevice>) -> Self {
+        BoxedDevice(device)
+    }
+}
+
+impl VirtualDevice for BoxedDevice {
+    fn meta(&self) -> DeviceMeta {
+        self.0.meta()
+    }
+    fn supports_link(&self, link_type: LinkType) -> bool {
+        self.0.supports_link(link_type)
+    }
+    fn attach_link(&mut self, slot: LinkSlot, link_type: LinkType) {
+        self.0.attach_link(slot, link_type);
+    }
+    fn receive(&mut self, slot: LinkSlot, frame: &L2capFrame) -> Vec<L2capFrame> {
+        self.0.receive(slot, frame)
+    }
+    fn bluetooth_alive(&self) -> bool {
+        self.0.bluetooth_alive()
+    }
+    fn processing_cost_micros(&self) -> u64 {
+        self.0.processing_cost_micros()
     }
 }
 
@@ -66,7 +116,7 @@ impl VirtualDevice for EchoDevice {
         self.meta.clone()
     }
 
-    fn receive(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
+    fn receive(&mut self, _slot: LinkSlot, frame: &L2capFrame) -> Vec<L2capFrame> {
         if !self.alive {
             return Vec::new();
         }
@@ -87,10 +137,10 @@ mod tests {
     fn echo_device_echoes_until_shut_down() {
         let mut dev = EchoDevice::new(BdAddr::new([1, 2, 3, 4, 5, 6]));
         let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
-        assert_eq!(dev.receive(&frame), vec![frame.clone()]);
+        assert_eq!(dev.receive(LinkSlot::PRIMARY, &frame), vec![frame.clone()]);
         assert!(dev.bluetooth_alive());
         dev.shut_down();
-        assert!(dev.receive(&frame).is_empty());
+        assert!(dev.receive(LinkSlot::PRIMARY, &frame).is_empty());
         assert!(!dev.bluetooth_alive());
     }
 

@@ -2,29 +2,30 @@
 //!
 //! [`HciDongle`] mirrors the "Bluetooth Dongle" box of the paper's workflow
 //! (Fig. 5): it is the piece of hardware the fuzzer uses to scan for targets
-//! and open ACL links.  Here it is a thin, owned façade over the
-//! [`AirMedium`], carrying the default link configuration and the RNG stream
-//! used for link-level randomness.
+//! and open ACL links.  Here it is a thin, owned façade over any
+//! [`Medium`] implementation, carrying the default link configuration and
+//! the RNG stream used for link-level randomness.
 
 use btcore::{BdAddr, BtError, DeviceMeta, FuzzRng, SimClock};
 
-use crate::air::{AclLink, AirMedium};
 use crate::link::LinkConfig;
+use crate::medium::{LinkHandle, Medium};
 
 /// A virtual Bluetooth Class-1 dongle.
 pub struct HciDongle {
-    air: AirMedium,
+    medium: Box<dyn Medium>,
     clock: SimClock,
     link_config: LinkConfig,
     rng: FuzzRng,
 }
 
 impl HciDongle {
-    /// Creates a dongle over `air` with the default link configuration and a
-    /// fixed RNG seed (use [`HciDongle::with_config`] to override both).
-    pub fn new(air: AirMedium, clock: SimClock) -> Self {
+    /// Creates a dongle over `medium` with the default link configuration
+    /// and a fixed RNG seed (use [`HciDongle::with_config`] to override
+    /// both).
+    pub fn new(medium: impl Medium + 'static, clock: SimClock) -> Self {
         HciDongle {
-            air,
+            medium: Box::new(medium),
             clock,
             link_config: LinkConfig::default(),
             rng: FuzzRng::seed_from(0x0d0e),
@@ -32,9 +33,14 @@ impl HciDongle {
     }
 
     /// Creates a dongle with an explicit link configuration and RNG.
-    pub fn with_config(air: AirMedium, clock: SimClock, config: LinkConfig, rng: FuzzRng) -> Self {
+    pub fn with_config(
+        medium: impl Medium + 'static,
+        clock: SimClock,
+        config: LinkConfig,
+        rng: FuzzRng,
+    ) -> Self {
         HciDongle {
-            air,
+            medium: Box::new(medium),
             clock,
             link_config: config,
             rng,
@@ -43,17 +49,17 @@ impl HciDongle {
 
     /// Scans for nearby devices (inquiry), returning their metadata.
     pub fn inquiry(&self) -> Vec<DeviceMeta> {
-        self.air.inquiry()
+        self.medium.inquiry()
     }
 
     /// Opens an ACL link to the device with the given address.
     ///
     /// # Errors
-    /// Propagates [`BtError`] from the air medium (unknown device, service
+    /// Propagates [`BtError`] from the medium (unknown device, service
     /// down).
-    pub fn connect(&mut self, addr: BdAddr) -> Result<AclLink, BtError> {
+    pub fn connect(&mut self, addr: BdAddr) -> Result<LinkHandle, BtError> {
         let rng = self.rng.fork(u64::from(addr.bytes()[5]));
-        self.air.connect(addr, self.link_config, rng)
+        self.medium.connect(addr, self.link_config, rng)
     }
 
     /// The shared virtual clock.
@@ -66,10 +72,10 @@ impl HciDongle {
         self.link_config
     }
 
-    /// Mutable access to the underlying air medium (e.g. to register more
+    /// Mutable access to the underlying medium (e.g. to register more
     /// devices mid-experiment).
-    pub fn air_mut(&mut self) -> &mut AirMedium {
-        &mut self.air
+    pub fn medium_mut(&mut self) -> &mut dyn Medium {
+        &mut *self.medium
     }
 }
 
@@ -77,13 +83,14 @@ impl HciDongle {
 mod tests {
     use super::*;
     use crate::device::EchoDevice;
+    use crate::medium::EventMedium;
     use btcore::Cid;
     use l2cap::packet::L2capFrame;
 
     #[test]
     fn dongle_inquiry_and_connect() {
         let clock = SimClock::new();
-        let mut air = AirMedium::new(clock.clone());
+        let mut air = EventMedium::new(clock.clone());
         let addr = BdAddr::new([1, 2, 3, 4, 5, 6]);
         air.register(Box::new(EchoDevice::new(addr)));
 
@@ -99,7 +106,7 @@ mod tests {
     #[test]
     fn connect_to_unknown_address_errors() {
         let clock = SimClock::new();
-        let air = AirMedium::new(clock.clone());
+        let air = EventMedium::new(clock.clone());
         let mut dongle = HciDongle::new(air, clock);
         assert!(dongle.connect(BdAddr::new([0; 6])).is_err());
     }
@@ -107,7 +114,7 @@ mod tests {
     #[test]
     fn with_config_uses_custom_link_config() {
         let clock = SimClock::new();
-        let air = AirMedium::new(clock.clone());
+        let air = EventMedium::new(clock.clone());
         let dongle = HciDongle::with_config(air, clock, LinkConfig::ideal(), FuzzRng::seed_from(7));
         assert_eq!(dongle.link_config(), LinkConfig::ideal());
     }

@@ -6,9 +6,14 @@
 //!
 //! * [`acl`] — HCI ACL data packets (the outermost layer of the paper's
 //!   Fig. 3 frame) with fragmentation and reassembly of L2CAP frames.
-//! * [`air`] — the [`air::AirMedium`]: a registry of virtual devices that can
-//!   be discovered by inquiry and connected to, producing an
-//!   [`air::AclLink`].
+//! * [`medium`] — the event-driven [`medium::Medium`]:
+//!   [`medium::EventMedium`] is a registry of virtual devices that can be
+//!   discovered by inquiry and connected to, producing a
+//!   [`medium::LinkHandle`] per link.  Several links to one device fire
+//!   their exchanges through one deterministic event scheduler, so
+//!   concurrent initiators interleave reproducibly.
+//! * [`air`] — compatibility aliases (`AirMedium`, `AclLink`) for the
+//!   pre-event-driven names.
 //! * [`device`] — the [`device::VirtualDevice`] trait a simulated target
 //!   implements (the `btstack` crate provides vendor-flavoured
 //!   implementations).
@@ -20,13 +25,13 @@
 //! # Example
 //!
 //! ```
-//! use hci::air::AirMedium;
+//! use hci::medium::{EventMedium, Medium};
 //! use hci::device::EchoDevice;
 //! use hci::dongle::HciDongle;
 //! use btcore::{BdAddr, SimClock};
 //!
 //! let clock = SimClock::new();
-//! let mut air = AirMedium::new(clock.clone());
+//! let mut air = EventMedium::new(clock.clone());
 //! air.register(Box::new(EchoDevice::new(BdAddr::new([1, 2, 3, 4, 5, 6]))));
 //!
 //! let dongle = HciDongle::new(air, clock);
@@ -42,9 +47,10 @@ pub mod air;
 pub mod device;
 pub mod dongle;
 pub mod link;
+pub mod medium;
 
 pub use acl::{AclPacket, BoundaryFlag, ACL_FRAGMENT_SIZE};
-pub use air::{AclLink, AirMedium};
 pub use device::{SharedDevice, VirtualDevice};
 pub use dongle::HciDongle;
 pub use link::{Direction, LinkConfig, PacketRecord, SharedTap};
+pub use medium::{EventMedium, LinkHandle, LinkSpec, Medium};

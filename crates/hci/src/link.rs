@@ -31,6 +31,21 @@ pub struct PacketRecord {
     pub frame: L2capFrame,
 }
 
+serde_json::stream_unit_enum!(Direction);
+
+/// Streams like the derived encoding: `{direction, timestamp_micros,
+/// frame}` — used by the trace writer so captures serialize without a
+/// `Value` tree.
+impl serde_json::StreamSerialize for PacketRecord {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("direction", &self.direction)
+            .field("timestamp_micros", &self.timestamp_micros)
+            .field("frame", &self.frame)
+            .end_object();
+    }
+}
+
 /// A shareable sink for captured packets.
 pub type SharedTap = Arc<Mutex<Vec<PacketRecord>>>;
 

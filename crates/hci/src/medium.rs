@@ -1,0 +1,736 @@
+//! The event-driven medium: concurrent links over one deterministic radio.
+//!
+//! This module replaces the synchronous `AirMedium` call chain of earlier
+//! revisions.  The radio environment is now a [`Medium`]: a registry of
+//! virtual devices plus an ordered event core ([`btcore::EventScheduler`])
+//! through which every frame exchange passes.  Each established link is a
+//! [`LinkHandle`] — an independent event source with its own virtual clock,
+//! its own loss stream and its own device-side L2CAP acceptor slot — so
+//! several initiators can fuzz *one* device concurrently, including one
+//! BR/EDR and one LE initiator against the same dual-mode target.
+//!
+//! # Determinism
+//!
+//! Every exchange is an event stamped with the sending link's virtual time;
+//! the scheduler admits events in ascending `(time, link)` order no matter
+//! how the OS schedules the initiator threads, and hands each admitted event
+//! a deterministic seed for its random decisions (frame loss).  A campaign's
+//! packet streams are therefore a pure function of its seed at any initiator
+//! count — and a single-link medium degenerates to exactly the synchronous
+//! behaviour (one uncontended lock per exchange, no extra clock charges), so
+//! single-initiator campaigns replay the old medium bit for bit.
+
+use btcore::{
+    splitmix64, BdAddr, BtError, ConnectionError, ConnectionHandle, DeviceMeta, EventScheduler,
+    FrameArena, FuzzRng, LinkSlot, LinkType, SimClock, SourceId,
+};
+use l2cap::packet::L2capFrame;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::acl;
+use crate::device::{BoxedDevice, SharedDevice, VirtualDevice};
+use crate::link::{Direction, LinkConfig, PacketRecord, SharedTap};
+
+/// A virtual radio environment that devices register on and links are
+/// established over.
+///
+/// [`EventMedium`] is the (only) in-process implementation; the trait is the
+/// seam a hardware-backed medium would slot into.
+pub trait Medium {
+    /// Registers an already-shared device handle.
+    fn register_shared(&mut self, device: SharedDevice);
+
+    /// Number of registered devices (alive or not).
+    fn device_count(&self) -> usize;
+
+    /// Performs an inquiry: returns the metadata of every device whose
+    /// Bluetooth service is currently running.  Charges a little virtual
+    /// time per discovered device on the medium clock, as a real inquiry
+    /// scan would.
+    fn inquiry(&self) -> Vec<DeviceMeta>;
+
+    /// The medium-wide clock: tracks the latest fired event across all
+    /// links.
+    fn clock(&self) -> SimClock;
+
+    /// Establishes a link according to `spec`.
+    ///
+    /// # Errors
+    /// Returns [`BtError::UnknownDevice`] if no device has the address,
+    /// [`BtError::Connection`] if the device is down or does not serve the
+    /// requested transport.
+    fn connect_spec(&mut self, spec: LinkSpec) -> Result<LinkHandle, BtError>;
+
+    /// Registers a device from a boxed implementation, returning the shared
+    /// handle.
+    fn register(&mut self, device: Box<dyn VirtualDevice>) -> SharedDevice
+    where
+        Self: Sized,
+    {
+        let shared: SharedDevice = Arc::new(Mutex::new(BoxedDevice::new(device)));
+        self.register_shared(shared.clone());
+        shared
+    }
+
+    /// Establishes a link on the device's primary transport, with the link's
+    /// timeline on the medium clock — the synchronous-medium behaviour.
+    ///
+    /// # Errors
+    /// Same conditions as [`Medium::connect_spec`].
+    fn connect(
+        &mut self,
+        addr: BdAddr,
+        config: LinkConfig,
+        rng: FuzzRng,
+    ) -> Result<LinkHandle, BtError> {
+        self.connect_spec(LinkSpec::new(addr, config, rng))
+    }
+}
+
+/// Everything [`Medium::connect_spec`] needs to establish one link.
+pub struct LinkSpec {
+    /// Address of the target device.
+    pub addr: BdAddr,
+    /// Physical-layer behaviour of the link.
+    pub config: LinkConfig,
+    /// Seed of the link's loss stream (each event derives its own RNG from
+    /// this and the event's scheduler ticket).
+    pub link_seed: u64,
+    /// Transport to connect over; `None` uses the device's primary
+    /// transport.
+    pub link_type: Option<LinkType>,
+    /// The link's local clock — the timeline its initiator lives on.
+    /// `None` puts the link on the medium clock (single-initiator
+    /// campaigns), which keeps the synchronous medium's exact cost
+    /// accounting.
+    pub clock: Option<SimClock>,
+}
+
+impl LinkSpec {
+    /// A primary-transport link on the medium clock (the compatibility
+    /// shape of the old `AirMedium::connect`).
+    pub fn new(addr: BdAddr, config: LinkConfig, rng: FuzzRng) -> Self {
+        LinkSpec {
+            addr,
+            config,
+            link_seed: rng.seed(),
+            link_type: None,
+            clock: None,
+        }
+    }
+
+    /// Selects the transport to connect over.
+    pub fn on(mut self, link_type: LinkType) -> Self {
+        self.link_type = Some(link_type);
+        self
+    }
+
+    /// Puts the link's timeline on its own clock (concurrent initiators).
+    pub fn with_clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+}
+
+/// Shared state of an [`EventMedium`]: the device registry, the event
+/// scheduler and the medium clock.  Every [`LinkHandle`] holds one `Arc` of
+/// this.
+struct MediumCore {
+    scheduler: EventScheduler,
+    clock: SimClock,
+}
+
+/// The event-driven in-process medium.
+pub struct EventMedium {
+    devices: Vec<DeviceEntry>,
+    core: Arc<MediumCore>,
+    next_handle: u16,
+}
+
+struct DeviceEntry {
+    device: SharedDevice,
+    next_slot: u16,
+}
+
+impl EventMedium {
+    /// Creates an empty medium driven by `clock`, with per-event seeds
+    /// derived from seed 0 (use [`EventMedium::with_seed`] for campaigns).
+    pub fn new(clock: SimClock) -> Self {
+        EventMedium::with_seed(clock, 0)
+    }
+
+    /// Creates an empty medium whose per-event RNG seeds derive from
+    /// `seed`.
+    pub fn with_seed(clock: SimClock, seed: u64) -> Self {
+        EventMedium {
+            devices: Vec::new(),
+            core: Arc::new(MediumCore {
+                scheduler: EventScheduler::new(seed),
+                clock,
+            }),
+            next_handle: 0x0001,
+        }
+    }
+
+    /// Total events fired across all links of this medium.
+    pub fn events_fired(&self) -> u64 {
+        self.core.scheduler.events_fired()
+    }
+}
+
+impl Medium for EventMedium {
+    fn register_shared(&mut self, device: SharedDevice) {
+        self.devices.push(DeviceEntry {
+            device,
+            next_slot: 0,
+        });
+    }
+
+    fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn inquiry(&self) -> Vec<DeviceMeta> {
+        let mut found = Vec::new();
+        for entry in &self.devices {
+            let guard = entry.device.lock();
+            self.core.clock.advance_micros(1_000);
+            if guard.bluetooth_alive() {
+                found.push(guard.meta());
+            }
+        }
+        found
+    }
+
+    fn clock(&self) -> SimClock {
+        self.core.clock.clone()
+    }
+
+    fn connect_spec(&mut self, spec: LinkSpec) -> Result<LinkHandle, BtError> {
+        let entry = self
+            .devices
+            .iter_mut()
+            .find(|e| e.device.lock().meta().addr == spec.addr)
+            .ok_or(BtError::UnknownDevice {
+                addr: spec.addr.to_string(),
+            })?;
+        let (slot, link_type) = {
+            let mut guard = entry.device.lock();
+            if !guard.bluetooth_alive() {
+                return Err(BtError::Connection(ConnectionError::Refused));
+            }
+            let link_type = spec.link_type.unwrap_or(guard.meta().link_type);
+            if !guard.supports_link(link_type) {
+                return Err(BtError::Connection(ConnectionError::Refused));
+            }
+            let slot = LinkSlot(entry.next_slot);
+            entry.next_slot += 1;
+            guard.attach_link(slot, link_type);
+            (slot, link_type)
+        };
+        let handle = ConnectionHandle(self.next_handle);
+        self.next_handle = (self.next_handle + 1) & 0x0EFF;
+        let clock = spec.clock.unwrap_or_else(|| self.core.clock.clone());
+        // Link setup (paging) costs a few milliseconds of the link's own
+        // virtual time.
+        clock.advance_micros(5_000);
+        let source = self.core.scheduler.register(clock.now_micros());
+        Ok(LinkHandle {
+            device: entry.device.clone(),
+            core: self.core.clone(),
+            source,
+            slot,
+            link_type,
+            clock,
+            config: spec.config,
+            link_seed: spec.link_seed,
+            taps: Vec::new(),
+            handle,
+            frames_sent: 0,
+            frames_received: 0,
+            arena: FrameArena::new(),
+            retired: Arc::new(AtomicBool::new(false)),
+        })
+    }
+}
+
+/// An established link between one initiator and one virtual device.
+///
+/// The handle is an independent event source on its medium: every
+/// [`LinkHandle::send_frame`] passes the scheduler's turnstile, so exchanges
+/// from concurrent links fire in deterministic virtual-time order.  All
+/// virtual time the exchange costs is charged to the link's own clock.
+pub struct LinkHandle {
+    device: SharedDevice,
+    core: Arc<MediumCore>,
+    source: SourceId,
+    slot: LinkSlot,
+    link_type: LinkType,
+    clock: SimClock,
+    config: LinkConfig,
+    link_seed: u64,
+    taps: Vec<SharedTap>,
+    handle: ConnectionHandle,
+    frames_sent: u64,
+    frames_received: u64,
+    /// Per-link buffer arena: serialization buffers checked out here return
+    /// to the pool once the frame — and every tap record sharing its payload
+    /// — has been dropped, so steady-state transmission does not allocate
+    /// fresh backing stores.
+    arena: FrameArena,
+    /// Shared with every [`EventGate`] and [`RetireGuard`] of this link, so
+    /// whichever party retires first, all of them observe it.
+    retired: Arc<AtomicBool>,
+}
+
+impl LinkHandle {
+    /// Attaches a packet tap that will observe every frame in both
+    /// directions.
+    pub fn attach_tap(&mut self, tap: SharedTap) {
+        self.taps.push(tap);
+    }
+
+    /// The HCI connection handle of this link.
+    pub fn handle(&self) -> ConnectionHandle {
+        self.handle
+    }
+
+    /// The device-side acceptor slot this link is served by.
+    pub fn slot(&self) -> LinkSlot {
+        self.slot
+    }
+
+    /// The transport this link runs over.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// The link's local virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Number of frames sent over this link so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Number of frames received over this link so far.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Returns `true` if the target's Bluetooth service is still running.
+    ///
+    /// The read passes the medium's turnstile as a zero-cost event: with
+    /// concurrent initiators, whether another link's exchange killed the
+    /// device "yet" is answered in virtual-time order, never wall-clock
+    /// order.
+    pub fn device_alive(&self) -> bool {
+        let device = &self.device;
+        self.event_gate()
+            .serialized(|| device.lock().bluetooth_alive())
+    }
+
+    /// A handle for serializing observations — this link's own
+    /// [`LinkHandle::device_alive`] as well as *out-of-band* ones (the
+    /// campaign's oracle: service status, crash-dump collection) — through
+    /// this link's event source, so they land at a deterministic point of
+    /// the medium's schedule.
+    pub fn event_gate(&self) -> EventGate {
+        EventGate {
+            core: self.core.clone(),
+            source: self.source,
+            clock: self.clock.clone(),
+            retired: self.retired.clone(),
+        }
+    }
+
+    /// A guard that [`LinkHandle::retire`]s this link when dropped —
+    /// including during a panic unwind.  Concurrent initiators hold one for
+    /// the duration of their run: if one initiator's tool panics, its link
+    /// still leaves the turnstile, so the surviving initiators (and the
+    /// campaign's thread scope) are not deadlocked waiting on a source that
+    /// will never advance.
+    pub fn retire_guard(&self) -> RetireGuard {
+        RetireGuard {
+            core: self.core.clone(),
+            source: self.source,
+            clock: self.clock.clone(),
+            retired: self.retired.clone(),
+        }
+    }
+
+    /// Shared handle to the device at the other end of the link (used by the
+    /// out-of-band oracle, e.g. crash-dump collection).
+    pub fn device(&self) -> SharedDevice {
+        self.device.clone()
+    }
+
+    /// The link's frame-buffer arena.  Encoders feeding this link (the packet
+    /// queue, hand-driven flows) check their payload buffers out of it so the
+    /// buffers recycle once each exchange completes.
+    pub fn arena(&self) -> &FrameArena {
+        &self.arena
+    }
+
+    /// Retires this link as an event source: it stops holding concurrent
+    /// links at the turnstile.  Called automatically on drop; call it
+    /// explicitly as soon as an initiator is done driving traffic so the
+    /// others do not wait on a finished peer.  A retired link must not send
+    /// any more frames.
+    pub fn retire(&mut self) {
+        retire_once(&self.retired, &self.core, self.source, &self.clock);
+    }
+
+    fn record(&self, direction: Direction, frame: &L2capFrame) {
+        for tap in &self.taps {
+            tap.lock().push(PacketRecord {
+                direction,
+                timestamp_micros: self.clock.now_micros(),
+                frame: frame.clone(),
+            });
+        }
+    }
+
+    /// Sends an L2CAP frame to the target and returns the frames it answers
+    /// with (possibly none).
+    ///
+    /// The exchange fires as one event: the link waits at the medium's
+    /// turnstile until its virtual time is globally minimal, then the frame
+    /// is fragmented into ACL packets, carried across the virtual air
+    /// (applying latency, loss and processing cost to the link's clock) and
+    /// reassembled on the device side; responses travel the same way back.
+    /// Every frame crossing the link is reported to the attached taps,
+    /// including frames that are subsequently lost.
+    ///
+    /// # Panics
+    /// Panics if the link has been retired.
+    pub fn send_frame(&mut self, frame: &L2capFrame) -> Vec<L2capFrame> {
+        assert!(
+            !self.retired.load(Ordering::Acquire),
+            "retired link must not send frames"
+        );
+        let ticket = self
+            .core
+            .scheduler
+            .begin_event(self.source, self.clock.now_micros());
+
+        self.clock.advance_micros(self.config.tx_overhead_micros);
+        self.record(Direction::Tx, frame);
+        self.frames_sent += 1;
+
+        let fragment_count = frame.wire_len().div_ceil(acl::ACL_FRAGMENT_SIZE).max(1);
+        self.clock
+            .advance_micros(self.config.latency_micros * fragment_count as u64);
+
+        let lost = self.config.loss_probability > 0.0
+            && FuzzRng::seed_from(splitmix64(ticket.seed ^ self.link_seed))
+                .chance(self.config.loss_probability);
+        let responses = if lost {
+            // Frame lost on the air: the target never sees it.
+            Vec::new()
+        } else {
+            self.deliver(frame, fragment_count)
+        };
+
+        for rsp in &responses {
+            self.clock.advance_micros(self.config.latency_micros);
+            self.record(Direction::Rx, rsp);
+            self.frames_received += 1;
+        }
+
+        let end = self.clock.now_micros();
+        self.core.clock.advance_to(end);
+        self.core.scheduler.end_event(self.source, end, &ticket);
+        responses
+    }
+
+    fn deliver(&mut self, frame: &L2capFrame, fragment_count: usize) -> Vec<L2capFrame> {
+        // A single fragment crosses the air byte-for-byte, so re-parsing its
+        // serialized form is the identity: the device is handed a borrowed
+        // view of the original frame and no byte is serialized or copied.
+        // Larger frames go through the full ACL fragmentation/reassembly
+        // path — zero-copy fragments sliced from one arena buffer —
+        // exercising the same code a real controller buffer would.
+        let reassembled;
+        let delivered_frame = if fragment_count == 1 {
+            frame
+        } else {
+            let mut wire = self.arena.checkout();
+            frame.encode_into(&mut wire);
+            let wire = wire.freeze();
+            let fragments = acl::fragment(self.handle, &wire);
+            match acl::reassemble(&fragments).and_then(|bytes| L2capFrame::parse_buf(&bytes)) {
+                Ok(f) => {
+                    reassembled = f;
+                    &reassembled
+                }
+                Err(_) => return Vec::new(),
+            }
+        };
+
+        let mut dev = self.device.lock();
+        self.clock.advance_micros(dev.processing_cost_micros());
+        if !dev.bluetooth_alive() {
+            Vec::new()
+        } else {
+            dev.receive(self.slot, delivered_frame)
+        }
+    }
+}
+
+impl Drop for LinkHandle {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+/// Serializes arbitrary observations through one link's event source.
+///
+/// An out-of-band oracle (crash dumps over `adb`/`ssh`) reads device state
+/// the medium does not carry; with concurrent initiators those reads still
+/// have to happen at a *defined* point of the event schedule or campaigns
+/// stop being replayable.  `EventGate::serialized` fires a zero-cost event
+/// at the owning link's current virtual time: the observation waits its
+/// turn at the turnstile exactly like a frame exchange would.
+pub struct EventGate {
+    core: Arc<MediumCore>,
+    source: SourceId,
+    clock: SimClock,
+    retired: Arc<AtomicBool>,
+}
+
+impl EventGate {
+    /// Runs `f` as a zero-cost event on the gate's link source.  After the
+    /// link retires, `f` runs directly — the link's thread is the only one
+    /// left interested in its timeline.
+    pub fn serialized<T>(&self, f: impl FnOnce() -> T) -> T {
+        if self.retired.load(Ordering::Acquire) {
+            return f();
+        }
+        let ticket = self
+            .core
+            .scheduler
+            .begin_event(self.source, self.clock.now_micros());
+        let result = f();
+        self.core
+            .scheduler
+            .end_event(self.source, self.clock.now_micros(), &ticket);
+        result
+    }
+}
+
+/// Retires a link's event source exactly once, no matter which handle
+/// (the [`LinkHandle`] itself, its drop, or a [`RetireGuard`]) gets there
+/// first.
+fn retire_once(retired: &AtomicBool, core: &MediumCore, source: SourceId, clock: &SimClock) {
+    if !retired.swap(true, Ordering::AcqRel) {
+        core.clock.advance_to(clock.now_micros());
+        core.scheduler.retire(source);
+    }
+}
+
+/// Retires its link when dropped — including during a panic unwind.
+///
+/// Obtained from [`LinkHandle::retire_guard`]; see there for why concurrent
+/// initiators hold one.
+pub struct RetireGuard {
+    core: Arc<MediumCore>,
+    source: SourceId,
+    clock: SimClock,
+    retired: Arc<AtomicBool>,
+}
+
+impl Drop for RetireGuard {
+    fn drop(&mut self) {
+        retire_once(&self.retired, &self.core, self.source, &self.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::EchoDevice;
+    use crate::link::new_tap;
+    use btcore::Cid;
+
+    fn setup() -> (EventMedium, BdAddr) {
+        let clock = SimClock::new();
+        let mut air = EventMedium::new(clock);
+        let addr = BdAddr::new([0xAA, 0xBB, 0xCC, 0x00, 0x00, 0x01]);
+        air.register(Box::new(EchoDevice::new(addr)));
+        (air, addr)
+    }
+
+    #[test]
+    fn inquiry_finds_registered_devices() {
+        let (air, addr) = setup();
+        let found = air.inquiry();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].addr, addr);
+        assert_eq!(air.device_count(), 1);
+    }
+
+    #[test]
+    fn connect_unknown_device_fails() {
+        let (mut air, _) = setup();
+        match air.connect(
+            BdAddr::new([9, 9, 9, 9, 9, 9]),
+            LinkConfig::ideal(),
+            FuzzRng::seed_from(1),
+        ) {
+            Err(err) => assert!(matches!(err, BtError::UnknownDevice { .. })),
+            Ok(_) => panic!("connecting to an unknown address must fail"),
+        }
+    }
+
+    #[test]
+    fn connect_on_unsupported_transport_is_refused() {
+        let (mut air, addr) = setup();
+        // EchoDevice announces BR/EDR only.
+        let result = air.connect_spec(
+            LinkSpec::new(addr, LinkConfig::ideal(), FuzzRng::seed_from(1)).on(LinkType::Le),
+        );
+        assert!(matches!(
+            result,
+            Err(BtError::Connection(ConnectionError::Refused))
+        ));
+    }
+
+    #[test]
+    fn send_frame_roundtrips_through_echo_device() {
+        let (mut air, addr) = setup();
+        let mut link = air
+            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
+            .unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        let responses = link.send_frame(&frame);
+        assert_eq!(responses, vec![frame]);
+        assert_eq!(link.frames_sent(), 1);
+        assert_eq!(link.frames_received(), 1);
+        assert!(link.device_alive());
+        assert_eq!(link.slot(), LinkSlot::PRIMARY);
+        assert_eq!(link.link_type(), LinkType::BrEdr);
+    }
+
+    #[test]
+    fn taps_see_both_directions() {
+        let (mut air, addr) = setup();
+        let mut link = air
+            .connect(addr, LinkConfig::default(), FuzzRng::seed_from(1))
+            .unwrap();
+        let tap = new_tap();
+        link.attach_tap(tap.clone());
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        link.send_frame(&frame);
+        let records = tap.lock();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].direction, Direction::Tx);
+        assert_eq!(records[1].direction, Direction::Rx);
+        assert!(records[1].timestamp_micros >= records[0].timestamp_micros);
+    }
+
+    #[test]
+    fn clock_advances_with_traffic() {
+        let (mut air, addr) = setup();
+        let clock = air.clock();
+        let before = clock.now_micros();
+        let mut link = air
+            .connect(addr, LinkConfig::default(), FuzzRng::seed_from(1))
+            .unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        link.send_frame(&frame);
+        assert!(clock.now_micros() > before);
+    }
+
+    #[test]
+    fn total_loss_drops_every_frame() {
+        let (mut air, addr) = setup();
+        let mut link = air
+            .connect(addr, LinkConfig::lossy(1.0), FuzzRng::seed_from(1))
+            .unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        for _ in 0..10 {
+            assert!(link.send_frame(&frame).is_empty());
+        }
+        assert_eq!(link.frames_received(), 0);
+        assert_eq!(link.frames_sent(), 10);
+    }
+
+    #[test]
+    fn large_frame_survives_fragmentation() {
+        let (mut air, addr) = setup();
+        let mut link = air
+            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
+            .unwrap();
+        let payload = vec![0x5A; 3000];
+        let frame = L2capFrame::new(Cid::SIGNALING, payload);
+        let responses = link.send_frame(&frame);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0], frame);
+    }
+
+    #[test]
+    fn links_get_distinct_slots_and_handles() {
+        let (mut air, addr) = setup();
+        let a = air
+            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(1))
+            .unwrap();
+        let b = air
+            .connect(addr, LinkConfig::ideal(), FuzzRng::seed_from(2))
+            .unwrap();
+        assert_eq!(a.slot(), LinkSlot(0));
+        assert_eq!(b.slot(), LinkSlot(1));
+        assert_ne!(a.handle(), b.handle());
+    }
+
+    #[test]
+    fn concurrent_links_interleave_deterministically() {
+        // Two initiators on their own clocks and threads: the device sees
+        // the same frame order on every run because the turnstile admits
+        // exchanges by virtual time, not by OS scheduling.
+        let run = || {
+            let (mut air, addr) = setup();
+            let taps: Vec<SharedTap> = (0..2).map(|_| new_tap()).collect();
+            std::thread::scope(|scope| {
+                for (i, tap) in taps.iter().enumerate() {
+                    let mut link = air
+                        .connect_spec(
+                            LinkSpec::new(
+                                addr,
+                                LinkConfig::default(),
+                                FuzzRng::seed_from(i as u64),
+                            )
+                            .with_clock(SimClock::new()),
+                        )
+                        .unwrap();
+                    link.attach_tap(tap.clone());
+                    scope.spawn(move || {
+                        for k in 0..20u8 {
+                            let frame =
+                                L2capFrame::new(Cid::SIGNALING, vec![0x08, k.max(1), 0x00, 0x00]);
+                            link.send_frame(&frame);
+                        }
+                        link.retire();
+                    });
+                }
+            });
+            assert_eq!(air.events_fired(), 40);
+            taps.iter()
+                .map(|tap| {
+                    tap.lock()
+                        .iter()
+                        .map(|r| (r.timestamp_micros, r.frame.to_bytes()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        assert_eq!(first[0].len(), 40);
+        assert_eq!(first[1].len(), 40);
+    }
+}

@@ -1,0 +1,57 @@
+//! Streaming JSON serialization for the L2CAP report-path types, mirroring
+//! the derived `serde::Serialize` encodings byte for byte.
+
+use serde_json::{JsonStreamWriter, StreamSerialize};
+
+use crate::code::CommandCode;
+use crate::jobs::Job;
+use crate::packet::L2capFrame;
+use crate::state::ChannelState;
+
+serde_json::stream_unit_enum!(CommandCode, Job, ChannelState);
+
+impl StreamSerialize for L2capFrame {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("declared_payload_len", &self.declared_payload_len)
+            .field("cid", &self.cid)
+            .field("payload", &self.payload)
+            .end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcore::Cid;
+    use serde_json::to_string_streamed;
+
+    #[test]
+    fn frame_and_enums_stream_like_their_derived_encodings() {
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        assert_eq!(
+            to_string_streamed(&frame),
+            serde_json::to_string(&frame).unwrap()
+        );
+        for state in ChannelState::ALL {
+            assert_eq!(
+                to_string_streamed(&state),
+                serde_json::to_string(&state).unwrap()
+            );
+        }
+        for code in [
+            CommandCode::ConnectionRequest,
+            CommandCode::LeCreditBasedConnectionRequest,
+            CommandCode::FlowControlCreditInd,
+        ] {
+            assert_eq!(
+                to_string_streamed(&code),
+                serde_json::to_string(&code).unwrap()
+            );
+        }
+        assert_eq!(
+            to_string_streamed(&Job::Configuration),
+            serde_json::to_string(&Job::Configuration).unwrap()
+        );
+    }
+}

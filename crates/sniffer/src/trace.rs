@@ -2,6 +2,7 @@
 
 use hci::link::{Direction, PacketRecord, SharedTap};
 use serde::{Deserialize, Serialize};
+use serde_json::StreamSerialize;
 
 /// A captured packet trace: every frame that crossed a link, in order.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +31,23 @@ impl Trace {
     /// Builds a trace from raw records.
     pub fn from_records(records: Vec<PacketRecord>) -> Self {
         Trace { records }
+    }
+
+    /// Serializes the trace as pretty-printed JSON through the streaming
+    /// writer — no intermediate `Value` tree, so archiving a big capture
+    /// materializes each frame's bytes once, straight into the output
+    /// buffer.  The document is byte-identical to what the tree-based
+    /// serializer produces.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty_streamed(self)
+    }
+
+    /// Parses a trace back from JSON.
+    ///
+    /// # Errors
+    /// Returns a `serde_json::Error` if the input is not a valid trace.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(json)
     }
 
     /// Appends a record.
@@ -131,6 +149,15 @@ impl Trace {
 impl Extend<PacketRecord> for Trace {
     fn extend<T: IntoIterator<Item = PacketRecord>>(&mut self, iter: T) {
         self.records.extend(iter);
+    }
+}
+
+/// Streams like the derived encoding: `{records: [...]}`.
+impl StreamSerialize for Trace {
+    fn stream(&self, w: &mut serde_json::JsonStreamWriter) {
+        w.begin_object()
+            .field("records", &self.records)
+            .end_object();
     }
 }
 

@@ -8,10 +8,10 @@
 //! is frozen; everything else is recycled through the `FrameArena`).
 
 use alloc_counter::{allocations, CountingAllocator};
-use btcore::{BdAddr, Cid, DeviceMeta, FuzzRng, Identifier, Psm, SimClock};
-use hci::air::{AclLink, AirMedium};
+use btcore::{BdAddr, Cid, DeviceMeta, FuzzRng, Identifier, LinkSlot, Psm, SimClock};
 use hci::device::VirtualDevice;
 use hci::link::{new_tap, LinkConfig};
+use hci::medium::{EventMedium, LinkHandle, Medium};
 use l2cap::code::CommandCode;
 use l2cap::packet::L2capFrame;
 use l2fuzz::guide::ChannelContext;
@@ -30,7 +30,7 @@ impl VirtualDevice for SilentDevice {
     fn meta(&self) -> DeviceMeta {
         self.meta.clone()
     }
-    fn receive(&mut self, _frame: &L2capFrame) -> Vec<L2capFrame> {
+    fn receive(&mut self, _slot: LinkSlot, _frame: &L2capFrame) -> Vec<L2capFrame> {
         Vec::new()
     }
     fn bluetooth_alive(&self) -> bool {
@@ -38,9 +38,9 @@ impl VirtualDevice for SilentDevice {
     }
 }
 
-fn silent_link() -> AclLink {
+fn silent_link() -> LinkHandle {
     let clock = SimClock::new();
-    let mut air = AirMedium::new(clock.clone());
+    let mut air = EventMedium::new(clock.clone());
     let addr = BdAddr::new([0xAA, 0xBB, 0xCC, 0x00, 0x00, 0x01]);
     air.register(Box::new(SilentDevice {
         meta: DeviceMeta::new(addr, "silent", btcore::DeviceClass::Other),
@@ -49,7 +49,7 @@ fn silent_link() -> AclLink {
         .unwrap()
 }
 
-fn inject(mutator: &mut CoreFieldMutator, link: &mut AclLink, ctx: &ChannelContext, n: u32) {
+fn inject(mutator: &mut CoreFieldMutator, link: &mut LinkHandle, ctx: &ChannelContext, n: u32) {
     for i in 0..n {
         let packet = mutator.mutate(
             CommandCode::ConfigureRequest,

@@ -6,7 +6,9 @@
 //! `SerialExecutor`'s per-device results bit-for-bit.
 
 use btstack::profiles::{DeviceProfile, ProfileId};
-use l2fuzz::campaign::{Campaign, CampaignOutcome, SerialExecutor, ShardedExecutor};
+use l2fuzz::campaign::{
+    Campaign, CampaignOutcome, SeedSweepExecutor, SerialExecutor, ShardedExecutor, TargetOutcome,
+};
 use l2fuzz::config::FuzzConfig;
 use l2fuzz::report::FuzzReport;
 use l2fuzz::session::L2FuzzTool;
@@ -111,4 +113,96 @@ fn sharded_executor_reproduces_serial_reports_at_any_thread_count() {
             );
         }
     }
+}
+
+/// One target's serialized form: every initiator's report JSON plus every
+/// initiator's trace as raw timestamped bytes.
+type TargetFingerprint = (Vec<String>, Vec<Vec<Vec<u8>>>);
+
+/// Serializes every initiator of every target: reports as JSON, traces as
+/// raw records — the full observable output of a multi-initiator campaign.
+fn fingerprint(targets: &[TargetOutcome]) -> Vec<TargetFingerprint> {
+    targets
+        .iter()
+        .map(|t| {
+            let reports = t.reports().map(|r| r.to_json().unwrap()).collect();
+            let mut traces: Vec<Vec<Vec<u8>>> = Vec::new();
+            for trace in std::iter::once(&t.trace).chain(t.secondary.iter().map(|i| &i.trace)) {
+                traces.push(
+                    trace
+                        .records()
+                        .iter()
+                        .map(|r| {
+                            let mut bytes = r.timestamp_micros.to_le_bytes().to_vec();
+                            bytes.extend(r.frame.to_bytes());
+                            bytes
+                        })
+                        .collect(),
+                );
+            }
+            (reports, traces)
+        })
+        .collect()
+}
+
+#[test]
+fn multi_initiator_campaigns_replay_bit_for_bit() {
+    // Two concurrent initiators race for the medium's turnstile on real OS
+    // threads; the event scheduler must serialize them identically on every
+    // run.  One hardened target (full interleaved run) and the dual-mode
+    // phone over both transports (campaign ends when the LE side kills the
+    // device under the other initiator's feet).
+    let run = || {
+        let outcome = Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D4))
+            .initiators_per_target(2)
+            .seed(0xD5EED)
+            .run()
+            .expect("multi-initiator campaign runs");
+        let dual = Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D10))
+            .dual_transport()
+            .seed(0xD5EED)
+            .run()
+            .expect("dual-transport campaign runs");
+        (fingerprint(&outcome.targets), fingerprint(&dual.targets))
+    };
+    let first = run();
+    assert_eq!(first, run(), "concurrent schedules diverged between runs");
+}
+
+#[test]
+fn multi_initiator_targets_shard_deterministically() {
+    let run = |threads: Option<usize>| {
+        let builder = Campaign::builder()
+            .targets([ProfileId::D2, ProfileId::D4].map(DeviceProfile::table5))
+            .initiators_per_target(2)
+            .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 1)))
+            .seed(0xAB);
+        match threads {
+            None => builder.executor(SerialExecutor),
+            Some(n) => builder.executor(ShardedExecutor::new(n)),
+        }
+        .run()
+        .expect("campaign runs")
+    };
+    let serial = fingerprint(&run(None).targets);
+    assert_eq!(serial, fingerprint(&run(Some(2)).targets));
+}
+
+#[test]
+fn seed_sweeps_replay_bit_for_bit_at_any_thread_count() {
+    let sweep = |threads: usize| {
+        let outcome = Campaign::builder()
+            .targets([ProfileId::D5, ProfileId::D9].map(DeviceProfile::table5))
+            .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 1)))
+            .executor(SeedSweepExecutor::derived(0xCAFE, 4).with_threads(threads))
+            .run()
+            .expect("sweep runs");
+        assert_eq!(outcome.targets.len(), 8, "2 targets x 4 seeds");
+        fingerprint(&outcome.targets)
+    };
+    let serial = sweep(1);
+    assert_eq!(serial, sweep(3), "sweep diverged at 3 threads");
+    assert_eq!(serial, sweep(8), "sweep diverged at 8 threads");
 }

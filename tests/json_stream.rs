@@ -1,0 +1,81 @@
+//! Streaming-writer equivalence: the report path serializes through
+//! `serde_json::JsonStreamWriter` (no owned `Value` tree), and the output
+//! must be byte-identical to the tree-based writer *and* round-trip through
+//! the parser back to the original structures.
+
+use btstack::profiles::{DeviceProfile, ProfileId};
+use l2fuzz::campaign::Campaign;
+use l2fuzz::report::FuzzReport;
+use sniffer::Trace;
+
+/// A real campaign outcome (vulnerable target → findings, scan, states —
+/// every branch of the document).
+fn outcome() -> (FuzzReport, Trace) {
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D2))
+        .seed(11)
+        .run()
+        .expect("campaign runs")
+        .into_single();
+    (outcome.report, outcome.trace)
+}
+
+#[test]
+fn streamed_report_is_byte_identical_to_the_tree_writer() {
+    let (report, _) = outcome();
+    assert!(report.vulnerable(), "need findings to cover every branch");
+    let streamed = report.to_json().unwrap();
+    let tree = serde_json::to_string_pretty(&report).unwrap();
+    assert_eq!(
+        streamed, tree,
+        "streaming writer diverged from the tree writer"
+    );
+}
+
+#[test]
+fn streamed_report_round_trips() {
+    let (report, _) = outcome();
+    let json = report.to_json().unwrap();
+    let back = FuzzReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+    // And serializing the parsed copy reproduces the exact document.
+    assert_eq!(back.to_json().unwrap(), json);
+}
+
+#[test]
+fn streamed_trace_is_byte_identical_and_round_trips() {
+    let (_, trace) = outcome();
+    assert!(!trace.is_empty());
+    let streamed = trace.to_json();
+    let tree = serde_json::to_string_pretty(&trace).unwrap();
+    assert_eq!(
+        streamed, tree,
+        "trace streaming diverged from the tree writer"
+    );
+    let back = Trace::from_json(&streamed).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn empty_and_skeleton_documents_stream_identically() {
+    // An empty trace exercises the lazy `[]`/`{}` collapsing.
+    let empty = Trace::new();
+    assert_eq!(
+        empty.to_json(),
+        serde_json::to_string_pretty(&empty).unwrap()
+    );
+    assert_eq!(Trace::from_json(&empty.to_json()).unwrap(), empty);
+
+    // A hardened target gives a findings-free report (empty array branch).
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D4))
+        .seed(3)
+        .run()
+        .expect("campaign runs")
+        .into_single();
+    assert!(!outcome.report.vulnerable());
+    assert_eq!(
+        outcome.report.to_json().unwrap(),
+        serde_json::to_string_pretty(&outcome.report).unwrap()
+    );
+}

@@ -272,6 +272,61 @@ fn le_campaigns_replay_bit_for_bit_from_their_seed() {
 // ---------------------------------------------------------------------------
 // Regression: the new paths must not perturb the paper's BR/EDR numbers.
 
+/// FNV-1a digest over every record of a trace: direction, virtual timestamp
+/// and the exact frame bytes.  Pinning this digest pins the packet stream —
+/// the medium redesign (PR 5) must keep single-initiator campaigns
+/// byte-identical to the synchronous `AirMedium` they replaced.
+fn trace_digest(trace: &sniffer::Trace) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for record in trace.records() {
+        eat(match record.direction {
+            hci::link::Direction::Tx => 0,
+            hci::link::Direction::Rx => 1,
+        });
+        for b in record.timestamp_micros.to_le_bytes() {
+            eat(b);
+        }
+        for b in record.frame.to_bytes() {
+            eat(b);
+        }
+    }
+    hash
+}
+
+#[test]
+fn single_initiator_packet_streams_match_the_pr4_medium_bit_for_bit() {
+    // Captured from the synchronous-`AirMedium` tree (PR 4).  A BR/EDR
+    // hardened target (runs to completion) and the LE wearable (ends in a
+    // finding) cover both transports' full packet streams — timestamps,
+    // directions and frame bytes.
+    let bredr = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D4))
+        .seed(55)
+        .run()
+        .expect("BR/EDR campaign runs")
+        .into_single();
+    assert_eq!(
+        trace_digest(&bredr.trace),
+        0xD112_A572_9C41_AFAB,
+        "BR/EDR packet stream diverged from the PR 4 medium"
+    );
+    let le = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D9))
+        .seed(51)
+        .run()
+        .expect("LE campaign runs")
+        .into_single();
+    assert_eq!(
+        trace_digest(&le.trace),
+        0x8F04_2506_2CC9_4CCC,
+        "LE packet stream diverged from the PR 4 medium"
+    );
+}
+
 #[test]
 fn bredr_initiator_coverage_stays_exactly_13_of_19() {
     // A hardened classic target lets the campaign run to completion; both

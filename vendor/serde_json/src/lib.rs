@@ -2,13 +2,20 @@
 //!
 //! Renders the in-tree [`serde::Value`] model to JSON text and parses JSON
 //! text back, exposing the four entry points the workspace uses:
-//! [`to_string`], [`to_string_pretty`], [`from_str`] and [`Error`].
+//! [`to_string`], [`to_string_pretty`], [`from_str`] and [`Error`] — plus
+//! the [`stream`] module, a streaming writer that serializes without
+//! building a `Value` tree (the report/trace hot path).
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 
+pub mod stream;
+
 pub use serde::Value;
+pub use stream::{
+    to_string_pretty_streamed, to_string_streamed, JsonStreamWriter, StreamSerialize,
+};
 
 /// Error produced by JSON serialization or parsing.
 #[derive(Debug, Clone)]

@@ -1,0 +1,514 @@
+//! Streaming JSON writer: serialize without building a [`Value`] tree.
+//!
+//! The default serialization path of this stub renders a value into an
+//! owned [`Value`] tree and then prints it — fine for small reports, but a
+//! whole packet trace serialized that way materializes every frame twice.
+//! [`JsonStreamWriter`] writes JSON text directly: callers push keys and
+//! scalars in document order and the writer handles separators, indentation
+//! and lazy `{}`/`[]` collapsing, producing **byte-identical** output to
+//! [`crate::to_string`]/[`crate::to_string_pretty`] over the equivalent
+//! tree (the equivalence is pinned by tests on the report path).
+//!
+//! Types opt in through [`StreamSerialize`], the streaming mirror of
+//! `serde::Serialize`; containers and primitives stream out of the box.
+
+use serde::Value;
+
+/// JSON text sink with automatic separators, indentation and lazy empty
+/// containers.
+#[derive(Debug)]
+pub struct JsonStreamWriter {
+    out: String,
+    indent: Option<usize>,
+    stack: Vec<Frame>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Object,
+    Array,
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: Kind,
+    items: usize,
+    /// The opening bracket is written lazily so empty containers collapse to
+    /// `{}` / `[]` exactly like the tree writer's output.
+    opened: bool,
+}
+
+impl JsonStreamWriter {
+    /// A compact writer (no whitespace), matching [`crate::to_string`].
+    pub fn compact() -> Self {
+        JsonStreamWriter {
+            out: String::new(),
+            indent: None,
+            stack: Vec::new(),
+        }
+    }
+
+    /// A pretty writer (two-space indent), matching
+    /// [`crate::to_string_pretty`].
+    pub fn pretty() -> Self {
+        JsonStreamWriter {
+            out: String::new(),
+            indent: Some(2),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Finishes the document and returns the JSON text.
+    ///
+    /// # Panics
+    /// Panics if a container is still open.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "unbalanced stream: {} container(s) still open",
+            self.stack.len()
+        );
+        self.out
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        if let Some(width) = self.indent {
+            self.out.push('\n');
+            self.out.extend(std::iter::repeat_n(' ', width * depth));
+        }
+    }
+
+    /// Opens the innermost container's bracket if still pending and writes
+    /// the separator + indentation for its next element.
+    fn element_prelude(&mut self) {
+        let depth = self.stack.len();
+        if let Some(frame) = self.stack.last_mut() {
+            if !frame.opened {
+                frame.opened = true;
+                self.out.push(match frame.kind {
+                    Kind::Object => '{',
+                    Kind::Array => '[',
+                });
+            }
+            let first = frame.items == 0;
+            frame.items += 1;
+            if !first {
+                self.out.push(',');
+            }
+            self.newline_indent(depth);
+        }
+    }
+
+    /// Bookkeeping before a value lands: array elements get separators here;
+    /// object values were already placed by their [`JsonStreamWriter::key`].
+    fn value_prelude(&mut self) {
+        if matches!(self.stack.last(), Some(f) if f.kind == Kind::Array) {
+            self.element_prelude();
+        }
+    }
+
+    /// Writes the key of the next object field.
+    ///
+    /// # Panics
+    /// Panics unless an object is the innermost open container.
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        assert!(
+            matches!(self.stack.last(), Some(f) if f.kind == Kind::Object),
+            "key() outside an object"
+        );
+        self.element_prelude();
+        write_json_string(&mut self.out, key);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        self
+    }
+
+    /// Opens an object value.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.value_prelude();
+        self.stack.push(Frame {
+            kind: Kind::Object,
+            items: 0,
+            opened: false,
+        });
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        let frame = self.stack.pop().expect("end_object with nothing open");
+        assert_eq!(frame.kind, Kind::Object, "end_object closing an array");
+        if frame.opened {
+            let depth = self.stack.len();
+            self.newline_indent(depth);
+            self.out.push('}');
+        } else {
+            self.out.push_str("{}");
+        }
+        self
+    }
+
+    /// Opens an array value.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.value_prelude();
+        self.stack.push(Frame {
+            kind: Kind::Array,
+            items: 0,
+            opened: false,
+        });
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        let frame = self.stack.pop().expect("end_array with nothing open");
+        assert_eq!(frame.kind, Kind::Array, "end_array closing an object");
+        if frame.opened {
+            let depth = self.stack.len();
+            self.newline_indent(depth);
+            self.out.push(']');
+        } else {
+            self.out.push_str("[]");
+        }
+        self
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.value_prelude();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Writes a boolean.
+    pub fn bool(&mut self, b: bool) -> &mut Self {
+        self.value_prelude();
+        self.out.push_str(if b { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a non-negative integer.
+    pub fn u64(&mut self, n: u64) -> &mut Self {
+        self.value_prelude();
+        let mut buf = itoa_buf();
+        self.out.push_str(format_u64(&mut buf, n));
+        self
+    }
+
+    /// Writes a signed integer (non-negative values print like `u64`, as the
+    /// tree writer does).
+    pub fn i64(&mut self, n: i64) -> &mut Self {
+        self.value_prelude();
+        if n >= 0 {
+            return self.u64(n as u64);
+        }
+        self.out.push_str(&n.to_string());
+        self
+    }
+
+    /// Writes a float (`{:?}` shortest round-trip form; non-finite → null).
+    pub fn f64(&mut self, x: f64) -> &mut Self {
+        self.value_prelude();
+        if x.is_finite() {
+            self.out.push_str(&format!("{x:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a string value (escaped).
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.value_prelude();
+        write_json_string(&mut self.out, s);
+        self
+    }
+
+    /// Streams any [`StreamSerialize`] value at the current position.
+    pub fn value<T: StreamSerialize + ?Sized>(&mut self, v: &T) -> &mut Self {
+        v.stream(self);
+        self
+    }
+
+    /// Convenience: `key` followed by the streamed value.
+    pub fn field<T: StreamSerialize + ?Sized>(&mut self, key: &str, v: &T) -> &mut Self {
+        self.key(key);
+        v.stream(self);
+        self
+    }
+
+    /// Streams a pre-built [`Value`] tree (escape hatch for hand-assembled
+    /// documents like the bench reports).
+    pub fn tree(&mut self, v: &Value) -> &mut Self {
+        match v {
+            Value::Null => self.null(),
+            Value::Bool(b) => self.bool(*b),
+            Value::U64(n) => self.u64(*n),
+            Value::I64(n) => self.i64(*n),
+            Value::F64(x) => self.f64(*x),
+            Value::String(s) => self.string(s),
+            Value::Array(items) => {
+                self.begin_array();
+                for item in items {
+                    self.tree(item);
+                }
+                self.end_array()
+            }
+            Value::Object(fields) => {
+                self.begin_object();
+                for (k, item) in fields {
+                    self.key(k);
+                    self.tree(item);
+                }
+                self.end_object()
+            }
+        }
+    }
+}
+
+/// Small stack buffer for integer formatting without a heap allocation.
+fn itoa_buf() -> [u8; 20] {
+    [0; 20]
+}
+
+fn format_u64(buf: &mut [u8; 20], mut n: u64) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The streaming mirror of `serde::Serialize`: write yourself into a
+/// [`JsonStreamWriter`], producing the same document the derived
+/// `to_value()` tree would.
+pub trait StreamSerialize {
+    /// Streams `self` into `w`.
+    fn stream(&self, w: &mut JsonStreamWriter);
+}
+
+/// Serializes `value` as a compact JSON string through the streaming
+/// writer.
+pub fn to_string_streamed<T: StreamSerialize + ?Sized>(value: &T) -> String {
+    let mut w = JsonStreamWriter::compact();
+    value.stream(&mut w);
+    w.finish()
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent)
+/// through the streaming writer.
+pub fn to_string_pretty_streamed<T: StreamSerialize + ?Sized>(value: &T) -> String {
+    let mut w = JsonStreamWriter::pretty();
+    value.stream(&mut w);
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls, mirroring the `serde::Serialize` encodings.
+// ---------------------------------------------------------------------------
+
+macro_rules! stream_unsigned {
+    ($($t:ty),*) => {$(
+        impl StreamSerialize for $t {
+            fn stream(&self, w: &mut JsonStreamWriter) {
+                w.u64(*self as u64);
+            }
+        }
+    )*};
+}
+stream_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! stream_signed {
+    ($($t:ty),*) => {$(
+        impl StreamSerialize for $t {
+            fn stream(&self, w: &mut JsonStreamWriter) {
+                w.i64(*self as i64);
+            }
+        }
+    )*};
+}
+stream_signed!(i8, i16, i32, i64, isize);
+
+impl StreamSerialize for f64 {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.f64(*self);
+    }
+}
+
+impl StreamSerialize for f32 {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.f64(f64::from(*self));
+    }
+}
+
+impl StreamSerialize for bool {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.bool(*self);
+    }
+}
+
+impl StreamSerialize for str {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.string(self);
+    }
+}
+
+impl StreamSerialize for String {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.string(self);
+    }
+}
+
+impl<T: StreamSerialize + ?Sized> StreamSerialize for &T {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        (**self).stream(w);
+    }
+}
+
+impl<T: StreamSerialize> StreamSerialize for Option<T> {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        match self {
+            Some(v) => v.stream(w),
+            None => {
+                w.null();
+            }
+        }
+    }
+}
+
+impl<T: StreamSerialize> StreamSerialize for [T] {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_array();
+        for item in self {
+            item.stream(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: StreamSerialize> StreamSerialize for Vec<T> {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        self.as_slice().stream(w);
+    }
+}
+
+impl<T: StreamSerialize, const N: usize> StreamSerialize for [T; N] {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        self.as_slice().stream(w);
+    }
+}
+
+impl StreamSerialize for Value {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.tree(self);
+    }
+}
+
+/// Implements [`StreamSerialize`] for unit-only enums whose derived
+/// `serde::Serialize` encodes the variant name as a string — exactly what
+/// the derived `Debug` of such an enum prints.
+#[macro_export]
+macro_rules! stream_unit_enum {
+    ($($t:ty),* $(,)?) => {$(
+        impl $crate::StreamSerialize for $t {
+            fn stream(&self, w: &mut $crate::JsonStreamWriter) {
+                w.string(&::std::format!("{self:?}"));
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_match_the_tree_writer() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::U64(42),
+            Value::I64(-17),
+            Value::F64(3.5),
+            Value::F64(2.0),
+            Value::String("hi\n\"there\"".to_owned()),
+        ] {
+            assert_eq!(to_string_streamed(&v), crate::to_string(&v).unwrap());
+            assert_eq!(
+                to_string_pretty_streamed(&v),
+                crate::to_string_pretty(&v).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn nested_documents_match_the_tree_writer() {
+        let v: Value =
+            crate::from_str(r#"{"a":[1,2,{"b":"x","c":[]}],"d":null,"e":{},"f":{"g":[[],[1]]}}"#)
+                .unwrap();
+        assert_eq!(to_string_streamed(&v), crate::to_string(&v).unwrap());
+        assert_eq!(
+            to_string_pretty_streamed(&v),
+            crate::to_string_pretty(&v).unwrap()
+        );
+    }
+
+    #[test]
+    fn manual_streaming_produces_the_expected_document() {
+        let mut w = JsonStreamWriter::compact();
+        w.begin_object();
+        w.field("name", "probe");
+        w.key("counts").begin_array().u64(1).u64(2).end_array();
+        w.key("empty").begin_object().end_object();
+        w.field("ratio", &0.5f64);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"probe","counts":[1,2],"empty":{},"ratio":0.5}"#
+        );
+    }
+
+    #[test]
+    fn containers_and_options_stream_like_their_tree_forms() {
+        let items: Vec<u16> = vec![7, 9];
+        assert_eq!(
+            to_string_streamed(&items),
+            crate::to_string(&items).unwrap()
+        );
+        let none: Option<u8> = None;
+        assert_eq!(to_string_streamed(&none), "null");
+        let some: Option<String> = Some("x".into());
+        assert_eq!(to_string_streamed(&some), "\"x\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_documents_are_rejected() {
+        let mut w = JsonStreamWriter::compact();
+        w.begin_object();
+        w.finish();
+    }
+}
