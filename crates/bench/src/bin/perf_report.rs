@@ -4,15 +4,17 @@
 //! iteration plus derived packets/second and measured heap allocations per
 //! packet, and writes the result as JSON.
 //!
-//! The committed `BENCH_PR5.json` at the repository root is the tracked
-//! baseline of this report (`BENCH_PR3.json`/`BENCH_PR4.json` remain as
-//! earlier reference points); CI re-runs it on every change (non-gating),
-//! uploads the fresh report as an artifact and — via `--baseline` —
-//! compares it against the previous PR's numbers, flagging
-//! `packet_throughput` regressions beyond 10 % in the job summary.
+//! The committed `BENCH_PR6.json` at the repository root is the tracked
+//! baseline of this report (`BENCH_PR3.json`/`BENCH_PR4.json`/
+//! `BENCH_PR5.json` remain as earlier reference points); CI re-runs it on
+//! every change (non-gating), uploads the fresh report as an artifact and —
+//! via repeatable `--baseline` flags — compares it against each committed
+//! baseline, flagging `packet_throughput` regressions beyond 10 % of the
+//! *best* baseline in the job summary.
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_report [output.json] [--baseline OLD.json]
+//! cargo run --release -p bench --bin perf_report [output.json] \
+//!     [--baseline OLD.json]...
 //! ```
 
 use std::time::Instant;
@@ -82,12 +84,12 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR5.json".to_owned();
-    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_PR6.json".to_owned();
+    let mut baseline_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         if arg == "--baseline" {
-            baseline_path = iter.next();
+            baseline_paths.extend(iter.next());
         } else {
             out_path = arg;
         }
@@ -258,62 +260,93 @@ fn main() {
     std::fs::write(&out_path, json + "\n").expect("report written");
     println!("wrote {out_path}");
 
-    if let Some(baseline_path) = baseline_path {
-        compare_against_baseline(&results, &baseline_path);
+    if !baseline_paths.is_empty() {
+        compare_against_baselines(&results, &baseline_paths);
     }
 }
 
-/// Prints a GitHub-flavoured markdown comparison against a previous
-/// baseline report and flags `packet_throughput` regressions beyond 10 %.
-/// The CI bench job appends this to its step summary; the job itself stays
-/// non-gating, so the exit code still signals the regression to scripts
-/// that care.
-fn compare_against_baseline(results: &[Measured], baseline_path: &str) {
-    let text = match std::fs::read_to_string(baseline_path) {
+/// Reads one committed baseline report, returning a lookup from bench name
+/// to its recorded `median_ns`.
+fn load_baseline(path: &str) -> Option<serde::Value> {
+    let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(err) => {
-            println!("\n> baseline {baseline_path} not readable ({err}); comparison skipped");
-            return;
+            println!("\n> baseline {path} not readable ({err}); comparison skipped");
+            return None;
         }
     };
-    let baseline: serde::Value = match serde_json::from_str(&text) {
-        Ok(v) => v,
+    match serde_json::from_str(&text) {
+        Ok(v) => Some(v),
         Err(err) => {
-            println!("\n> baseline {baseline_path} not valid JSON ({err}); comparison skipped");
-            return;
+            println!("\n> baseline {path} not valid JSON ({err}); comparison skipped");
+            None
         }
-    };
-    let baseline_median = |name: &str| -> Option<f64> {
-        match baseline.get(name)?.get("median_ns")? {
-            serde::Value::U64(n) => Some(*n as f64),
-            serde::Value::F64(x) => Some(*x),
-            _ => None,
-        }
-    };
-
-    println!("\n### Perf vs `{baseline_path}`\n");
-    println!("| bench | baseline | now | change |");
-    println!("|---|---:|---:|---:|");
-    let mut gating_regression = false;
-    for m in results {
-        let Some(base_ns) = baseline_median(m.name) else {
-            println!("| {} | — | {} ns | new bench |", m.name, m.median_ns);
-            continue;
-        };
-        let delta = (m.median_ns as f64 - base_ns) / base_ns * 100.0;
-        let mut note = format!("{delta:+.1} %");
-        if m.name == "packet_throughput" && delta > 10.0 {
-            note.push_str(" ⚠️ **regression >10 %**");
-            gating_regression = true;
-        }
-        println!(
-            "| {} | {:.0} ns | {} ns | {note} |",
-            m.name, base_ns, m.median_ns
-        );
     }
-    if gating_regression {
-        println!("\n**`packet_throughput` regressed more than 10 % against the baseline.**");
+}
+
+fn baseline_median(baseline: &serde::Value, name: &str) -> Option<f64> {
+    match baseline.get(name)?.get("median_ns")? {
+        serde::Value::U64(n) => Some(*n as f64),
+        serde::Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Prints a GitHub-flavoured markdown comparison against every committed
+/// baseline report passed via (repeatable) `--baseline` flags, and flags
+/// `packet_throughput` regressions beyond 10 % of the *best* (lowest
+/// median) baseline — so the gate ratchets against the best number ever
+/// committed, not just the previous PR's.  The CI bench job appends this to
+/// its step summary; the job itself stays non-gating, so the exit code
+/// still signals the regression to scripts that care.
+fn compare_against_baselines(results: &[Measured], baseline_paths: &[String]) {
+    let baselines: Vec<(&str, serde::Value)> = baseline_paths
+        .iter()
+        .filter_map(|p| load_baseline(p).map(|b| (p.as_str(), b)))
+        .collect();
+    if baselines.is_empty() {
+        return;
+    }
+
+    for (path, baseline) in &baselines {
+        println!("\n### Perf vs `{path}`\n");
+        println!("| bench | baseline | now | change |");
+        println!("|---|---:|---:|---:|");
+        for m in results {
+            let Some(base_ns) = baseline_median(baseline, m.name) else {
+                println!("| {} | — | {} ns | new bench |", m.name, m.median_ns);
+                continue;
+            };
+            let delta = (m.median_ns as f64 - base_ns) / base_ns * 100.0;
+            println!(
+                "| {} | {:.0} ns | {} ns | {delta:+.1} % |",
+                m.name, base_ns, m.median_ns
+            );
+        }
+    }
+
+    // The ratchet: packet_throughput must stay within 10 % of the best
+    // committed baseline.
+    let best = baselines
+        .iter()
+        .filter_map(|(path, b)| baseline_median(b, "packet_throughput").map(|ns| (*path, ns)))
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+    let Some((best_path, best_ns)) = best else {
+        println!("\n> no baseline records packet_throughput; gate skipped");
+        return;
+    };
+    let Some(now) = results.iter().find(|m| m.name == "packet_throughput") else {
+        println!("\n> this run records no packet_throughput; gate skipped");
+        return;
+    };
+    let delta = (now.median_ns as f64 - best_ns) / best_ns * 100.0;
+    println!(
+        "\nbest committed packet_throughput baseline: {best_ns:.0} ns (`{best_path}`); \
+         this run {delta:+.1} %"
+    );
+    if delta > 10.0 {
+        println!("\n**`packet_throughput` regressed more than 10 % against the best baseline.**");
         std::process::exit(2);
     }
-    println!("\npacket_throughput within 10 % of the baseline.");
+    println!("\npacket_throughput within 10 % of the best baseline.");
 }

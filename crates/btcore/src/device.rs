@@ -56,7 +56,7 @@ impl fmt::Display for DeviceClass {
 /// reject/disconnect/credit-indication work on both.  Every layer of the
 /// pipeline (state table, endpoints, mutator, sniffer) consults this type to
 /// pick the right side of the table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum LinkType {
     /// Classic BR/EDR ACL-U link (the paper's Table V targets).
     BrEdr,

@@ -131,6 +131,9 @@ impl EventScheduler {
     /// sole-source fast path assumes the set of live sources only changes
     /// between events of the remaining source.
     pub fn register(&self, time_micros: u64) -> SourceId {
+        // analyzer: allow(panic) — a poisoned scheduler lock means a driver
+        // thread already panicked; propagating is the only sound move.  The
+        // source-count cast is a structural capacity bound, not input data.
         let mut state = self.state.lock().expect("scheduler poisoned");
         let id = SourceId(u16::try_from(state.sources.len()).expect("too many event sources"));
         state.sources.push(Source {
@@ -175,6 +178,7 @@ impl EventScheduler {
             let seq = self.fired.fetch_add(1, Ordering::Relaxed);
             return self.ticket(seq, true);
         }
+        // analyzer: allow(panic) — lock poisoning propagates a driver panic.
         let mut state = self.state.lock().expect("scheduler poisoned");
         {
             let me = &mut state.sources[id.0 as usize];
@@ -195,6 +199,7 @@ impl EventScheduler {
         // waiter was blocked on — wake the turnstile before queueing up.
         self.turn.notify_all();
         while !state.may_fire(id) {
+            // analyzer: allow(panic) — lock poisoning propagates a panic.
             state = self.turn.wait(state).expect("scheduler poisoned");
         }
         state.sources[id.0 as usize].state = SourceState::Firing;
@@ -210,6 +215,7 @@ impl EventScheduler {
             // Fast-path admission touched no turnstile state.
             return;
         }
+        // analyzer: allow(panic) — lock poisoning propagates a driver panic.
         let mut state = self.state.lock().expect("scheduler poisoned");
         let me = &mut state.sources[id.0 as usize];
         debug_assert_eq!(me.state, SourceState::Firing);
@@ -222,6 +228,7 @@ impl EventScheduler {
     /// Retires a source: it never fires again and stops holding the other
     /// sources back.  Idempotent.
     pub fn retire(&self, id: SourceId) {
+        // analyzer: allow(panic) — lock poisoning propagates a driver panic.
         let mut state = self.state.lock().expect("scheduler poisoned");
         let me = &mut state.sources[id.0 as usize];
         if me.state != SourceState::Retired {

@@ -452,12 +452,16 @@ impl CampaignPlan {
                     .collect();
                 handles
                     .into_iter()
+                    // analyzer: allow(panic) — re-raises a worker panic on
+                    // the coordinating thread instead of deadlocking.
                     .map(|h| h.join().expect("initiator thread panicked"))
                     .collect()
             })
         };
 
         let mut outcomes = outcomes.into_iter();
+        // analyzer: allow(panic) — the initiator list is validated non-empty
+        // at campaign construction.
         let primary = outcomes.next().expect("at least one initiator");
         Ok(TargetOutcome {
             elapsed: setup.clock.now(),
@@ -592,6 +596,7 @@ impl CampaignOutcome {
     /// Panics if the campaign had more than one target.
     pub fn into_single(mut self) -> TargetOutcome {
         assert_eq!(self.targets.len(), 1, "campaign has multiple targets");
+        // analyzer: allow(panic) — guarded by the assert directly above.
         self.targets.pop().expect("one target")
     }
 }
@@ -677,6 +682,8 @@ where
     }
     slots
         .into_iter()
+        // analyzer: allow(panic) — workers either fill every slot or flag a
+        // failure, which returned above.
         .map(|slot| slot.into_inner().expect("every worker fills its slots"))
         .collect()
 }

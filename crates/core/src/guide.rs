@@ -6,6 +6,7 @@
 //! desired state the session hands over to the mutator for the actual test
 //! packets.
 
+use analysis::FuzzPlan;
 use btcore::{Cid, Identifier, Psm};
 
 use hci::medium::LinkHandle;
@@ -15,10 +16,10 @@ use l2cap::command::{
     LeCreditBasedConnectionRequest, MoveChannelRequest,
 };
 use l2cap::consts::{ConfigureResult, ConnectionResult};
-use l2cap::jobs::{job_of, Job};
 use l2cap::options::ConfigOption;
 use l2cap::packet::parse_signaling;
 use l2cap::state::ChannelState;
+use l2cap::CommandCode;
 use serde::{Deserialize, Serialize};
 
 /// The fuzzer-side view of one channel opened on the target.
@@ -248,6 +249,83 @@ impl StateGuide {
         );
     }
 
+    /// Executes one prelude command of a computed [`FuzzPlan`].
+    ///
+    /// Channel-opening commands allocate the context; every other command
+    /// requires one.  Returns `Err(())` when an open fails (the caller
+    /// decides whether closed-state fuzzing is an acceptable fallback).
+    fn execute_command(
+        &mut self,
+        link: &mut LinkHandle,
+        psm: Psm,
+        ctx: &mut Option<ChannelContext>,
+        code: CommandCode,
+    ) -> Result<(), ()> {
+        match code {
+            CommandCode::ConnectionRequest => {
+                *ctx = Some(self.open_channel(link, psm, false).ok_or(())?);
+            }
+            CommandCode::CreateChannelRequest => {
+                *ctx = Some(self.open_channel(link, psm, true).ok_or(())?);
+            }
+            CommandCode::LeCreditBasedConnectionRequest => {
+                *ctx = Some(self.open_le_channel(link, psm).ok_or(())?);
+            }
+            CommandCode::ConfigureRequest => {
+                let ctx = ctx.ok_or(())?;
+                self.send_configure_request(link, ctx);
+            }
+            CommandCode::ConfigureResponse => {
+                let ctx = ctx.ok_or(())?;
+                self.send_configure_response(link, ctx);
+            }
+            CommandCode::MoveChannelRequest => {
+                let ctx = ctx.ok_or(())?;
+                self.request_move(link, ctx);
+            }
+            CommandCode::DisconnectionRequest => {
+                let ctx = ctx.ok_or(())?;
+                self.disconnect(link, ctx);
+            }
+            CommandCode::CreditBasedReconfigureRequest => {
+                let ctx = ctx.ok_or(())?;
+                self.send_reconfigure(link, ctx);
+            }
+            // validate_plan proves every prelude command is guide-sendable,
+            // so the remaining codes never appear in a computed plan.
+            other => {
+                debug_assert!(false, "non-sendable command {other:?} in a fuzz plan");
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a computed fuzz plan: replays its prelude command-for-command
+    /// and returns the context the mutator should fuzz with.
+    ///
+    /// A plan that parks the target closed tolerates open failures (the
+    /// closed context is the goal anyway); a plan that parks on a live
+    /// channel propagates them as `None`.
+    fn execute_plan(
+        &mut self,
+        link: &mut LinkHandle,
+        psm: Psm,
+        plan: &FuzzPlan,
+    ) -> Option<ChannelContext> {
+        let mut ctx: Option<ChannelContext> = None;
+        for &code in &plan.prelude {
+            if self.execute_command(link, psm, &mut ctx, code).is_err() {
+                return plan.parks_closed().then(|| ChannelContext::closed(psm));
+            }
+        }
+        if plan.parks_closed() {
+            Some(ChannelContext::closed(psm))
+        } else {
+            ctx
+        }
+    }
+
     /// The LE counterpart of [`StateGuide::drive_to`]: drives the target's
     /// LE-U channel toward `state` using the credit-based flows.
     ///
@@ -261,76 +339,27 @@ impl StateGuide {
         spsm: Psm,
         state: ChannelState,
     ) -> Option<ChannelContext> {
-        if !state.reachable_from_initiator_on(btcore::LinkType::Le) {
-            return None;
-        }
-        match state {
-            ChannelState::Closed | ChannelState::WaitConnect => Some(ChannelContext::closed(spsm)),
-            ChannelState::WaitConfig => {
-                let ctx = self.open_le_channel(link, spsm)?;
-                self.send_reconfigure(link, ctx);
-                Some(ctx)
-            }
-            _ => self.open_le_channel(link, spsm),
-        }
+        let plan = analysis::fuzz_plan(state, btcore::LinkType::Le)?;
+        self.execute_plan(link, spsm, plan)
     }
 
     /// Drives the target into `state` on a fresh channel over `psm` and
     /// returns the channel context to fuzz with.
     ///
-    /// States the target only passes through transiently (the connection,
-    /// creation and disconnection jobs) are fuzzed from the nearest parkable
-    /// position: the closed state for connection/creation, the open state for
-    /// disconnection.  Responder-only states return `None`.
+    /// The command sequence is not hand-written: it executes the
+    /// [`FuzzPlan`] the `analysis` crate derived from the minimal witness
+    /// the model checker computed for `state` (states the target only
+    /// passes through transiently are fuzzed from the nearest parkable
+    /// position the plan records).  Responder-only states have no plan and
+    /// return `None`.
     pub fn drive_to(
         &mut self,
         link: &mut LinkHandle,
         psm: Psm,
         state: ChannelState,
     ) -> Option<ChannelContext> {
-        if !state.reachable_from_initiator() {
-            return None;
-        }
-        match job_of(state) {
-            Job::Closed | Job::Connection => Some(ChannelContext::closed(psm)),
-            Job::Creation => {
-                // Exercise the creation path once so the WAIT_CREATE state is
-                // visited, then fuzz further creation traffic from closed.
-                if let Some(ctx) = self.open_channel(link, psm, true) {
-                    self.disconnect(link, ctx);
-                }
-                Some(ChannelContext::closed(psm))
-            }
-            Job::Configuration => {
-                let ctx = self.open_channel(link, psm, false)?;
-                match state {
-                    ChannelState::WaitConfigReq => self.send_configure_response(link, ctx),
-                    ChannelState::WaitConfigRsp => self.send_configure_request(link, ctx),
-                    ChannelState::WaitSendConfig => {
-                        // Reconfiguration from OPEN passes through
-                        // WAIT_SEND_CONFIG on the target.
-                        self.complete_configuration(link, ctx);
-                        self.send_configure_request(link, ctx);
-                    }
-                    // WAIT_CONFIG / WAIT_CONFIG_REQ_RSP and the lockstep
-                    // states: freshly connected is as close as an initiator
-                    // can park the target.
-                    _ => {}
-                }
-                Some(ctx)
-            }
-            Job::Open | Job::Disconnection => {
-                let ctx = self.open_channel(link, psm, false)?;
-                self.complete_configuration(link, ctx);
-                Some(ctx)
-            }
-            Job::Move => {
-                let ctx = self.open_channel(link, psm, false)?;
-                self.complete_configuration(link, ctx);
-                self.request_move(link, ctx);
-                Some(ctx)
-            }
-        }
+        let plan = analysis::fuzz_plan(state, btcore::LinkType::BrEdr)?;
+        self.execute_plan(link, psm, plan)
     }
 }
 

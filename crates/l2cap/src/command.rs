@@ -381,6 +381,8 @@ impl Command {
     pub fn code_byte(&self) -> u8 {
         match self {
             Command::Raw { code, .. } => *code,
+            // analyzer: allow(panic) — every non-raw variant maps to a
+            // defined CommandCode by construction of `code()`.
             other => other
                 .code()
                 .expect("non-raw commands always have a code")

@@ -3,7 +3,7 @@
 //! This crate only exists to host the runnable examples under `examples/` and
 //! the cross-crate integration tests under `tests/`; the functionality lives
 //! in the member crates (`btcore`, `l2cap`, `hci`, `btstack`, `l2fuzz`,
-//! `baselines`, `sniffer`, `bench`).
+//! `baselines`, `sniffer`, `bench`, `analysis`).
 //!
 //! Every member is re-exported, so depending on `l2fuzz-repro` alone gives
 //! access to the whole reproduction:
@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub use ::bench;
+pub use analysis;
 pub use baselines;
 pub use btcore;
 pub use btstack;
