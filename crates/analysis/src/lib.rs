@@ -39,5 +39,5 @@ pub use checks::{check_model, ActionClass, Allowlist, Asymmetry, DeadRow, ModelC
 pub use lints::{run_lints, LintFinding, LintReport, HOT_PATH_CRATES};
 pub use model::{witness, witnesses, Exploration, Input, LinkModel, Witness};
 pub use plan::{fuzz_plan, fuzz_plans, validate_plan, FuzzPlan, PlanKind, GUIDE_SENDABLE};
-pub use report::AnalysisReport;
+pub use report::{AnalysisReport, PlanIndexEntry};
 pub use vulns::{certify_vulnerabilities, CertificateEntry, VulnCertificate};

@@ -40,6 +40,25 @@ impl AnalysisReport {
         }
     }
 
+    /// The per-state plan index: for every derived fuzz plan, how long the
+    /// model's minimal witness to that state is and how much of it the
+    /// guide's prelude actually replays.  This is the quick answer to "how
+    /// deep is each state" an operator reads off the JSON report.
+    pub fn plan_index(&self) -> Vec<PlanIndexEntry> {
+        self.model
+            .plans
+            .iter()
+            .map(|plan| PlanIndexEntry {
+                state: plan.state,
+                link: plan.link,
+                kind: format!("{:?}", plan.kind),
+                witness_len: crate::model::witness(plan.state, plan.link)
+                    .map_or(0, |w| w.inputs.len()),
+                prelude_len: plan.prelude.len(),
+            })
+            .collect()
+    }
+
     /// `true` when every claim was proven and no lint fired.
     pub fn is_clean(&self) -> bool {
         self.model.violations.is_empty()
@@ -138,14 +157,47 @@ impl AnalysisReport {
     }
 }
 
-// analyzer: allow(parity) — streams the computed `clean` verdict and
-// inlines the optional LintReport as a nested object, so the key list
-// intentionally differs from the struct's field list.
+/// One row of [`AnalysisReport::plan_index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanIndexEntry {
+    /// The state the plan drives toward.
+    pub state: l2cap::state::ChannelState,
+    /// The transport.
+    pub link: btcore::LinkType,
+    /// The plan's kind (`Debug` rendering of [`crate::plan::PlanKind`]).
+    pub kind: String,
+    /// Length of the model's minimal witness to `state` (0 for `CLOSED`).
+    pub witness_len: usize,
+    /// Length of the plan's guide-replayable prelude.
+    pub prelude_len: usize,
+}
+
+impl StreamSerialize for PlanIndexEntry {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("state", &self.state)
+            .field("link", &self.link)
+            .field("kind", &self.kind)
+            .field("witness_len", &self.witness_len)
+            .field("prelude_len", &self.prelude_len)
+            .end_object();
+    }
+}
+
+// analyzer: allow(parity) — streams the computed `clean` verdict, the
+// derived `plan_index`, and inlines the optional LintReport as a nested
+// object, so the key list intentionally differs from the struct's field
+// list.
 impl StreamSerialize for AnalysisReport {
     fn stream(&self, w: &mut JsonStreamWriter) {
         w.begin_object();
         w.key("model");
         self.model.stream(w);
+        w.key("plan_index").begin_array();
+        for entry in self.plan_index() {
+            entry.stream(w);
+        }
+        w.end_array();
         w.key("certificates").begin_array();
         for cert in &self.certificates {
             cert.stream(w);
@@ -219,5 +271,42 @@ mod tests {
             .and_then(|m| m.get("witnesses"))
             .expect("model.witnesses present");
         assert!(witnesses.as_array().is_ok_and(|w| w.len() == 18));
+    }
+
+    #[test]
+    fn plan_index_reports_per_state_witness_lengths() {
+        let report = AnalysisReport::run(&Allowlist::default(), None);
+        let index = report.plan_index();
+        // One entry per derived plan: every reachable (state, link) pair.
+        assert_eq!(index.len(), report.model.plans.len());
+        assert_eq!(index.len(), 18);
+        for entry in &index {
+            // CLOSED is the initial state; everything else needs a witness.
+            if entry.state == l2cap::state::ChannelState::Closed {
+                assert_eq!(entry.witness_len, 0);
+            } else {
+                assert!(entry.witness_len > 0, "{entry:?}");
+            }
+            // Kind-specific shape: closed-fuzzing plans send no prelude,
+            // and an at-rest plan replays exactly the minimal witness.
+            match entry.kind.as_str() {
+                "ClosedFuzzing" => assert_eq!(entry.prelude_len, 0, "{entry:?}"),
+                "AtRest" => assert_eq!(entry.prelude_len, entry.witness_len, "{entry:?}"),
+                _ => {}
+            }
+        }
+
+        // And the JSON report carries the index.
+        let json = serde_json::to_string_streamed(&report);
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let rows = value.get("plan_index").expect("plan_index present");
+        let rows = rows.as_array().expect("plan_index is an array");
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| {
+            r.get("witness_len").is_some()
+                && r.get("prelude_len").is_some()
+                && r.get("state").is_some()
+                && r.get("kind").is_some()
+        }));
     }
 }

@@ -1,16 +1,16 @@
 //! Quick-mode performance report: runs the workload of each of the five
-//! Criterion benches — plus the LE-pipeline, multi-initiator and seed-sweep
-//! campaigns — a fixed number of times, records the median wall-clock per
-//! iteration plus derived packets/second and measured heap allocations per
-//! packet, and writes the result as JSON.
+//! Criterion benches — plus the LE-pipeline, multi-initiator, seed-sweep
+//! and initiator-scaling-curve campaigns — a fixed number of times, records
+//! the median wall-clock per iteration plus derived packets/second and
+//! measured heap allocations per packet, and writes the result as JSON.
 //!
-//! The committed `BENCH_PR6.json` at the repository root is the tracked
-//! baseline of this report (`BENCH_PR3.json`/`BENCH_PR4.json`/
-//! `BENCH_PR5.json` remain as earlier reference points); CI re-runs it on
-//! every change (non-gating), uploads the fresh report as an artifact and —
-//! via repeatable `--baseline` flags — compares it against each committed
-//! baseline, flagging `packet_throughput` regressions beyond 10 % of the
-//! *best* baseline in the job summary.
+//! The committed `BENCH_PR7.json` at the repository root is the tracked
+//! baseline of this report (`BENCH_PR3.json`…`BENCH_PR6.json` remain as
+//! earlier reference points); CI re-runs it on every change (non-gating),
+//! uploads the fresh report as an artifact and — via repeatable
+//! `--baseline` flags — compares it against each committed baseline,
+//! flagging `packet_throughput` regressions beyond 10 % of the *best*
+//! baseline in the job summary.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_report [output.json] \
@@ -84,7 +84,7 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR6.json".to_owned();
+    let mut out_path = "BENCH_PR7.json".to_owned();
     let mut baseline_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -227,6 +227,39 @@ fn main() {
                 .run()
                 .expect("seed sweep runs");
             std::hint::black_box(outcome.targets.len());
+        }));
+    }
+
+    // 9. initiator_scaling_x{1,2,4,8} — the scaling curve: a fixed 400
+    //    packet budget against the hardened D4, split evenly across 1, 2, 4
+    //    and 8 concurrent initiators.  Constant work per iteration, so the
+    //    packets/s column reads directly as the concurrency speedup (or the
+    //    turnstile's overhead, where it dips).
+    for (name, initiators) in [
+        ("initiator_scaling_x1", 1u64),
+        ("initiator_scaling_x2", 2),
+        ("initiator_scaling_x4", 4),
+        ("initiator_scaling_x8", 8),
+    ] {
+        results.push(measure(name, 15, 400, move || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D4))
+                .initiators_per_target(initiators as usize)
+                .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())))
+                .budget(TxBudget::packets(400 / initiators))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .seed(0x5CA1E)
+                .run()
+                .expect("scaling campaign runs")
+                .into_single();
+            let frames: usize = outcome.trace.len()
+                + outcome
+                    .secondary
+                    .iter()
+                    .map(|s| s.trace.len())
+                    .sum::<usize>();
+            std::hint::black_box(frames);
         }));
     }
 

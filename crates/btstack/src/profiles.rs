@@ -36,6 +36,9 @@ pub enum ProfileId {
     D11,
 }
 
+serde_json::stream_unit_enum!(ProfileId);
+serde_json::stream_unit_enum_de!(ProfileId);
+
 impl ProfileId {
     /// All eight devices in Table V order.
     pub const ALL: [ProfileId; 8] = [
@@ -58,6 +61,20 @@ impl ProfileId {
 impl std::fmt::Display for ProfileId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{self:?}")
+    }
+}
+
+impl std::str::FromStr for ProfileId {
+    type Err = String;
+
+    /// Parses a profile name (`"D1"` … `"D11"`), as the service CLI's
+    /// `--targets` flag spells them.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ProfileId::ALL
+            .into_iter()
+            .chain(ProfileId::EXTENDED)
+            .find(|id| id.to_string() == s)
+            .ok_or_else(|| format!("unknown device profile `{s}` (expected D1..D11)"))
     }
 }
 

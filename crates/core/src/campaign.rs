@@ -962,6 +962,19 @@ impl CampaignBuilder {
         ))
     }
 
+    /// Builds the campaign's immutable plan without running anything — the
+    /// entry point for schedulers (such as the sweep service) that own job
+    /// dispatch themselves and call [`CampaignPlan::run_target_with_seed`]
+    /// per unit of work.  The executor and clock settings do not apply: the
+    /// caller is the executor.
+    ///
+    /// # Errors
+    /// Returns [`CampaignError::NoTargets`] for an empty target list.
+    pub fn plan(self) -> Result<CampaignPlan, CampaignError> {
+        let (plan, _, _) = self.into_plan()?;
+        Ok(plan)
+    }
+
     /// Runs the campaign and collects every target's outcome.
     ///
     /// # Errors

@@ -37,6 +37,23 @@ impl serde_json::StreamSerialize for VulnerabilityEvidence {
     }
 }
 
+impl serde_json::StreamDeserialize for VulnerabilityEvidence {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let error = r.key("error")?.value()?;
+        let ping_failed = r.key("ping_failed")?.value()?;
+        let crash_dump = r.key("crash_dump")?.value()?;
+        let description = r.key("description")?.value()?;
+        r.end_object()?;
+        Ok(VulnerabilityEvidence {
+            error,
+            ping_failed,
+            crash_dump,
+            description,
+        })
+    }
+}
+
 /// Verdict for one detection check.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DetectionVerdict {

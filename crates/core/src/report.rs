@@ -84,12 +84,14 @@ impl FuzzReport {
         Ok(serde_json::to_string_pretty_streamed(self))
     }
 
-    /// Parses a report back from JSON.
+    /// Parses a report back from JSON through the streaming reader — the
+    /// symmetric path to [`FuzzReport::to_json`], with no intermediate
+    /// `Value` tree.
     ///
     /// # Errors
     /// Returns a `serde_json::Error` if the input is not a valid report.
     pub fn from_json(json: &str) -> Result<FuzzReport, serde_json::Error> {
-        serde_json::from_str(json)
+        serde_json::from_str_streamed(json)
     }
 
     /// One-line Table VI-style row: `Vuln? / description / elapsed`.
@@ -136,6 +138,52 @@ impl serde_json::StreamSerialize for FuzzReport {
             .field("findings", &self.findings)
             .field("elapsed_secs", &self.elapsed_secs)
             .end_object();
+    }
+}
+
+impl serde_json::StreamDeserialize for VulnerabilityFinding {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let state = r.key("state")?.value()?;
+        let job = r.key("job")?.value()?;
+        let command = r.key("command")?.value()?;
+        let packet_hex = r.key("packet_hex")?.value()?;
+        let evidence = r.key("evidence")?.value()?;
+        let elapsed_secs = r.key("elapsed_secs")?.value()?;
+        r.end_object()?;
+        Ok(VulnerabilityFinding {
+            state,
+            job,
+            command,
+            packet_hex,
+            evidence,
+            elapsed_secs,
+        })
+    }
+}
+
+impl serde_json::StreamDeserialize for FuzzReport {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let fuzzer = r.key("fuzzer")?.value()?;
+        let target = r.key("target")?.value()?;
+        let scan = r.key("scan")?.value()?;
+        let states_tested = r.key("states_tested")?.value()?;
+        let packets_sent = r.key("packets_sent")?.value()?;
+        let malformed_sent = r.key("malformed_sent")?.value()?;
+        let findings = r.key("findings")?.value()?;
+        let elapsed_secs = r.key("elapsed_secs")?.value()?;
+        r.end_object()?;
+        Ok(FuzzReport {
+            fuzzer,
+            target,
+            scan,
+            states_tested,
+            packets_sent,
+            malformed_sent,
+            findings,
+            elapsed_secs,
+        })
     }
 }
 

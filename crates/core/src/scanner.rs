@@ -69,6 +69,33 @@ impl serde_json::StreamSerialize for ScanReport {
     }
 }
 
+serde_json::stream_unit_enum_de!(PortStatus);
+
+impl serde_json::StreamDeserialize for PortProbe {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let psm = r.key("psm")?.value()?;
+        let status = r.key("status")?.value()?;
+        r.end_object()?;
+        Ok(PortProbe { psm, status })
+    }
+}
+
+impl serde_json::StreamDeserialize for ScanReport {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let meta = r.key("meta")?.value()?;
+        let probes = r.key("probes")?.value()?;
+        let chosen_port = r.key("chosen_port")?.value()?;
+        r.end_object()?;
+        Ok(ScanReport {
+            meta,
+            probes,
+            chosen_port,
+        })
+    }
+}
+
 impl ScanReport {
     /// Ports that accepted a connection without pairing.
     pub fn pairing_free_ports(&self) -> Vec<Psm> {

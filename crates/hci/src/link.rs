@@ -32,6 +32,7 @@ pub struct PacketRecord {
 }
 
 serde_json::stream_unit_enum!(Direction);
+serde_json::stream_unit_enum_de!(Direction);
 
 /// Streams like the derived encoding: `{direction, timestamp_micros,
 /// frame}` — used by the trace writer so captures serialize without a
@@ -43,6 +44,23 @@ impl serde_json::StreamSerialize for PacketRecord {
             .field("timestamp_micros", &self.timestamp_micros)
             .field("frame", &self.frame)
             .end_object();
+    }
+}
+
+/// The reading mirror of the streamed encoding above — used by trace and
+/// checkpoint replay.
+impl serde_json::StreamDeserialize for PacketRecord {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let direction = r.key("direction")?.value()?;
+        let timestamp_micros = r.key("timestamp_micros")?.value()?;
+        let frame = r.key("frame")?.value()?;
+        r.end_object()?;
+        Ok(PacketRecord {
+            direction,
+            timestamp_micros,
+            frame,
+        })
     }
 }
 

@@ -1,0 +1,304 @@
+//! Checkpoints: the sweep's durable state, streamed as JSON.
+//!
+//! After every committed shard the service rewrites the checkpoint file —
+//! spec, per-shard records (with digests), and the corpus so far — through
+//! [`serde_json::JsonStreamWriter`], atomically (write to a sibling temp
+//! file, then rename).  A killed sweep reloads the file through
+//! [`serde_json::JsonStreamReader`] and continues from the first
+//! uncommitted shard; because campaigns are deterministic, re-running any
+//! committed shard must reproduce its recorded digest, which is how a
+//! resume is *verified* rather than trusted.
+
+use std::path::Path;
+
+use serde_json::{Error, JsonStreamReader, JsonStreamWriter, StreamDeserialize, StreamSerialize};
+
+use crate::corpus::{ClusterKey, CorpusStore};
+use crate::digest::Fnv64;
+use crate::spec::SweepSpec;
+use crate::ServiceError;
+use btstack::ProfileId;
+
+/// What one finished job boiled down to.  Everything here derives from the
+/// virtual clock and the seeded RNG streams — no wall-clock anywhere — so
+/// two runs of the same job produce identical summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Sweep-wide job index (target-major).
+    pub index: usize,
+    /// The target profile.
+    pub target: ProfileId,
+    /// The campaign seed the job ran under.
+    pub seed: u64,
+    /// Whether the job surfaced a vulnerability — a detection finding in
+    /// some initiator's report, or a crash dump on the target.
+    pub vulnerable: bool,
+    /// Number of findings in the job's report.
+    pub findings: usize,
+    /// Packets the job transmitted.
+    pub packets_sent: u64,
+    /// Virtual elapsed seconds.
+    pub elapsed_secs: u64,
+    /// FNV-1a digest of the job's compact streamed report.
+    pub report_digest: u64,
+    /// FNV-1a digest of the job's merged trace.
+    pub trace_digest: u64,
+    /// The corpus cluster this job joined, when it crashed the target.
+    pub cluster: Option<ClusterKey>,
+}
+
+impl StreamSerialize for JobSummary {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("index", &self.index)
+            .field("target", &self.target)
+            .field("seed", &self.seed)
+            .field("vulnerable", &self.vulnerable)
+            .field("findings", &self.findings)
+            .field("packets_sent", &self.packets_sent)
+            .field("elapsed_secs", &self.elapsed_secs)
+            .field("report_digest", &self.report_digest)
+            .field("trace_digest", &self.trace_digest)
+            .field("cluster", &self.cluster)
+            .end_object();
+    }
+}
+
+impl StreamDeserialize for JobSummary {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.begin_object()?;
+        let index = r.key("index")?.value()?;
+        let target = r.key("target")?.value()?;
+        let seed = r.key("seed")?.value()?;
+        let vulnerable = r.key("vulnerable")?.value()?;
+        let findings = r.key("findings")?.value()?;
+        let packets_sent = r.key("packets_sent")?.value()?;
+        let elapsed_secs = r.key("elapsed_secs")?.value()?;
+        let report_digest = r.key("report_digest")?.value()?;
+        let trace_digest = r.key("trace_digest")?.value()?;
+        let cluster = r.key("cluster")?.value()?;
+        r.end_object()?;
+        Ok(JobSummary {
+            index,
+            target,
+            seed,
+            vulnerable,
+            findings,
+            packets_sent,
+            elapsed_secs,
+            report_digest,
+            trace_digest,
+            cluster,
+        })
+    }
+}
+
+/// One committed shard: its jobs plus the digest that pins them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// Shard index (commits are contiguous from zero).
+    pub shard: usize,
+    /// Digest over the member jobs' report and trace digests, in job order.
+    pub digest: u64,
+    /// The member job summaries, ascending by index.
+    pub jobs: Vec<JobSummary>,
+}
+
+impl ShardRecord {
+    /// Computes the shard digest for a job list.
+    pub fn digest_jobs(jobs: &[JobSummary]) -> u64 {
+        let mut h = Fnv64::new();
+        for job in jobs {
+            h.write_u64(job.report_digest);
+            h.write_u64(job.trace_digest);
+        }
+        h.finish()
+    }
+}
+
+impl StreamSerialize for ShardRecord {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("shard", &self.shard)
+            .field("digest", &self.digest)
+            .field("jobs", &self.jobs)
+            .end_object();
+    }
+}
+
+impl StreamDeserialize for ShardRecord {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.begin_object()?;
+        let shard = r.key("shard")?.value()?;
+        let digest = r.key("digest")?.value()?;
+        let jobs = r.key("jobs")?.value()?;
+        r.end_object()?;
+        Ok(ShardRecord {
+            shard,
+            digest,
+            jobs,
+        })
+    }
+}
+
+/// The sweep's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The sweep definition this checkpoint belongs to.
+    pub spec: SweepSpec,
+    /// [`SweepSpec::digest`] at creation — resume validates it.
+    pub spec_digest: u64,
+    /// Committed shards, contiguous from zero.
+    pub shards: Vec<ShardRecord>,
+    /// The corpus accumulated over the committed shards.
+    pub corpus: CorpusStore,
+}
+
+impl Checkpoint {
+    /// A fresh checkpoint with nothing committed.
+    pub fn new(spec: SweepSpec) -> Self {
+        let spec_digest = spec.digest();
+        Checkpoint {
+            spec,
+            spec_digest,
+            shards: Vec::new(),
+            corpus: CorpusStore::new(),
+        }
+    }
+
+    /// Number of committed shards (commits are contiguous, so this is also
+    /// the first shard a resume runs).
+    pub fn completed_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All committed job summaries, in job order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobSummary> {
+        self.shards.iter().flat_map(|s| s.jobs.iter())
+    }
+
+    /// Serializes the checkpoint (pretty, streamed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty_streamed(self)
+    }
+
+    /// Parses a checkpoint back through the streaming reader.
+    ///
+    /// # Errors
+    /// Returns a `serde_json::Error` on malformed input.
+    pub fn from_json(json: &str) -> Result<Checkpoint, Error> {
+        serde_json::from_str_streamed(json)
+    }
+
+    /// Atomically writes the checkpoint to `path`: the JSON lands in a
+    /// sibling `*.tmp` file first and is renamed into place, so a kill
+    /// mid-write leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), ServiceError> {
+        let tmp = path.with_extension("tmp");
+        let io_err = |source| ServiceError::Io {
+            path: path.display().to_string(),
+            source,
+        };
+        std::fs::write(&tmp, self.to_json() + "\n").map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Loads a checkpoint from `path`.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Io`] on filesystem failures and
+    /// [`ServiceError::Json`] on malformed content.
+    pub fn load(path: &Path) -> Result<Checkpoint, ServiceError> {
+        let json = std::fs::read_to_string(path).map_err(|source| ServiceError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Checkpoint::from_json(&json).map_err(|source| ServiceError::Json {
+            path: path.display().to_string(),
+            source,
+        })
+    }
+}
+
+impl StreamSerialize for Checkpoint {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("spec", &self.spec)
+            .field("spec_digest", &self.spec_digest)
+            .field("shards", &self.shards)
+            .field("corpus", &self.corpus)
+            .end_object();
+    }
+}
+
+impl StreamDeserialize for Checkpoint {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.begin_object()?;
+        let spec = r.key("spec")?.value()?;
+        let spec_digest = r.key("spec_digest")?.value()?;
+        let shards = r.key("shards")?.value()?;
+        let corpus = r.key("corpus")?.value()?;
+        r.end_object()?;
+        Ok(Checkpoint {
+            spec,
+            spec_digest,
+            shards,
+            corpus,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let spec = SweepSpec::new("unit", [ProfileId::D2], [1, 2]).with_shard_size(1);
+        let mut cp = Checkpoint::new(spec);
+        let job = JobSummary {
+            index: 0,
+            target: ProfileId::D2,
+            seed: 1,
+            vulnerable: true,
+            findings: 1,
+            packets_sent: 42,
+            elapsed_secs: 7,
+            report_digest: 0xDEAD,
+            trace_digest: 0xBEEF,
+            cluster: Some(ClusterKey {
+                crash_digest: 9,
+                coverage_signature: 3,
+            }),
+        };
+        cp.shards.push(ShardRecord {
+            shard: 0,
+            digest: ShardRecord::digest_jobs(std::slice::from_ref(&job)),
+            jobs: vec![job],
+        });
+        cp
+    }
+
+    #[test]
+    fn checkpoint_round_trips_byte_identically() {
+        let cp = sample();
+        let json = cp.to_json();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn save_is_atomic_and_reloadable() {
+        let dir = std::env::temp_dir().join("l2fuzz-service-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,238 @@
+//! Crash-dedup corpus: cluster finished jobs by what actually broke.
+//!
+//! A fleet-scale sweep finds the same seeded vulnerability thousands of
+//! times; the operator needs *clusters*, not a thousand near-identical
+//! reports.  The cluster key pairs the crash dumps' identity digest (what
+//! crashed, where — timestamps excluded) with the trace's state-coverage
+//! signature (which protocol states the run exercised), the cheap stateful
+//! clustering "Is Stateful Fuzzing Really Challenging?" recommends.  The
+//! first job to reach a cluster donates its trace as the exemplar; later
+//! members only bump counts.
+
+use serde_json::{Error, JsonStreamReader, JsonStreamWriter, StreamDeserialize, StreamSerialize};
+use sniffer::Trace;
+
+/// The dedup key: crash identity × state-coverage signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClusterKey {
+    /// Combined identity digest of the job's crash dumps
+    /// ([`crate::digest::crash_dumps_digest`]).
+    pub crash_digest: u64,
+    /// State-coverage bitmask of the job's merged trace
+    /// ([`sniffer::StateCoverage::signature`]).
+    pub coverage_signature: u32,
+}
+
+impl StreamSerialize for ClusterKey {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("crash_digest", &self.crash_digest)
+            .field("coverage_signature", &self.coverage_signature)
+            .end_object();
+    }
+}
+
+impl StreamDeserialize for ClusterKey {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.begin_object()?;
+        let crash_digest = r.key("crash_digest")?.value()?;
+        let coverage_signature = r.key("coverage_signature")?.value()?;
+        r.end_object()?;
+        Ok(ClusterKey {
+            crash_digest,
+            coverage_signature,
+        })
+    }
+}
+
+/// One dedup cluster: every job that tripped the same crash the same way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashCluster {
+    /// The dedup key all members share.
+    pub key: ClusterKey,
+    /// Identifiers of the seeded vulnerabilities that fired (sorted,
+    /// deduplicated).
+    pub vuln_ids: Vec<String>,
+    /// Human-readable description from the first member's evidence.
+    pub description: String,
+    /// Sweep-wide indices of the member jobs, ascending.
+    pub members: Vec<usize>,
+    /// The member whose trace is kept as the exemplar (the first committed).
+    pub exemplar_job: usize,
+    /// The exemplar's merged packet trace — enough to replay the crash.
+    pub exemplar_trace: Trace,
+}
+
+impl CrashCluster {
+    /// Number of member jobs.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl StreamSerialize for CrashCluster {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("key", &self.key)
+            .field("vuln_ids", &self.vuln_ids)
+            .field("description", &self.description)
+            .field("members", &self.members)
+            .field("exemplar_job", &self.exemplar_job)
+            .field("exemplar_trace", &self.exemplar_trace)
+            .end_object();
+    }
+}
+
+impl StreamDeserialize for CrashCluster {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.begin_object()?;
+        let key = r.key("key")?.value()?;
+        let vuln_ids = r.key("vuln_ids")?.value()?;
+        let description = r.key("description")?.value()?;
+        let members = r.key("members")?.value()?;
+        let exemplar_job = r.key("exemplar_job")?.value()?;
+        let exemplar_trace = r.key("exemplar_trace")?.value()?;
+        r.end_object()?;
+        Ok(CrashCluster {
+            key,
+            vuln_ids,
+            description,
+            members,
+            exemplar_job,
+            exemplar_trace,
+        })
+    }
+}
+
+/// The corpus store: clusters in first-seen order.
+///
+/// Jobs are inserted in commit order (shard by shard, jobs ascending within
+/// a shard), so the cluster list — and therefore the serialized corpus — is
+/// deterministic for a given sweep, interrupted or not.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStore {
+    clusters: Vec<CrashCluster>,
+}
+
+impl CorpusStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CorpusStore::default()
+    }
+
+    /// Records a crashing job.  A new key opens a cluster with `trace` as
+    /// its exemplar; a known key only appends the member and merges the
+    /// vulnerability identifiers.
+    pub fn insert(
+        &mut self,
+        job: usize,
+        key: ClusterKey,
+        vuln_ids: impl IntoIterator<Item = String>,
+        description: &str,
+        trace: &Trace,
+    ) {
+        match self.clusters.iter_mut().find(|c| c.key == key) {
+            Some(cluster) => {
+                cluster.members.push(job);
+                for id in vuln_ids {
+                    if !cluster.vuln_ids.contains(&id) {
+                        cluster.vuln_ids.push(id);
+                        cluster.vuln_ids.sort();
+                    }
+                }
+            }
+            None => {
+                let mut ids: Vec<String> = vuln_ids.into_iter().collect();
+                ids.sort();
+                ids.dedup();
+                self.clusters.push(CrashCluster {
+                    key,
+                    vuln_ids: ids,
+                    description: description.to_owned(),
+                    members: vec![job],
+                    exemplar_job: job,
+                    exemplar_trace: trace.clone(),
+                });
+            }
+        }
+    }
+
+    /// The clusters, in first-seen order.
+    pub fn clusters(&self) -> &[CrashCluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when no job has crashed yet.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total member jobs across all clusters.
+    pub fn member_count(&self) -> usize {
+        self.clusters.iter().map(CrashCluster::count).sum()
+    }
+}
+
+impl StreamSerialize for CorpusStore {
+    fn stream(&self, w: &mut JsonStreamWriter) {
+        w.begin_object()
+            .field("clusters", &self.clusters)
+            .end_object();
+    }
+}
+
+impl StreamDeserialize for CorpusStore {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.begin_object()?;
+        let clusters = r.key("clusters")?.value()?;
+        r.end_object()?;
+        Ok(CorpusStore { clusters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(crash: u64, coverage: u32) -> ClusterKey {
+        ClusterKey {
+            crash_digest: crash,
+            coverage_signature: coverage,
+        }
+    }
+
+    #[test]
+    fn same_key_jobs_collapse_into_one_cluster() {
+        let mut store = CorpusStore::new();
+        store.insert(0, key(7, 3), ["V1".into()], "DoS", &Trace::new());
+        store.insert(3, key(7, 3), ["V1".into()], "DoS", &Trace::new());
+        store.insert(5, key(9, 3), ["V2".into()], "crash", &Trace::new());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.member_count(), 3);
+        assert_eq!(store.clusters()[0].members, vec![0, 3]);
+        assert_eq!(store.clusters()[0].exemplar_job, 0);
+        assert_eq!(store.clusters()[1].members, vec![5]);
+    }
+
+    #[test]
+    fn corpus_round_trips_through_the_streaming_pair() {
+        let mut store = CorpusStore::new();
+        store.insert(
+            2,
+            key(11, 5),
+            ["V3".into(), "V1".into()],
+            "x",
+            &Trace::new(),
+        );
+        let json = serde_json::to_string_streamed(&store);
+        let back: CorpusStore = serde_json::from_str_streamed(&json).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(serde_json::to_string_streamed(&back), json);
+        assert_eq!(back.clusters()[0].vuln_ids, vec!["V1", "V3"]);
+    }
+}

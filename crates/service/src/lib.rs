@@ -1,0 +1,119 @@
+//! Fleet-scale campaign service: checkpointable, resumable fuzzing sweeps.
+//!
+//! [`SweepService`] turns a [`SweepSpec`] — the cross product of device
+//! profiles and campaign seeds, cut into shards — into a worker pool that
+//! drains the job queue, commits results **in shard order**, and rewrites a
+//! streamed-JSON [`Checkpoint`] after every commit.  Because campaigns are
+//! bit-for-bit deterministic, a killed sweep does not merely *resume* from
+//! the last committed shard: the resume is *verified* by re-running a
+//! committed shard and comparing its digest ([`ResumeVerify`]).  Finished
+//! crashing jobs are clustered in a [`CorpusStore`] keyed by crash-dump
+//! identity × state-coverage signature, so a thousand jobs tripping the
+//! same seeded vulnerability collapse into one cluster with an exemplar
+//! trace.
+//!
+//! The `l2fuzz-service` binary wraps all of this for operators; see the
+//! repository README's "Operating a sweep" section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod corpus;
+pub mod digest;
+pub mod report;
+pub mod service;
+pub mod spec;
+
+use std::fmt;
+
+use l2fuzz::campaign::CampaignError;
+
+pub use checkpoint::{Checkpoint, JobSummary, ShardRecord};
+pub use corpus::{ClusterKey, CorpusStore, CrashCluster};
+pub use report::ServiceReport;
+pub use service::{ResumeVerify, SweepOutcome, SweepService};
+pub use spec::{JobSpec, SweepSpec};
+
+/// Everything that can go wrong while running a sweep.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A job's campaign failed to build or run.
+    Campaign(CampaignError),
+    /// A checkpoint file could not be read or written.
+    Io {
+        /// The checkpoint path involved.
+        path: String,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// A checkpoint file exists but does not parse.
+    Json {
+        /// The checkpoint path involved.
+        path: String,
+        /// The underlying parse error.
+        source: serde_json::Error,
+    },
+    /// The checkpoint on disk belongs to a different sweep definition.
+    SpecMismatch {
+        /// Digest of the spec this service was configured with.
+        expected: u64,
+        /// Digest recorded in the checkpoint.
+        found: u64,
+    },
+    /// Resume verification re-ran a committed shard and got a different
+    /// digest — the checkpoint cannot be trusted.
+    VerifyFailed {
+        /// The shard that failed to reproduce.
+        shard: usize,
+        /// Digest recorded in the checkpoint.
+        expected: u64,
+        /// Digest the re-run produced.
+        found: u64,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Campaign(err) => write!(f, "campaign failed: {err}"),
+            ServiceError::Io { path, source } => {
+                write!(f, "checkpoint I/O failed for `{path}`: {source}")
+            }
+            ServiceError::Json { path, source } => {
+                write!(f, "checkpoint `{path}` is malformed: {source}")
+            }
+            ServiceError::SpecMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different sweep \
+                 (spec digest {found:016x}, expected {expected:016x})"
+            ),
+            ServiceError::VerifyFailed {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "resume verification failed: shard {shard} re-ran to digest \
+                 {found:016x}, checkpoint recorded {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Campaign(err) => Some(err),
+            ServiceError::Io { source, .. } => Some(source),
+            ServiceError::Json { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CampaignError> for ServiceError {
+    fn from(err: CampaignError) -> Self {
+        ServiceError::Campaign(err)
+    }
+}

@@ -1,0 +1,441 @@
+//! The sweep service: a worker pool draining the shard queue, with
+//! in-order checkpoint commits and verifiable resume.
+//!
+//! Workers claim shards from an atomic cursor and run them out of order;
+//! the committer (the calling thread) commits results strictly in shard
+//! order — corpus insertion, checkpoint rewrite, observer callback — so the
+//! durable state after shard *k* is identical no matter how the pool
+//! interleaved.  That in-order commit rule is what makes "resume from the
+//! last completed shard" well-defined, and campaign determinism is what
+//! makes it *verifiable*: re-running a committed shard must reproduce its
+//! recorded digest bit for bit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use btstack::DeviceProfile;
+use l2fuzz::campaign::{Campaign, CampaignPlan, TargetOutcome};
+use l2fuzz::fuzzer::Fuzzer;
+use l2fuzz::session::L2FuzzTool;
+use l2fuzz::{FuzzConfig, TxBudget};
+use sniffer::{StateCoverage, Trace};
+
+use crate::checkpoint::{Checkpoint, JobSummary, ShardRecord};
+use crate::corpus::ClusterKey;
+use crate::report::ServiceReport;
+use crate::spec::{JobSpec, SweepSpec};
+use crate::ServiceError;
+
+/// How much of a loaded checkpoint to re-prove before continuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeVerify {
+    /// Trust the checkpoint as written.
+    None,
+    /// Re-run the last committed shard and compare digests (the default:
+    /// catches a torn or stale checkpoint at the cost of one shard).
+    #[default]
+    LastShard,
+    /// Re-run every committed shard (full proof; linear in committed work).
+    All,
+}
+
+/// A crashing job's corpus contribution, carried from the worker to the
+/// committer alongside its summary.
+struct CrashInfo {
+    key: ClusterKey,
+    vuln_ids: Vec<String>,
+    description: String,
+    trace: Trace,
+}
+
+/// One finished job: the durable summary plus the (transient) corpus data.
+struct JobResult {
+    summary: JobSummary,
+    crash: Option<CrashInfo>,
+}
+
+/// A per-commit callback, invoked on the committing thread in shard order.
+type CommitObserver = Box<dyn Fn(&ShardRecord)>;
+
+/// A commit-queue slot: empty until its shard's worker finishes.
+type ShardSlot = Option<Result<Vec<JobResult>, ServiceError>>;
+
+/// What a finished (or deliberately stopped) run produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The final report — `Some` only when every shard has committed.
+    pub report: Option<ServiceReport>,
+    /// The checkpoint state at exit.
+    pub checkpoint: Checkpoint,
+    /// The first shard this run executed (0 for a fresh sweep).
+    pub resumed_from: usize,
+    /// Shards re-run and digest-matched during resume verification.
+    pub verified_shards: Vec<usize>,
+    /// Shards committed by this run.
+    pub committed_this_run: usize,
+}
+
+impl SweepOutcome {
+    /// `true` when the sweep ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// The long-running campaign service.
+///
+/// ```no_run
+/// use btstack::ProfileId;
+/// use service::{SweepService, SweepSpec};
+///
+/// let spec = SweepSpec::new("nightly", [ProfileId::D2], SweepSpec::derived_seeds(7, 16))
+///     .with_budget(300)
+///     .with_shard_size(4);
+/// let outcome = SweepService::new(spec)
+///     .workers(4)
+///     .checkpoint("nightly.ckpt.json")
+///     .run()
+///     .unwrap();
+/// println!("{}", outcome.report.unwrap().summary_line());
+/// ```
+pub struct SweepService {
+    spec: SweepSpec,
+    workers: usize,
+    checkpoint_path: Option<PathBuf>,
+    verify: ResumeVerify,
+    max_shards: Option<usize>,
+    on_commit: Option<CommitObserver>,
+}
+
+impl SweepService {
+    /// Creates a single-worker service with no checkpointing.
+    pub fn new(spec: SweepSpec) -> Self {
+        SweepService {
+            spec,
+            workers: 1,
+            checkpoint_path: None,
+            verify: ResumeVerify::default(),
+            max_shards: None,
+            on_commit: None,
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least one).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables checkpointing to `path`: the file is rewritten atomically
+    /// after every committed shard, and an existing file is resumed from.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Sets the resume-verification policy (default:
+    /// [`ResumeVerify::LastShard`]).
+    pub fn verify(mut self, verify: ResumeVerify) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Commits at most `shards` shards in this run, then returns — the
+    /// controlled stand-in for a kill, used by the resume tests and the
+    /// CLI's `--max-shards`.
+    pub fn max_shards(mut self, shards: usize) -> Self {
+        self.max_shards = Some(shards);
+        self
+    }
+
+    /// Installs a per-commit observer, called on the committing thread in
+    /// shard order (progress reporting, metrics export).
+    pub fn on_commit(mut self, f: impl Fn(&ShardRecord) + 'static) -> Self {
+        self.on_commit = Some(Box::new(f));
+        self
+    }
+
+    /// Runs (or resumes) the sweep.
+    ///
+    /// # Errors
+    /// - [`ServiceError::Campaign`] when a job's campaign cannot run;
+    /// - [`ServiceError::Io`]/[`ServiceError::Json`] on checkpoint
+    ///   filesystem or parse failures;
+    /// - [`ServiceError::SpecMismatch`] when the checkpoint on disk belongs
+    ///   to a different sweep definition;
+    /// - [`ServiceError::VerifyFailed`] when a committed shard does not
+    ///   reproduce its recorded digest.
+    pub fn run(&self) -> Result<SweepOutcome, ServiceError> {
+        let plan = build_plan(&self.spec)?;
+        let mut checkpoint = self.load_or_create()?;
+        let resumed_from = checkpoint.completed_shards();
+        let verified_shards = self.verify_resume(&plan, &checkpoint)?;
+
+        let total = self.spec.shard_count();
+        let end = match self.max_shards {
+            Some(cap) => total.min(resumed_from + cap),
+            None => total,
+        };
+        let pending: Vec<usize> = (resumed_from..end).collect();
+        let committed_this_run = self.drain(&plan, &mut checkpoint, &pending)?;
+
+        let report = (checkpoint.completed_shards() == total)
+            .then(|| ServiceReport::from_checkpoint(&checkpoint));
+        Ok(SweepOutcome {
+            report,
+            checkpoint,
+            resumed_from,
+            verified_shards,
+            committed_this_run,
+        })
+    }
+
+    /// Loads the checkpoint when one exists (validating its spec identity),
+    /// otherwise starts fresh.
+    fn load_or_create(&self) -> Result<Checkpoint, ServiceError> {
+        match &self.checkpoint_path {
+            Some(path) if path.exists() => {
+                let checkpoint = Checkpoint::load(path)?;
+                let expected = self.spec.digest();
+                if checkpoint.spec_digest != expected || checkpoint.spec != self.spec {
+                    return Err(ServiceError::SpecMismatch {
+                        expected,
+                        found: checkpoint.spec_digest,
+                    });
+                }
+                Ok(checkpoint)
+            }
+            _ => Ok(Checkpoint::new(self.spec.clone())),
+        }
+    }
+
+    /// Re-runs committed shards per the verification policy and compares
+    /// digests.
+    fn verify_resume(
+        &self,
+        plan: &CampaignPlan,
+        checkpoint: &Checkpoint,
+    ) -> Result<Vec<usize>, ServiceError> {
+        let committed = checkpoint.completed_shards();
+        let shards: Vec<usize> = match self.verify {
+            ResumeVerify::None => Vec::new(),
+            ResumeVerify::LastShard => committed.checked_sub(1).into_iter().collect(),
+            ResumeVerify::All => (0..committed).collect(),
+        };
+        for &shard in &shards {
+            let results = run_shard(plan, &self.spec, shard)?;
+            let summaries: Vec<JobSummary> = results.into_iter().map(|r| r.summary).collect();
+            let found = ShardRecord::digest_jobs(&summaries);
+            let expected = checkpoint.shards[shard].digest;
+            if found != expected {
+                return Err(ServiceError::VerifyFailed {
+                    shard,
+                    expected,
+                    found,
+                });
+            }
+        }
+        Ok(shards)
+    }
+
+    /// Runs `pending` shards through the worker pool, committing in shard
+    /// order; returns the number committed.
+    fn drain(
+        &self,
+        plan: &CampaignPlan,
+        checkpoint: &mut Checkpoint,
+        pending: &[usize],
+    ) -> Result<usize, ServiceError> {
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let workers = self.workers.min(pending.len());
+        let next = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        // Slot `i` receives shard `pending[i]`'s result.  parking_lot's
+        // vendored stub has no Condvar, so the commit queue pairs a std
+        // mutex with a std condvar.
+        let slots: Mutex<Vec<ShardSlot>> = Mutex::new((0..pending.len()).map(|_| None).collect());
+        let ready = Condvar::new();
+
+        let mut committed = 0usize;
+        let mut failure: Option<ServiceError> = None;
+        let spec = &self.spec;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if cancel.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(&shard) = pending.get(i) else { break };
+                    let result = run_shard(plan, spec, shard);
+                    if result.is_err() {
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                    let mut guard = slots.lock().expect("slot mutex poisoned");
+                    guard[i] = Some(result);
+                    ready.notify_all();
+                });
+            }
+
+            // The committer: workers claim slots in ascending order, so
+            // slot `i` is guaranteed to fill unless an error at an earlier
+            // slot stops the loop first — every wait below terminates.
+            for (i, &shard) in pending.iter().enumerate() {
+                let result = {
+                    let mut guard = slots.lock().expect("slot mutex poisoned");
+                    loop {
+                        if let Some(result) = guard[i].take() {
+                            break result;
+                        }
+                        guard = ready.wait(guard).expect("slot mutex poisoned");
+                    }
+                };
+                match result {
+                    Ok(results) => {
+                        if let Err(err) = self.commit(checkpoint, shard, results) {
+                            cancel.store(true, Ordering::SeqCst);
+                            failure = Some(err);
+                            break;
+                        }
+                        committed += 1;
+                    }
+                    Err(err) => {
+                        failure = Some(err);
+                        break;
+                    }
+                }
+            }
+        });
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(committed),
+        }
+    }
+
+    /// Commits one shard: corpus insertion in job order, the shard record,
+    /// the checkpoint rewrite, and the observer.
+    fn commit(
+        &self,
+        checkpoint: &mut Checkpoint,
+        shard: usize,
+        results: Vec<JobResult>,
+    ) -> Result<(), ServiceError> {
+        let mut jobs = Vec::with_capacity(results.len());
+        for result in results {
+            if let Some(crash) = result.crash {
+                checkpoint.corpus.insert(
+                    result.summary.index,
+                    crash.key,
+                    crash.vuln_ids,
+                    &crash.description,
+                    &crash.trace,
+                );
+            }
+            jobs.push(result.summary);
+        }
+        let record = ShardRecord {
+            shard,
+            digest: ShardRecord::digest_jobs(&jobs),
+            jobs,
+        };
+        checkpoint.shards.push(record);
+        if let Some(path) = &self.checkpoint_path {
+            checkpoint.save(path)?;
+        }
+        if let Some(observer) = &self.on_commit {
+            observer(checkpoint.shards.last().expect("just pushed"));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the campaign plan a sweep runs its jobs against.  Detection mode
+/// (no budget) keeps the campaign defaults: the fuzzer stops at the first
+/// vulnerability and the out-of-band oracle turns the crash into a report
+/// finding.  Budget mode switches to the comparison experiments' setup —
+/// budget-driven fuzzer, auto-restarting devices so the whole budget burns
+/// even across crashes (which also means crashes surface as crash dumps,
+/// not findings).
+fn build_plan(spec: &SweepSpec) -> Result<CampaignPlan, ServiceError> {
+    let mut builder =
+        Campaign::builder().targets(spec.targets.iter().map(|id| DeviceProfile::table5(*id)));
+    if let Some(budget) = spec.budget_packets {
+        builder = builder
+            .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())) as Box<dyn Fuzzer>)
+            .budget(TxBudget::packets(budget))
+            .auto_restart(true);
+    }
+    builder.plan().map_err(ServiceError::Campaign)
+}
+
+/// Runs one shard's jobs serially, in job order.
+fn run_shard(
+    plan: &CampaignPlan,
+    spec: &SweepSpec,
+    shard: usize,
+) -> Result<Vec<JobResult>, ServiceError> {
+    spec.shard_jobs(shard)
+        .map(|index| run_job(plan, spec.job(index)))
+        .collect()
+}
+
+/// Runs one `(target, seed)` job and reduces its outcome to the durable
+/// summary plus corpus data.
+fn run_job(plan: &CampaignPlan, job: JobSpec) -> Result<JobResult, ServiceError> {
+    let outcome = plan
+        .run_target_with_seed(job.target_index, job.seed)
+        .map_err(ServiceError::Campaign)?;
+    Ok(summarize(job, &outcome))
+}
+
+/// Reduces a campaign outcome to a [`JobResult`].  Only virtual-clock and
+/// seed-derived data lands in the summary, so it is reproducible.
+fn summarize(job: JobSpec, outcome: &TargetOutcome) -> JobResult {
+    let trace = outcome.merged_trace();
+    let report_digest =
+        crate::digest::digest_bytes(serde_json::to_string_streamed(&outcome.report).as_bytes());
+    let trace_digest = crate::digest::trace_digest(&trace);
+
+    let dumps = outcome.device.lock().crash_dumps().to_vec();
+    let crash = if dumps.is_empty() {
+        None
+    } else {
+        let coverage = StateCoverage::from_trace_on(&trace, outcome.report.target.link_type);
+        let key = ClusterKey {
+            crash_digest: crate::digest::crash_dumps_digest(&dumps),
+            coverage_signature: coverage.signature(),
+        };
+        let description = outcome
+            .reports()
+            .flat_map(|r| r.findings.first())
+            .map(|f| f.evidence.description.clone())
+            .next()
+            .unwrap_or_else(|| format!("{} in {}", dumps[0].kind, dumps[0].process));
+        let vuln_ids = dumps.iter().map(|d| d.vuln_id.clone()).collect();
+        Some(CrashInfo {
+            key,
+            vuln_ids,
+            description,
+            trace: trace.clone(),
+        })
+    };
+
+    JobResult {
+        summary: JobSummary {
+            index: job.index,
+            target: job.target,
+            seed: job.seed,
+            vulnerable: outcome.any_vulnerable() || crash.is_some(),
+            findings: outcome.reports().map(|r| r.findings.len()).sum(),
+            packets_sent: outcome.reports().map(|r| r.packets_sent).sum(),
+            elapsed_secs: outcome.reports().map(|r| r.elapsed_secs).max().unwrap_or(0),
+            report_digest,
+            trace_digest,
+            cluster: crash.as_ref().map(|c| c.key),
+        },
+        crash,
+    }
+}

@@ -63,6 +63,19 @@ impl StateCoverage {
         self.covered.contains(&state)
     }
 
+    /// Packs the covered-state set into a bitmask, one bit per
+    /// [`ChannelState::ALL`] index (bit 0 = CLOSED).  Two traces that
+    /// exercise the same states produce the same signature, which makes this
+    /// the cheap half of the corpus dedup key ("Is Stateful Fuzzing Really
+    /// Challenging?" uses exactly this clustering).
+    pub fn signature(&self) -> u32 {
+        ChannelState::ALL
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| self.covered.contains(s))
+            .fold(0u32, |mask, (i, _)| mask | (1 << i))
+    }
+
     /// Renders the Fig. 11-style matrix row: one `#` per covered state, `.`
     /// per uncovered state, in [`ChannelState::ALL`] order.
     pub fn matrix_row(&self) -> String {
@@ -556,6 +569,17 @@ mod tests {
         assert!(cov.covers(ChannelState::WaitConnect));
         assert!(!cov.covers(ChannelState::WaitConfig));
         assert_eq!(cov.count(), 2);
+    }
+
+    #[test]
+    fn signature_packs_one_bit_per_canonical_state() {
+        assert_eq!(StateCoverage::from_trace(&Trace::new()).signature(), 0);
+        let trace = Trace::from_records(connect_exchange(0x0040, 0x0041, 0));
+        let cov = StateCoverage::from_trace(&trace);
+        let mask = cov.signature();
+        assert_eq!(mask.count_ones() as usize, cov.count());
+        // CLOSED is bit 0 of the canonical ordering.
+        assert_eq!(mask & 1, 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use hci::link::{Direction, PacketRecord, SharedTap};
 use serde::{Deserialize, Serialize};
-use serde_json::StreamSerialize;
+use serde_json::{StreamDeserialize, StreamSerialize};
 
 /// A captured packet trace: every frame that crossed a link, in order.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,12 +42,15 @@ impl Trace {
         serde_json::to_string_pretty_streamed(self)
     }
 
-    /// Parses a trace back from JSON.
+    /// Parses a trace back from JSON through the streaming reader — the
+    /// symmetric path to [`Trace::to_json`]: records land in the vector as
+    /// they are parsed, without an intermediate `Value` tree holding the
+    /// whole capture twice.
     ///
     /// # Errors
     /// Returns a `serde_json::Error` if the input is not a valid trace.
     pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
-        serde_json::from_str(json)
+        serde_json::from_str_streamed(json)
     }
 
     /// Appends a record.
@@ -158,6 +161,16 @@ impl StreamSerialize for Trace {
         w.begin_object()
             .field("records", &self.records)
             .end_object();
+    }
+}
+
+/// The reading mirror of the streamed encoding above.
+impl StreamDeserialize for Trace {
+    fn stream_from(r: &mut serde_json::JsonStreamReader<'_>) -> Result<Self, serde_json::Error> {
+        r.begin_object()?;
+        let records = r.key("records")?.value()?;
+        r.end_object()?;
+        Ok(Trace { records })
     }
 }
 

@@ -1,0 +1,84 @@
+//! Operating a fleet sweep: checkpointed execution, a simulated kill,
+//! verified resume, and the crash-dedup corpus.
+//!
+//! ```sh
+//! cargo run --example operate_sweep
+//! ```
+//!
+//! The same flow is available on the command line through the
+//! `l2fuzz-service` binary; see the README's "Operating a sweep" section.
+
+use l2fuzz_repro::btstack::profiles::ProfileId;
+use l2fuzz_repro::service::{ResumeVerify, SweepService, SweepSpec};
+
+fn main() {
+    // Four seeds against a vulnerable Android phone (D2) and a hardened
+    // laptop (D4): 8 jobs in shards of 2, each burning a 2000-packet
+    // budget on auto-restarting devices.
+    let spec = || {
+        SweepSpec::new(
+            "example",
+            [ProfileId::D2, ProfileId::D4],
+            SweepSpec::derived_seeds(0xF1EE7, 4),
+        )
+        .with_budget(2000)
+        .with_shard_size(2)
+    };
+    let checkpoint = std::env::temp_dir().join("operate_sweep.checkpoint.json");
+    let _ = std::fs::remove_file(&checkpoint);
+
+    // First invocation: commit two shards, then stop — standing in for a
+    // sweep killed mid-flight.
+    let paused = SweepService::new(spec())
+        .workers(2)
+        .checkpoint(&checkpoint)
+        .max_shards(2)
+        .run()
+        .expect("sweep runs");
+    println!(
+        "killed after {}/{} shards (checkpoint: {})",
+        paused.checkpoint.completed_shards(),
+        spec().shard_count(),
+        checkpoint.display()
+    );
+
+    // Second invocation: resume.  `ResumeVerify::All` re-runs every
+    // committed shard and proves each reproduces its recorded digest
+    // before any new work starts.
+    let outcome = SweepService::new(spec())
+        .workers(2)
+        .checkpoint(&checkpoint)
+        .verify(ResumeVerify::All)
+        .on_commit(|record| {
+            println!(
+                "committed shard {} (digest {:016x})",
+                record.shard, record.digest
+            );
+        })
+        .run()
+        .expect("resume runs");
+    println!(
+        "resumed from shard {}, re-verified {:?}",
+        outcome.resumed_from, outcome.verified_shards
+    );
+
+    // The final report: per-job summaries plus the dedup corpus.  All
+    // crashing D2 jobs collapse into one cluster keyed by crash identity
+    // and state-coverage signature.
+    let report = outcome.report.expect("sweep completed");
+    println!("{}", report.summary_line());
+    for cluster in report.corpus.clusters() {
+        println!(
+            "cluster {:016x}/{:08x}: {} member job(s) {:?}, vulns {:?}, exemplar job {} ({} packets)",
+            cluster.key.crash_digest,
+            cluster.key.coverage_signature,
+            cluster.count(),
+            cluster.members,
+            cluster.vuln_ids,
+            cluster.exemplar_job,
+            cluster.exemplar_trace.records().len()
+        );
+    }
+
+    std::fs::remove_file(&checkpoint).ok();
+}

@@ -3,7 +3,7 @@
 //! This crate only exists to host the runnable examples under `examples/` and
 //! the cross-crate integration tests under `tests/`; the functionality lives
 //! in the member crates (`btcore`, `l2cap`, `hci`, `btstack`, `l2fuzz`,
-//! `baselines`, `sniffer`, `bench`, `analysis`).
+//! `baselines`, `sniffer`, `bench`, `analysis`, `service`).
 //!
 //! Every member is re-exported, so depending on `l2fuzz-repro` alone gives
 //! access to the whole reproduction:
@@ -27,4 +27,5 @@ pub use btstack;
 pub use hci;
 pub use l2cap;
 pub use l2fuzz;
+pub use service;
 pub use sniffer;

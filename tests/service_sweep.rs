@@ -1,0 +1,215 @@
+//! Fleet-service guarantees: a sweep killed mid-flight resumes from its
+//! checkpoint to the **byte-identical** final report an uninterrupted run
+//! produces; the resume is *verified* (re-running a committed shard must
+//! reproduce its recorded digest); and same-vulnerability jobs collapse
+//! into one corpus cluster with an exemplar trace.
+
+use std::path::PathBuf;
+
+use l2fuzz_repro::btstack::profiles::ProfileId;
+use l2fuzz_repro::service::{Checkpoint, ResumeVerify, ServiceError, SweepService, SweepSpec};
+use l2fuzz_repro::sniffer::TraceAnalysis;
+
+/// A fresh scratch path under the target-adjacent temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("l2fuzz-service-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{name}-{}.json", std::process::id()))
+}
+
+/// The reference sweep: two vulnerable-device targets' worth of jobs in
+/// five shards, budget-driven so every job burns the same packet count.
+fn spec(name: &str) -> SweepSpec {
+    SweepSpec::new(
+        name,
+        [ProfileId::D2, ProfileId::D4],
+        SweepSpec::derived_seeds(0xF1EE7, 5),
+    )
+    .with_budget(2000)
+    .with_shard_size(2)
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_the_byte_identical_report() {
+    // The uninterrupted reference run (no checkpoint file at all).
+    let reference = SweepService::new(spec("pin"))
+        .workers(3)
+        .run()
+        .expect("reference sweep runs")
+        .report
+        .expect("reference sweep completes");
+
+    // The same sweep, killed after every single shard commit: run with
+    // `max_shards(1)` until done, a fresh service instance per invocation —
+    // exactly what repeated crash-and-restart looks like to the checkpoint.
+    let path = scratch("resume");
+    let _ = std::fs::remove_file(&path);
+    let mut resumed = None;
+    for invocation in 0.. {
+        assert!(
+            invocation <= spec("pin").shard_count(),
+            "sweep never finished"
+        );
+        let outcome = SweepService::new(spec("pin"))
+            .workers(3)
+            .checkpoint(&path)
+            .verify(ResumeVerify::LastShard)
+            .max_shards(1)
+            .run()
+            .expect("partial sweep runs");
+        assert_eq!(outcome.resumed_from, invocation);
+        if invocation > 0 {
+            assert_eq!(
+                outcome.verified_shards,
+                vec![invocation - 1],
+                "resume must re-prove the last committed shard"
+            );
+        }
+        if let Some(report) = outcome.report {
+            resumed = Some(report);
+            break;
+        }
+        assert_eq!(outcome.committed_this_run, 1);
+    }
+    let resumed = resumed.expect("sweep completed");
+
+    // The acceptance pin: byte-identical report JSON, equal digests.
+    assert_eq!(resumed.to_json(), reference.to_json());
+    assert_eq!(resumed.digest(), reference.digest());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn full_verification_accepts_a_clean_checkpoint_and_spec_mismatch_is_rejected() {
+    let path = scratch("verify");
+    let _ = std::fs::remove_file(&path);
+
+    // Commit three shards, stop.
+    SweepService::new(spec("verify"))
+        .workers(2)
+        .checkpoint(&path)
+        .max_shards(3)
+        .run()
+        .expect("partial sweep runs");
+
+    // Resuming under `All` re-runs all three committed shards and accepts.
+    let outcome = SweepService::new(spec("verify"))
+        .workers(2)
+        .checkpoint(&path)
+        .verify(ResumeVerify::All)
+        .run()
+        .expect("verified resume runs");
+    assert_eq!(outcome.resumed_from, 3);
+    assert_eq!(outcome.verified_shards, vec![0, 1, 2]);
+    assert!(outcome.is_complete());
+
+    // A different sweep definition must refuse the checkpoint outright.
+    let err = SweepService::new(spec("verify").with_budget(999))
+        .checkpoint(&path)
+        .run()
+        .expect_err("mismatched spec must be rejected");
+    assert!(
+        matches!(err, ServiceError::SpecMismatch { .. }),
+        "got {err}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tampered_checkpoint_fails_resume_verification() {
+    let path = scratch("tamper");
+    let _ = std::fs::remove_file(&path);
+
+    SweepService::new(spec("tamper"))
+        .workers(2)
+        .checkpoint(&path)
+        .max_shards(2)
+        .run()
+        .expect("partial sweep runs");
+
+    // Corrupt the last committed shard's pinned digests (keeping the JSON
+    // well-formed): the resume must notice the re-run diverges.
+    let mut checkpoint = Checkpoint::load(&path).expect("checkpoint loads");
+    let last = checkpoint.shards.last_mut().expect("two shards committed");
+    last.jobs[0].trace_digest ^= 1;
+    last.digest = l2fuzz_repro::service::ShardRecord::digest_jobs(&last.jobs);
+    checkpoint.save(&path).expect("tampered checkpoint saves");
+
+    let err = SweepService::new(spec("tamper"))
+        .workers(2)
+        .checkpoint(&path)
+        .verify(ResumeVerify::LastShard)
+        .run()
+        .expect_err("tampered checkpoint must fail verification");
+    assert!(
+        matches!(err, ServiceError::VerifyFailed { shard: 1, .. }),
+        "got {err}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn same_vulnerability_jobs_collapse_into_one_cluster() {
+    // Five D2 seeds big enough to crash every job, plus hardened D4 jobs
+    // that must stay clusterless.
+    let report = SweepService::new(spec("dedup"))
+        .workers(4)
+        .run()
+        .expect("sweep runs")
+        .report
+        .expect("sweep completes");
+
+    let d2: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.target == ProfileId::D2)
+        .collect();
+    let d4: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.target == ProfileId::D4)
+        .collect();
+    assert!(d2.iter().all(|j| j.vulnerable && j.cluster.is_some()));
+    assert!(d4.iter().all(|j| !j.vulnerable && j.cluster.is_none()));
+
+    // The acceptance criterion: N same-vuln jobs, ONE cluster.
+    assert_eq!(report.corpus.len(), 1, "{:#?}", report.corpus.clusters());
+    let cluster = &report.corpus.clusters()[0];
+    assert_eq!(cluster.count(), d2.len());
+    assert_eq!(
+        cluster.members,
+        d2.iter().map(|j| j.index).collect::<Vec<_>>(),
+        "members are committed in job order"
+    );
+    assert_eq!(cluster.vuln_ids, vec!["SIM-BLUEDROID-L2C-NULLPTR"]);
+    assert_eq!(cluster.exemplar_job, d2[0].index);
+
+    // The exemplar trace is a real, replayable artifact: its state coverage
+    // reproduces the signature the cluster is keyed on.
+    let analysis = TraceAnalysis::from_trace(&cluster.exemplar_trace);
+    assert_eq!(
+        analysis.coverage.signature(),
+        cluster.key.coverage_signature
+    );
+}
+
+#[test]
+fn detection_mode_surfaces_findings_without_a_budget() {
+    // No budget: the campaign default (detection fuzzer + out-of-band
+    // oracle) stops at the first vulnerability and reports a finding.
+    let report = SweepService::new(
+        SweepSpec::new("detect", [ProfileId::D2], SweepSpec::derived_seeds(3, 2))
+            .with_shard_size(1),
+    )
+    .run()
+    .expect("sweep runs")
+    .report
+    .expect("sweep completes");
+
+    assert!(report.jobs.iter().all(|j| j.vulnerable && j.findings > 0));
+    assert_eq!(report.vulnerable_jobs(), 2);
+    assert!(!report.corpus.is_empty());
+}

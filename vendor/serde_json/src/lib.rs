@@ -3,15 +3,18 @@
 //! Renders the in-tree [`serde::Value`] model to JSON text and parses JSON
 //! text back, exposing the four entry points the workspace uses:
 //! [`to_string`], [`to_string_pretty`], [`from_str`] and [`Error`] — plus
-//! the [`stream`] module, a streaming writer that serializes without
-//! building a `Value` tree (the report/trace hot path).
+//! the [`stream`] and [`read`] modules, a streaming writer/reader pair that
+//! serializes and deserializes without building a `Value` tree (the
+//! report/trace/checkpoint hot path).
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 
+pub mod read;
 pub mod stream;
 
+pub use read::{from_str_streamed, JsonStreamReader, StreamDeserialize};
 pub use serde::Value;
 pub use stream::{
     to_string_pretty_streamed, to_string_streamed, JsonStreamWriter, StreamSerialize,
@@ -24,7 +27,7 @@ pub struct Error {
 }
 
 impl Error {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         Error { msg: msg.into() }
     }
 }

@@ -1,0 +1,680 @@
+//! Streaming JSON reader: deserialize without building a [`Value`] tree.
+//!
+//! The counterpart of [`crate::stream`]: where [`crate::JsonStreamWriter`]
+//! pushes keys and scalars in document order, [`JsonStreamReader`] pulls
+//! them back in the same order. Callers walk the document with
+//! `begin_object`/`next_key`/`begin_array`/`array_next` plus scalar reads,
+//! and the reader handles separators and whitespace — it accepts both the
+//! compact and the pretty form, and anything else the tree parser accepts.
+//!
+//! Types opt in through [`StreamDeserialize`], the streaming mirror of
+//! `serde::Deserialize`; containers and primitives stream out of the box.
+//! For every type in the workspace the invariant is: the bytes produced by
+//! its `StreamSerialize` impl, fed through its `StreamDeserialize` impl and
+//! re-serialized, are **byte-identical** to the original (pinned by the
+//! round-trip tests on the checkpoint/replay path).
+
+use serde::Value;
+
+use crate::Error;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Object,
+    Array,
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: Kind,
+    items: usize,
+}
+
+/// JSON text source with automatic separator and whitespace handling.
+///
+/// The reader is *pull-based*: nothing is parsed until asked for, and no
+/// intermediate tree is built. Container framing is tracked on an explicit
+/// stack so mismatched `begin_*`/`end_*` calls fail loudly instead of
+/// silently misparsing.
+#[derive(Debug)]
+pub struct JsonStreamReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    stack: Vec<Frame>,
+}
+
+impl<'a> JsonStreamReader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        JsonStreamReader {
+            bytes: input.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+        }
+    }
+
+    /// The current byte offset (for error context in callers).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` once every container is closed and only trailing whitespace
+    /// remains.
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.stack.is_empty() && self.pos == self.bytes.len()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(format!("{} at byte {}", msg.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the opening `{` of an object value.
+    pub fn begin_object(&mut self) -> Result<&mut Self, Error> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.stack.push(Frame {
+            kind: Kind::Object,
+            items: 0,
+        });
+        Ok(self)
+    }
+
+    /// Advances to the next object field and returns its key, or `None`
+    /// after consuming the closing `}` (which also closes the frame).
+    pub fn next_key(&mut self) -> Result<Option<String>, Error> {
+        match self.stack.last() {
+            Some(f) if f.kind == Kind::Object => {}
+            _ => return Err(self.err("next_key() outside an object")),
+        }
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.stack.pop();
+            return Ok(None);
+        }
+        if self.stack.last().map(|f| f.items) != Some(0) {
+            self.expect(b',')?;
+            self.skip_ws();
+        }
+        let key = self.string()?;
+        self.skip_ws();
+        self.expect(b':')?;
+        if let Some(frame) = self.stack.last_mut() {
+            frame.items += 1;
+        }
+        Ok(Some(key))
+    }
+
+    /// Reads the next object field and requires its key to be `expected` —
+    /// the reading mirror of [`crate::JsonStreamWriter::key`] for types
+    /// whose field order is fixed.
+    pub fn key(&mut self, expected: &str) -> Result<&mut Self, Error> {
+        match self.next_key()? {
+            Some(key) if key == expected => Ok(self),
+            Some(key) => Err(self.err(format!("expected key `{expected}`, found `{key}`"))),
+            None => Err(self.err(format!("expected key `{expected}`, found end of object"))),
+        }
+    }
+
+    /// Closes the innermost object, requiring no fields remain.
+    pub fn end_object(&mut self) -> Result<&mut Self, Error> {
+        match self.next_key()? {
+            None => Ok(self),
+            Some(key) => Err(self.err(format!("unexpected trailing key `{key}`"))),
+        }
+    }
+
+    /// Consumes the opening `[` of an array value.
+    pub fn begin_array(&mut self) -> Result<&mut Self, Error> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.stack.push(Frame {
+            kind: Kind::Array,
+            items: 0,
+        });
+        Ok(self)
+    }
+
+    /// Advances to the next array element: `true` when one is ready to be
+    /// read, `false` after consuming the closing `]` (which also closes the
+    /// frame).
+    pub fn array_next(&mut self) -> Result<bool, Error> {
+        match self.stack.last() {
+            Some(f) if f.kind == Kind::Array => {}
+            _ => return Err(self.err("array_next() outside an array")),
+        }
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.stack.pop();
+            return Ok(false);
+        }
+        if self.stack.last().map(|f| f.items) != Some(0) {
+            self.expect(b',')?;
+        }
+        if let Some(frame) = self.stack.last_mut() {
+            frame.items += 1;
+        }
+        Ok(true)
+    }
+
+    /// Closes the innermost array, requiring no elements remain.
+    pub fn end_array(&mut self) -> Result<&mut Self, Error> {
+        if self.array_next()? {
+            Err(self.err("unexpected trailing array element"))
+        } else {
+            Ok(self)
+        }
+    }
+
+    /// Reads `null`.
+    pub fn null(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.eat_literal("null") {
+            Ok(())
+        } else {
+            Err(self.err("expected `null`"))
+        }
+    }
+
+    /// Consumes `null` if it is the next value; returns whether it did.
+    /// The reading mirror of `Option`'s streamed encoding.
+    pub fn try_null(&mut self) -> bool {
+        self.skip_ws();
+        self.eat_literal("null")
+    }
+
+    /// Reads a boolean.
+    pub fn bool_value(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.eat_literal("true") {
+            Ok(true)
+        } else if self.eat_literal("false") {
+            Ok(false)
+        } else {
+            Err(self.err("expected `true` or `false`"))
+        }
+    }
+
+    /// Consumes one JSON number token and returns its text.
+    fn number_token(&mut self) -> Result<(&'a str, bool), Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        Ok((text, is_float))
+    }
+
+    /// Reads a non-negative integer.
+    pub fn u64(&mut self) -> Result<u64, Error> {
+        let (text, is_float) = self.number_token()?;
+        if is_float {
+            return Err(self.err(format!("expected an integer, found `{text}`")));
+        }
+        text.parse::<u64>()
+            .map_err(|_| self.err(format!("invalid unsigned integer `{text}`")))
+    }
+
+    /// Reads a signed integer.
+    pub fn i64(&mut self) -> Result<i64, Error> {
+        let (text, is_float) = self.number_token()?;
+        if is_float {
+            return Err(self.err(format!("expected an integer, found `{text}`")));
+        }
+        text.parse::<i64>()
+            .map_err(|_| self.err(format!("invalid integer `{text}`")))
+    }
+
+    /// Reads a float. `null` reads as NaN — the writer encodes non-finite
+    /// floats as `null`, so this keeps the round trip total.
+    pub fn f64(&mut self) -> Result<f64, Error> {
+        self.skip_ws();
+        if self.eat_literal("null") {
+            return Ok(f64::NAN);
+        }
+        let (text, _) = self.number_token()?;
+        text.parse::<f64>()
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+
+    /// Reads a string value (unescaped).
+    pub fn string(&mut self) -> Result<String, Error> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.err("unterminated escape sequence"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    /// Reads any [`StreamDeserialize`] value at the current position.
+    pub fn value<T: StreamDeserialize>(&mut self) -> Result<T, Error> {
+        T::stream_from(self)
+    }
+
+    /// Reads one whole value of any shape and discards it — for skipping
+    /// fields a reader does not care about.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.begin_object()?;
+                while self.next_key()?.is_some() {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'[') => {
+                self.begin_array()?;
+                while self.array_next()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'"') => self.string().map(drop),
+            Some(b't') | Some(b'f') => self.bool_value().map(drop),
+            Some(b'n') => self.null(),
+            _ => self.number_token().map(drop),
+        }
+    }
+
+    /// Reads one whole value into a [`Value`] tree (escape hatch for
+    /// hand-assembled documents; numbers narrow exactly like
+    /// [`crate::from_str`]).
+    pub fn tree(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.begin_object()?;
+                let mut fields = Vec::new();
+                while let Some(key) = self.next_key()? {
+                    fields.push((key, self.tree()?));
+                }
+                Ok(Value::Object(fields))
+            }
+            Some(b'[') => {
+                self.begin_array()?;
+                let mut items = Vec::new();
+                while self.array_next()? {
+                    items.push(self.tree()?);
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b't') | Some(b'f') => self.bool_value().map(Value::Bool),
+            Some(b'n') => self.null().map(|()| Value::Null),
+            _ => {
+                let (text, is_float) = self.number_token()?;
+                if !is_float {
+                    if let Ok(n) = text.parse::<u64>() {
+                        return Ok(Value::U64(n));
+                    }
+                    if let Ok(n) = text.parse::<i64>() {
+                        return Ok(Value::I64(n));
+                    }
+                }
+                text.parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| self.err(format!("invalid number `{text}`")))
+            }
+        }
+    }
+}
+
+/// The streaming mirror of `serde::Deserialize`: rebuild yourself from a
+/// [`JsonStreamReader`], consuming exactly the document your
+/// [`crate::StreamSerialize`] impl writes.
+pub trait StreamDeserialize: Sized {
+    /// Reads one `Self` from `r`.
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error>;
+}
+
+/// Deserializes a `T` from a complete JSON document through the streaming
+/// reader, rejecting trailing content.
+pub fn from_str_streamed<T: StreamDeserialize>(input: &str) -> Result<T, Error> {
+    let mut r = JsonStreamReader::new(input);
+    let value = T::stream_from(&mut r)?;
+    if !r.at_end() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            r.position()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls, mirroring the `StreamSerialize` encodings.
+// ---------------------------------------------------------------------------
+
+macro_rules! read_unsigned {
+    ($($t:ty),*) => {$(
+        impl StreamDeserialize for $t {
+            fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+                let n = r.u64()?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(format!(
+                        "{n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+read_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! read_signed {
+    ($($t:ty),*) => {$(
+        impl StreamDeserialize for $t {
+            fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+                let n = r.i64()?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(format!(
+                        "{n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+read_signed!(i8, i16, i32, i64, isize);
+
+impl StreamDeserialize for f64 {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.f64()
+    }
+}
+
+impl StreamDeserialize for f32 {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        Ok(r.f64()? as f32)
+    }
+}
+
+impl StreamDeserialize for bool {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.bool_value()
+    }
+}
+
+impl StreamDeserialize for String {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.string()
+    }
+}
+
+impl<T: StreamDeserialize> StreamDeserialize for Option<T> {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        if r.try_null() {
+            Ok(None)
+        } else {
+            T::stream_from(r).map(Some)
+        }
+    }
+}
+
+impl<T: StreamDeserialize> StreamDeserialize for Vec<T> {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        let mut out = Vec::new();
+        r.begin_array()?;
+        while r.array_next()? {
+            out.push(T::stream_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: StreamDeserialize, const N: usize> StreamDeserialize for [T; N] {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        let items = Vec::<T>::stream_from(r)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::new(format!("expected {N} array elements, found {len}")))
+    }
+}
+
+impl StreamDeserialize for Value {
+    fn stream_from(r: &mut JsonStreamReader<'_>) -> Result<Self, Error> {
+        r.tree()
+    }
+}
+
+/// Implements [`StreamDeserialize`] for unit-only enums whose derived
+/// `serde::Deserialize` decodes the variant from its name as a string —
+/// the reading mirror of [`crate::stream_unit_enum!`].
+#[macro_export]
+macro_rules! stream_unit_enum_de {
+    ($($t:ty),* $(,)?) => {$(
+        impl $crate::StreamDeserialize for $t {
+            fn stream_from(
+                r: &mut $crate::JsonStreamReader<'_>,
+            ) -> ::std::result::Result<Self, $crate::Error> {
+                let name = r.string()?;
+                ::std::result::Result::Ok(<$t as ::serde::Deserialize>::from_value(
+                    &::serde::Value::String(name),
+                )?)
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{to_string_pretty_streamed, to_string_streamed};
+
+    #[test]
+    fn scalars_read_back() {
+        assert_eq!(from_str_streamed::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str_streamed::<i64>("-17").unwrap(), -17);
+        assert_eq!(from_str_streamed::<u8>("255").unwrap(), 255);
+        assert!(from_str_streamed::<u8>("256").is_err());
+        assert_eq!(from_str_streamed::<f64>("3.5").unwrap(), 3.5);
+        assert!(from_str_streamed::<f64>("null").unwrap().is_nan());
+        assert!(from_str_streamed::<bool>("true").unwrap());
+        assert_eq!(
+            from_str_streamed::<String>(r#""hi\n\"there\"""#).unwrap(),
+            "hi\n\"there\""
+        );
+        assert_eq!(from_str_streamed::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str_streamed::<Option<u32>>("9").unwrap(), Some(9));
+    }
+
+    #[test]
+    fn containers_read_back() {
+        assert_eq!(from_str_streamed::<Vec<u16>>("[7, 9]").unwrap(), vec![7, 9]);
+        assert_eq!(from_str_streamed::<Vec<u16>>("[]").unwrap(), Vec::new());
+        assert_eq!(from_str_streamed::<[u8; 3]>("[1,2,3]").unwrap(), [1, 2, 3]);
+        assert!(from_str_streamed::<[u8; 3]>("[1,2]").is_err());
+    }
+
+    #[test]
+    fn manual_walk_mirrors_the_writer() {
+        let json = r#"{"name":"probe","counts":[1,2],"empty":{},"ratio":0.5}"#;
+        let mut r = JsonStreamReader::new(json);
+        r.begin_object().unwrap();
+        r.key("name").unwrap();
+        assert_eq!(r.string().unwrap(), "probe");
+        r.key("counts").unwrap();
+        assert_eq!(r.value::<Vec<u64>>().unwrap(), vec![1, 2]);
+        r.key("empty").unwrap().begin_object().unwrap();
+        r.end_object().unwrap();
+        r.key("ratio").unwrap();
+        assert_eq!(r.f64().unwrap(), 0.5);
+        r.end_object().unwrap();
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn pretty_documents_parse_identically() {
+        let v: Value =
+            crate::from_str(r#"{"a":[1,2,{"b":"x","c":[]}],"d":null,"e":{},"f":{"g":[[],[1]]}}"#)
+                .unwrap();
+        let compact = to_string_streamed(&v);
+        let pretty = to_string_pretty_streamed(&v);
+        let from_compact: Value = from_str_streamed(&compact).unwrap();
+        let from_pretty: Value = from_str_streamed(&pretty).unwrap();
+        assert_eq!(from_compact, v);
+        assert_eq!(from_pretty, v);
+    }
+
+    #[test]
+    fn tree_numbers_narrow_like_the_tree_parser() {
+        let json = r#"[0, 42, -17, 3.5, 18446744073709551615]"#;
+        let streamed: Value = from_str_streamed(json).unwrap();
+        let treed: Value = crate::from_str(json).unwrap();
+        assert_eq!(streamed, treed);
+    }
+
+    #[test]
+    fn skip_value_steps_over_anything() {
+        let json = r#"{"skip":{"a":[1,{"b":null}],"c":"x"},"keep":7}"#;
+        let mut r = JsonStreamReader::new(json);
+        r.begin_object().unwrap();
+        loop {
+            match r.next_key().unwrap() {
+                Some(key) if key == "keep" => {
+                    assert_eq!(r.u64().unwrap(), 7);
+                }
+                Some(_) => r.skip_value().unwrap(),
+                None => break,
+            }
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn mismatched_framing_is_rejected() {
+        assert!(JsonStreamReader::new("[1]").begin_object().is_err());
+        let mut r = JsonStreamReader::new("{\"a\":1}");
+        assert!(r.array_next().is_err());
+        let mut r = JsonStreamReader::new("{\"a\":1,\"b\":2}");
+        r.begin_object().unwrap();
+        r.key("a").unwrap();
+        r.u64().unwrap();
+        assert!(r.end_object().is_err());
+        assert!(from_str_streamed::<u64>("42 7").is_err());
+    }
+}
