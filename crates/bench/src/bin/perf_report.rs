@@ -4,8 +4,8 @@
 //! the median wall-clock per iteration plus derived packets/second and
 //! measured heap allocations per packet, and writes the result as JSON.
 //!
-//! The committed `BENCH_PR7.json` at the repository root is the tracked
-//! baseline of this report (`BENCH_PR3.json`…`BENCH_PR6.json` remain as
+//! The committed `BENCH_PR8.json` at the repository root is the tracked
+//! baseline of this report (`BENCH_PR3.json`…`BENCH_PR7.json` remain as
 //! earlier reference points); CI re-runs it on every change (non-gating),
 //! uploads the fresh report as an artifact and — via repeatable
 //! `--baseline` flags — compares it against each committed baseline,
@@ -33,6 +33,7 @@ use l2fuzz::fuzzer::TxBudget;
 use l2fuzz::guide::ChannelContext;
 use l2fuzz::mutator::CoreFieldMutator;
 use l2fuzz::session::L2FuzzTool;
+use l2fuzz::FaultPlan;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -84,7 +85,7 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR7.json".to_owned();
+    let mut out_path = "BENCH_PR8.json".to_owned();
     let mut baseline_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -168,6 +169,52 @@ fn main() {
                 .run()
                 .expect("ablation campaign runs")
                 .into_single();
+            std::hint::black_box(outcome.trace.len());
+        }));
+    }
+
+    // 5b. faulty_link — the ablation campaign again, but over a link
+    //    dropping 10 % of frames: the cost of the fault layer's per-event
+    //    RNG rolls plus the retried preludes that keep the walk complete.
+    //    The budget still burns fully, so packets/s is directly comparable
+    //    to `ablation`'s ideal-link number.
+    {
+        results.push(measure("faulty_link", 15, 500, || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(|| Box::new(L2FuzzTool::new(FuzzConfig::budget_driven())))
+                .budget(TxBudget::packets(500))
+                .oracle(OraclePolicy::None)
+                .auto_restart(true)
+                .faults(FaultPlan::none().with_loss(0.10))
+                .seed(0xA11A)
+                .run()
+                .expect("faulty-link campaign runs")
+                .into_single();
+            std::hint::black_box(outcome.trace.len());
+        }));
+    }
+
+    // 5c. time_to_detection_{ideal,faulty} — a full detection campaign
+    //    against the vulnerable BR/EDR phone, on an ideal link and under
+    //    10 % loss + 5 % corruption.  `packets_per_iter` is 1, so the
+    //    median reads directly as wall-clock time to the first confirmed
+    //    finding — the paper's end-to-end metric, pinned against link
+    //    degradation.
+    for (name, faults) in [
+        ("time_to_detection_ideal", FaultPlan::none()),
+        ("time_to_detection_faulty", FaultPlan::degraded(0.10, 0.05)),
+    ] {
+        results.push(measure(name, 15, 1, move || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 3)))
+                .faults(faults)
+                .seed(0xDE7EC7)
+                .run()
+                .expect("detection campaign runs")
+                .into_single();
+            assert!(outcome.report.vulnerable());
             std::hint::black_box(outcome.trace.len());
         }));
     }

@@ -66,8 +66,10 @@ use sniffer::Trace;
 use crate::config::FuzzConfig;
 use crate::fuzzer::{FuzzCtx, Fuzzer, TxBudget};
 use crate::report::FuzzReport;
+use crate::retry::RetryPolicy;
 use crate::scanner::ScanReport;
 use crate::session::L2FuzzTool;
+use hci::fault::FaultPlan;
 
 use btcore::FuzzRng;
 
@@ -205,6 +207,8 @@ pub struct CampaignPlan {
     seed: u64,
     auto_restart: bool,
     link_plan: LinkPlan,
+    retry: RetryPolicy,
+    watchdog_micros: Option<u64>,
 }
 
 /// Per-target seed derivation: the campaign seed and the target's position
@@ -235,6 +239,27 @@ fn initiator_seed(target_seed: u64, k: usize) -> u64 {
 struct ScheduledOracle {
     inner: DeviceOracle,
     gate: EventGate,
+    dump_faults: Option<DumpFaults>,
+}
+
+/// Deterministic crash-dump read-failure stream of one initiator's oracle.
+///
+/// Models `adb`/`ssh` dump collection failing on a flaky connection: a
+/// failed read returns `false` *without consuming the dump*, so a later
+/// attempt (the next detection check) can still collect it.  The stream is
+/// seeded from the initiator seed, so faulty campaigns replay bit for bit.
+struct DumpFaults {
+    probability: f64,
+    rng: FuzzRng,
+}
+
+impl DumpFaults {
+    fn from_plan(faults: &FaultPlan, initiator_seed: u64) -> Option<DumpFaults> {
+        (faults.dump_read_failure > 0.0).then(|| DumpFaults {
+            probability: faults.dump_read_failure,
+            rng: FuzzRng::seed_from(btcore::splitmix64(initiator_seed ^ 0x0D0C_FA17)),
+        })
+    }
 }
 
 impl btcore::TargetOracle for ScheduledOracle {
@@ -245,7 +270,17 @@ impl btcore::TargetOracle for ScheduledOracle {
 
     fn take_crash_dump(&mut self) -> bool {
         let inner = &mut self.inner;
-        self.gate.serialized(|| inner.take_crash_dump())
+        let dump_faults = &mut self.dump_faults;
+        // The failure decision happens inside the gated event, so the event
+        // schedule is identical whether or not the read fails.
+        self.gate.serialized(|| {
+            if let Some(faults) = dump_faults {
+                if faults.rng.chance(faults.probability) {
+                    return false;
+                }
+            }
+            inner.take_crash_dump()
+        })
     }
 
     fn bluetooth_alive(&self) -> bool {
@@ -322,6 +357,9 @@ impl CampaignPlan {
             )
             .on(link_type);
             spec = spec.with_clock(link_clock.clone());
+            if let Some(micros) = self.watchdog_micros {
+                spec = spec.with_watchdog(micros);
+            }
             let mut link = medium
                 .connect_spec(spec)
                 .map_err(|source| CampaignError::Connect {
@@ -393,6 +431,7 @@ impl CampaignPlan {
                 OraclePolicy::OutOfBand => Some(ScheduledOracle {
                     inner: DeviceOracle::new(device.clone()),
                     gate: env.link.event_gate(),
+                    dump_faults: DumpFaults::from_plan(&self.link_config.faults, env.seed),
                 }),
                 OraclePolicy::None => None,
             };
@@ -405,6 +444,7 @@ impl CampaignPlan {
                 self.budget,
                 oracle.as_mut().map(|o| o as &mut dyn btcore::TargetOracle),
             );
+            ctx.retry = self.retry;
             let report = fuzzer.fuzz(&mut ctx);
             // Initiators retire as soon as they stop driving traffic so
             // concurrent links do not wait on a finished peer.
@@ -452,9 +492,14 @@ impl CampaignPlan {
                     .collect();
                 handles
                     .into_iter()
-                    // analyzer: allow(panic) — re-raises a worker panic on
-                    // the coordinating thread instead of deadlocking.
-                    .map(|h| h.join().expect("initiator thread panicked"))
+                    // An initiator panic (tool bug or watchdog expiry) is
+                    // re-raised on the coordinating thread with its payload
+                    // intact, so callers that contain panics (the sweep
+                    // service) can still classify a `WatchdogExpired`.
+                    .map(|h| match h.join() {
+                        Ok(outcome) => outcome,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         };
@@ -819,6 +864,8 @@ pub struct CampaignBuilder {
     auto_restart: bool,
     executor: Box<dyn CampaignExecutor>,
     link_plan: LinkPlan,
+    retry: Option<RetryPolicy>,
+    watchdog_micros: Option<u64>,
 }
 
 impl Default for CampaignBuilder {
@@ -834,6 +881,8 @@ impl Default for CampaignBuilder {
             auto_restart: false,
             executor: Box::new(SerialExecutor),
             link_plan: LinkPlan::Single,
+            retry: None,
+            watchdog_micros: None,
         }
     }
 }
@@ -899,6 +948,40 @@ impl CampaignBuilder {
         self
     }
 
+    /// Turns this into a chaos campaign: injects `plan` at every link's
+    /// deliver path (loss, duplication, corruption, jitter, reordering,
+    /// stalls, crash-dump read failures — see [`FaultPlan`]).  Every fault
+    /// decision derives from the per-event seed stream, so faulty campaigns
+    /// replay bit for bit; [`FaultPlan::none`] is byte-identical to not
+    /// calling this at all.
+    ///
+    /// Unless [`CampaignBuilder::retry`] is set explicitly, a non-trivial
+    /// plan also arms [`RetryPolicy::lossy_link`] so the drivers tolerate
+    /// the faults they are being dealt.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.link_config.faults = plan;
+        self
+    }
+
+    /// Sets the drivers' retry tolerance (state-guide preludes, detection
+    /// pings).  Defaults to [`RetryPolicy::none`] on a clean link and
+    /// [`RetryPolicy::lossy_link`] once [`CampaignBuilder::faults`] injects
+    /// a non-trivial plan.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arms a per-link virtual-time watchdog: a link whose virtual clock
+    /// runs `budget` past connection establishment panics with a typed
+    /// [`WatchdogExpired`](hci::fault::WatchdogExpired) payload on the next
+    /// send.  The sweep service contains the panic and records the job as
+    /// timed out; standalone campaigns propagate it.
+    pub fn watchdog(mut self, budget: Duration) -> Self {
+        self.watchdog_micros = Some(budget.as_micros() as u64);
+        self
+    }
+
     /// Restarts each target's Bluetooth service after a vulnerability fires
     /// (the tester's "manual reset"; the long comparison runs need it).
     pub fn auto_restart(mut self, enabled: bool) -> Self {
@@ -946,6 +1029,11 @@ impl CampaignBuilder {
                 Box::new(L2FuzzTool::detection(FuzzConfig::default(), 1)) as Box<dyn Fuzzer>
             })
         });
+        let retry = self.retry.unwrap_or(if self.link_config.faults.is_none() {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy::lossy_link()
+        });
         Ok((
             CampaignPlan {
                 targets: self.targets,
@@ -956,6 +1044,8 @@ impl CampaignBuilder {
                 seed: self.seed,
                 auto_restart: self.auto_restart,
                 link_plan: self.link_plan,
+                retry,
+                watchdog_micros: self.watchdog_micros,
             },
             self.executor,
             self.clock,
@@ -1163,6 +1253,75 @@ mod tests {
             Err(other) => panic!("unexpected error {other}"),
             Ok(_) => panic!("dual transport against a single-mode target must fail"),
         }
+    }
+
+    #[test]
+    fn chaos_campaign_replays_bit_for_bit() {
+        let run = || {
+            Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 3)))
+                .faults(FaultPlan::degraded(0.1, 0.05))
+                .seed(0xBAD1)
+                .run()
+                .expect("chaos campaign runs")
+                .into_single()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.report.to_json().unwrap(),
+            b.report.to_json().unwrap(),
+            "same seed + same fault plan must replay bit for bit"
+        );
+        let bytes = |t: &Trace| -> Vec<Vec<u8>> {
+            t.records().iter().map(|r| r.frame.to_bytes()).collect()
+        };
+        assert_eq!(bytes(&a.trace), bytes(&b.trace));
+    }
+
+    #[test]
+    fn dump_read_failures_degrade_evidence_not_verdicts() {
+        // With every dump read failing, a crash still gets detected (the
+        // ping path is what classifies DoS/crash) — only the crash-dump
+        // evidence bit degrades.
+        let outcome = Campaign::builder()
+            .target(DeviceProfile::table5(ProfileId::D2))
+            .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 3)))
+            .faults(FaultPlan::none().with_dump_read_failure(1.0))
+            .seed(11)
+            .run()
+            .expect("campaign runs")
+            .into_single();
+        assert!(outcome.report.vulnerable());
+        assert!(
+            outcome
+                .report
+                .findings
+                .iter()
+                .all(|f| !f.evidence.crash_dump),
+            "a failing dump reader must never produce crash-dump evidence"
+        );
+    }
+
+    #[test]
+    fn watchdog_expiry_carries_a_typed_payload_through_the_campaign() {
+        let result = std::panic::catch_unwind(|| {
+            Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 50)))
+                .watchdog(Duration::from_micros(20_000))
+                .seed(11)
+                .run()
+        });
+        let payload = match result {
+            Err(payload) => payload,
+            Ok(_) => panic!("watchdog must fire well before 50 rounds finish"),
+        };
+        let expired = payload
+            .downcast_ref::<hci::fault::WatchdogExpired>()
+            .expect("payload is WatchdogExpired");
+        assert!(expired.now_micros > expired.deadline_micros);
     }
 
     #[test]

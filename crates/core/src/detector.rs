@@ -13,6 +13,8 @@ use l2cap::command::{Command, ConnectionParameterUpdateRequest, EchoRequest};
 use l2cap::packet::parse_signaling;
 use serde::{Deserialize, Serialize};
 
+use crate::retry::RetryPolicy;
+
 /// Evidence collected when a test packet disturbed the target.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VulnerabilityEvidence {
@@ -76,6 +78,7 @@ pub struct VulnerabilityDetector {
     next_ping_id: u8,
     pings_sent: u64,
     le: bool,
+    retry: RetryPolicy,
 }
 
 impl VulnerabilityDetector {
@@ -85,6 +88,7 @@ impl VulnerabilityDetector {
             next_ping_id: 0x70,
             pings_sent: 0,
             le: false,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -97,6 +101,14 @@ impl VulnerabilityDetector {
             le: link == LinkType::Le,
             ..VulnerabilityDetector::new()
         }
+    }
+
+    /// Attaches a retry policy: an unanswered ping is retried with
+    /// virtual-time backoff before the target is declared disturbed, so a
+    /// lossy link does not masquerade as a dead target.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Number of ping packets this detector has sent.
@@ -159,8 +171,17 @@ impl VulnerabilityDetector {
             return DetectionVerdict::Healthy;
         }
 
-        // Ping test over the air.
-        let ping_ok = self.ping(link);
+        // Ping test over the air, retried per the policy: only a target
+        // that stays mute through every backed-off attempt counts as
+        // disturbed.  With `RetryPolicy::none` this is a single ping — the
+        // pre-resilience packet stream, byte for byte.
+        let mut ping_ok = self.ping(link);
+        let mut retries = 0;
+        while !ping_ok && retries + 1 < self.retry.max_attempts {
+            link.clock().advance_micros(self.retry.backoff_for(retries));
+            ping_ok = self.ping(link);
+            retries += 1;
+        }
         if ping_ok {
             return DetectionVerdict::Healthy;
         }
@@ -223,6 +244,29 @@ mod tests {
         assert_eq!(det.check(&mut link, None, false), DetectionVerdict::Healthy);
         assert_eq!(det.check(&mut link, None, true), DetectionVerdict::Healthy);
         assert!(det.pings_sent() >= 1);
+    }
+
+    #[test]
+    fn retry_policy_bounds_ping_attempts_and_burns_virtual_time() {
+        use hci::fault::FaultPlan;
+        use hci::link::LinkConfig as Cfg;
+        let clock = SimClock::new();
+        let mut air = EventMedium::new(clock.clone());
+        let profile = DeviceProfile::table5(ProfileId::D2);
+        let (_shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(9)));
+        air.register_shared(adapter);
+        // Every frame is swallowed: the ping can never succeed, so the
+        // detector must exhaust exactly `max_attempts` pings and give up.
+        let config = Cfg::ideal().with_faults(FaultPlan::none().with_loss(1.0));
+        let mut link = air
+            .connect(profile.addr, config, FuzzRng::seed_from(10))
+            .unwrap();
+        let mut det = VulnerabilityDetector::new().with_retry(RetryPolicy::flat(3, 1_000));
+        let before = link.clock().now_micros();
+        let verdict = det.check(&mut link, None, true);
+        assert!(verdict.is_vulnerable());
+        assert_eq!(det.pings_sent(), 3);
+        assert!(link.clock().now_micros() >= before + 2_000);
     }
 
     #[test]

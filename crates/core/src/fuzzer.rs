@@ -12,6 +12,7 @@ use hci::link::SharedTap;
 use hci::medium::LinkHandle;
 
 use crate::report::FuzzReport;
+use crate::retry::RetryPolicy;
 
 /// Per-target transmission budget of a campaign.
 ///
@@ -66,6 +67,10 @@ pub struct FuzzCtx<'a> {
     /// Out-of-band view of the target (crash dumps, service status), when
     /// the campaign runs with an oracle.
     pub oracle: Option<&'a mut dyn TargetOracle>,
+    /// Retry tolerance for the fault-aware drivers (state-guide preludes,
+    /// detection pings).  Defaults to [`RetryPolicy::none`]; chaos campaigns
+    /// set it so a lossy link is not mistaken for a dead target.
+    pub retry: RetryPolicy,
     start_frames: u64,
 }
 
@@ -89,6 +94,7 @@ impl<'a> FuzzCtx<'a> {
             seed,
             budget,
             oracle,
+            retry: RetryPolicy::none(),
             start_frames,
         }
     }

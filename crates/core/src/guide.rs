@@ -22,6 +22,8 @@ use l2cap::state::ChannelState;
 use l2cap::CommandCode;
 use serde::{Deserialize, Serialize};
 
+use crate::retry::RetryPolicy;
+
 /// The fuzzer-side view of one channel opened on the target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelContext {
@@ -56,6 +58,7 @@ pub struct StateGuide {
     next_scid: u16,
     next_identifier: Identifier,
     transition_packets_sent: u64,
+    retry: RetryPolicy,
 }
 
 impl Default for StateGuide {
@@ -71,7 +74,34 @@ impl StateGuide {
             next_scid: 0x0040,
             next_identifier: Identifier::FIRST,
             transition_packets_sent: 0,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Attaches a retry policy: channel-opening prelude commands whose
+    /// response is lost are retried with virtual-time backoff, so a lossy
+    /// link does not starve the mutator of reachable states.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Retries `attempt` per the guide's policy until it yields a value.
+    /// With `RetryPolicy::none` this is exactly one attempt and no extra
+    /// clock charge — the pre-resilience packet stream.
+    fn with_attempts<T>(
+        &mut self,
+        link: &mut LinkHandle,
+        mut attempt: impl FnMut(&mut Self, &mut LinkHandle) -> Option<T>,
+    ) -> Option<T> {
+        let mut result = attempt(self, link);
+        let mut retries = 0;
+        while result.is_none() && retries + 1 < self.retry.max_attempts {
+            link.clock().advance_micros(self.retry.backoff_for(retries));
+            result = attempt(self, link);
+            retries += 1;
+        }
+        result
     }
 
     /// Number of normal (state-transition) packets this guide has sent.
@@ -263,13 +293,22 @@ impl StateGuide {
     ) -> Result<(), ()> {
         match code {
             CommandCode::ConnectionRequest => {
-                *ctx = Some(self.open_channel(link, psm, false).ok_or(())?);
+                *ctx = Some(
+                    self.with_attempts(link, |g, l| g.open_channel(l, psm, false))
+                        .ok_or(())?,
+                );
             }
             CommandCode::CreateChannelRequest => {
-                *ctx = Some(self.open_channel(link, psm, true).ok_or(())?);
+                *ctx = Some(
+                    self.with_attempts(link, |g, l| g.open_channel(l, psm, true))
+                        .ok_or(())?,
+                );
             }
             CommandCode::LeCreditBasedConnectionRequest => {
-                *ctx = Some(self.open_le_channel(link, psm).ok_or(())?);
+                *ctx = Some(
+                    self.with_attempts(link, |g, l| g.open_le_channel(l, psm))
+                        .ok_or(())?,
+                );
             }
             CommandCode::ConfigureRequest => {
                 let ctx = ctx.ok_or(())?;
@@ -442,6 +481,28 @@ mod tests {
             .drive_to(&mut link, Psm::SDP, ChannelState::WaitConnect)
             .unwrap();
         assert!(!ctx.has_channel());
+    }
+
+    #[test]
+    fn lossy_opens_are_retried_with_backoff() {
+        use hci::fault::FaultPlan;
+        // Total loss: the open can never succeed, so the guide must spend
+        // exactly `max_attempts` connection requests before giving up.
+        let clock = SimClock::new();
+        let mut air = EventMedium::new(clock.clone());
+        let profile = DeviceProfile::table5(ProfileId::D2);
+        let (_shared, adapter) = share(profile.build(clock.clone(), FuzzRng::seed_from(5)));
+        air.register_shared(adapter);
+        let config = LinkConfig::ideal().with_faults(FaultPlan::none().with_loss(1.0));
+        let mut link = air
+            .connect(profile.addr, config, FuzzRng::seed_from(6))
+            .unwrap();
+        let mut guide = StateGuide::new().with_retry(RetryPolicy::flat(3, 1_000));
+        let before = link.clock().now_micros();
+        let ctx = guide.drive_to(&mut link, Psm::SDP, ChannelState::Open);
+        assert!(ctx.is_none());
+        assert_eq!(guide.transition_packets_sent(), 3);
+        assert!(link.clock().now_micros() >= before + 2_000);
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub mod guide;
 pub mod mutator;
 pub mod queue;
 pub mod report;
+pub mod retry;
 pub mod scanner;
 pub mod session;
 
@@ -103,5 +104,7 @@ pub use campaign::{
 };
 pub use config::FuzzConfig;
 pub use fuzzer::{FuzzCtx, Fuzzer, TxBudget};
+pub use hci::fault::{FaultPlan, WatchdogExpired};
 pub use report::{FuzzReport, VulnerabilityFinding};
+pub use retry::RetryPolicy;
 pub use session::{L2FuzzSession, L2FuzzTool};

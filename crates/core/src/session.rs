@@ -18,13 +18,25 @@ use crate::scanner::TargetScanner;
 pub struct L2FuzzSession {
     config: FuzzConfig,
     clock: SimClock,
+    retry: crate::retry::RetryPolicy,
 }
 
 impl L2FuzzSession {
     /// Creates a session with the given configuration; `clock` is the shared
     /// virtual clock used for elapsed-time reporting.
     pub fn new(config: FuzzConfig, clock: SimClock) -> Self {
-        L2FuzzSession { config, clock }
+        L2FuzzSession {
+            config,
+            clock,
+            retry: crate::retry::RetryPolicy::none(),
+        }
+    }
+
+    /// Attaches a retry policy to the session's drivers (state guide and
+    /// detector) for fault-tolerant campaigns over degraded links.
+    pub fn with_retry(mut self, retry: crate::retry::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The session configuration.
@@ -47,7 +59,7 @@ impl L2FuzzSession {
         let link_type = meta.link_type;
         let mut rng = FuzzRng::seed_from(self.config.seed);
         let mut scanner = TargetScanner::new();
-        let mut guide = StateGuide::new();
+        let mut guide = StateGuide::new().with_retry(self.retry);
         let mut mutator = CoreFieldMutator::with_options(
             rng.fork(1),
             self.config.core_fields_only,
@@ -56,7 +68,7 @@ impl L2FuzzSession {
         );
         mutator.set_link(link_type);
         mutator.set_config_option_mutation(self.config.mutate_config_options);
-        let mut detector = VulnerabilityDetector::new_on(link_type);
+        let mut detector = VulnerabilityDetector::new_on(link_type).with_retry(self.retry);
         let mut queue = PacketQueue::new();
 
         // Phase 1: target scanning.
@@ -233,7 +245,7 @@ impl Fuzzer for L2FuzzTool {
             let before = ctx.link.frames_sent();
             let round_start_secs = ctx.clock.now().as_secs();
             let meta = ctx.meta.clone();
-            let mut session = L2FuzzSession::new(config, ctx.clock.clone());
+            let mut session = L2FuzzSession::new(config, ctx.clock.clone()).with_retry(ctx.retry);
             let (link, oracle) = ctx.link_and_oracle();
             let mut report = session.run(link, meta, oracle);
             // Report elapsed times relative to the whole experiment (the

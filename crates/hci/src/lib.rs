@@ -21,6 +21,9 @@
 //!   "Bluetooth Dongle" box of the paper's workflow figure.
 //! * [`link`] — link configuration (latency, loss) and packet taps used by
 //!   the sniffer.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]): loss,
+//!   duplication, corruption, jitter, reordering and stalls, all derived
+//!   from the per-event seeded RNG so faulty schedules replay bit for bit.
 //!
 //! # Example
 //!
@@ -46,11 +49,13 @@ pub mod acl;
 pub mod air;
 pub mod device;
 pub mod dongle;
+pub mod fault;
 pub mod link;
 pub mod medium;
 
 pub use acl::{AclPacket, BoundaryFlag, ACL_FRAGMENT_SIZE};
 pub use device::{SharedDevice, VirtualDevice};
 pub use dongle::HciDongle;
+pub use fault::{FaultPlan, WatchdogExpired};
 pub use link::{Direction, LinkConfig, PacketRecord, SharedTap};
 pub use medium::{EventMedium, LinkHandle, LinkSpec, Medium};

@@ -11,6 +11,8 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+use crate::fault::FaultPlan;
+
 /// Direction of a packet relative to the fuzzer (the link initiator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Direction {
@@ -85,6 +87,10 @@ pub struct LinkConfig {
     /// frame, in microseconds.  Together with the target's processing cost
     /// this determines the packets-per-second figures of §IV-C.
     pub tx_overhead_micros: u64,
+    /// Fault behaviour injected into the link's delivery path.  The default
+    /// ([`FaultPlan::none`]) injects nothing and leaves the packet streams
+    /// byte-identical to a medium without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for LinkConfig {
@@ -96,6 +102,7 @@ impl Default for LinkConfig {
             latency_micros: 400,
             loss_probability: 0.0,
             tx_overhead_micros: 800,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -107,6 +114,7 @@ impl LinkConfig {
             latency_micros: 0,
             loss_probability: 0.0,
             tx_overhead_micros: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -116,6 +124,12 @@ impl LinkConfig {
             loss_probability,
             ..LinkConfig::default()
         }
+    }
+
+    /// Attaches a fault plan to this link configuration.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use crate::acl;
 use crate::device::{BoxedDevice, SharedDevice, VirtualDevice};
+use crate::fault::{corrupt_frame, FaultPlan, WatchdogExpired, FAULT_DOMAIN};
 use crate::link::{Direction, LinkConfig, PacketRecord, SharedTap};
 
 /// A virtual radio environment that devices register on and links are
@@ -106,6 +107,11 @@ pub struct LinkSpec {
     /// campaigns), which keeps the synchronous medium's exact cost
     /// accounting.
     pub clock: Option<SimClock>,
+    /// Watchdog budget in microseconds of link virtual time, measured from
+    /// the moment the link is established.  A send past the deadline panics
+    /// with a [`WatchdogExpired`] payload; the sweep service catches it and
+    /// quarantines the job.  `None` disables the watchdog.
+    pub watchdog_micros: Option<u64>,
 }
 
 impl LinkSpec {
@@ -118,6 +124,7 @@ impl LinkSpec {
             link_seed: rng.seed(),
             link_type: None,
             clock: None,
+            watchdog_micros: None,
         }
     }
 
@@ -130,6 +137,12 @@ impl LinkSpec {
     /// Puts the link's timeline on its own clock (concurrent initiators).
     pub fn with_clock(mut self, clock: SimClock) -> Self {
         self.clock = Some(clock);
+        self
+    }
+
+    /// Arms a per-link virtual-time watchdog.
+    pub fn with_watchdog(mut self, micros: u64) -> Self {
+        self.watchdog_micros = Some(micros);
         self
     }
 }
@@ -236,6 +249,7 @@ impl Medium for EventMedium {
         // Link setup (paging) costs a few milliseconds of the link's own
         // virtual time.
         clock.advance_micros(5_000);
+        let deadline_micros = spec.watchdog_micros.map(|w| clock.now_micros() + w);
         let source = self.core.scheduler.register(clock.now_micros());
         Ok(LinkHandle {
             device: entry.device.clone(),
@@ -252,6 +266,9 @@ impl Medium for EventMedium {
             frames_received: 0,
             arena: FrameArena::new(),
             retired: Arc::new(AtomicBool::new(false)),
+            deadline_micros,
+            stalled_until: 0,
+            held_frame: None,
         })
     }
 }
@@ -283,6 +300,15 @@ pub struct LinkHandle {
     /// Shared with every [`EventGate`] and [`RetireGuard`] of this link, so
     /// whichever party retires first, all of them observe it.
     retired: Arc<AtomicBool>,
+    /// Absolute virtual-time deadline of the per-link watchdog, if armed.
+    deadline_micros: Option<u64>,
+    /// End of the current fault-injected stall window (0 when not
+    /// stalling): while the link clock is before this instant the target is
+    /// silent and every frame in flight is swallowed.
+    stalled_until: u64,
+    /// Depth-1 reorder slot: a frame held back by the fault plan, delivered
+    /// after the next exchange.
+    held_frame: Option<L2capFrame>,
 }
 
 impl LinkHandle {
@@ -413,6 +439,18 @@ impl LinkHandle {
             !self.retired.load(Ordering::Acquire),
             "retired link must not send frames"
         );
+        if let Some(deadline) = self.deadline_micros {
+            let now = self.clock.now_micros();
+            if now > deadline {
+                // Fired before the turnstile: no ticket or lock is held, so
+                // the unwind leaves the medium consistent (the RetireGuard
+                // and the handle's Drop retire the source).
+                std::panic::panic_any(WatchdogExpired {
+                    deadline_micros: deadline,
+                    now_micros: now,
+                });
+            }
+        }
         let ticket = self
             .core
             .scheduler
@@ -429,11 +467,14 @@ impl LinkHandle {
         let lost = self.config.loss_probability > 0.0
             && FuzzRng::seed_from(splitmix64(ticket.seed ^ self.link_seed))
                 .chance(self.config.loss_probability);
+        let faults = self.config.faults;
         let responses = if lost {
             // Frame lost on the air: the target never sees it.
             Vec::new()
-        } else {
+        } else if faults.is_none() {
             self.deliver(frame, fragment_count)
+        } else {
+            self.deliver_with_faults(frame, &faults, ticket.seed)
         };
 
         for rsp in &responses {
@@ -445,6 +486,67 @@ impl LinkHandle {
         let end = self.clock.now_micros();
         self.core.clock.advance_to(end);
         self.core.scheduler.end_event(self.source, end, &ticket);
+        responses
+    }
+
+    /// Runs one exchange through the link's [`FaultPlan`].
+    ///
+    /// Decisions draw from a per-event RNG seeded from the scheduler ticket
+    /// in a fixed order — jitter, stall, loss, corruption, reorder,
+    /// duplication — in a seed domain separate from the legacy loss stream,
+    /// so the same campaign seed and plan always reproduce the same faulty
+    /// schedule, and plans that leave `loss_probability` semantics alone
+    /// never perturb existing streams.
+    fn deliver_with_faults(
+        &mut self,
+        frame: &L2capFrame,
+        faults: &FaultPlan,
+        ticket_seed: u64,
+    ) -> Vec<L2capFrame> {
+        let mut rng = FuzzRng::seed_from(splitmix64(ticket_seed ^ self.link_seed ^ FAULT_DOMAIN));
+        if faults.jitter_micros > 0 {
+            let jitter = rng.range_usize(0, faults.jitter_micros as usize) as u64;
+            self.clock.advance_micros(jitter);
+        }
+        let now = self.clock.now_micros();
+        // A silent target swallows everything in flight, including a frame
+        // held in the reorder slot.
+        if now < self.stalled_until {
+            self.held_frame = None;
+            return Vec::new();
+        }
+        if faults.stall > 0.0 && rng.chance(faults.stall) {
+            self.stalled_until = now + faults.stall_micros;
+            self.held_frame = None;
+            return Vec::new();
+        }
+        let previously_held = self.held_frame.take();
+        let lost = faults.loss > 0.0 && rng.chance(faults.loss);
+        // Frames reaching the target this exchange, in arrival order: the
+        // current frame first, then a previously held one — the older frame
+        // arrives late, which is exactly depth-1 reordering.
+        let mut arriving: Vec<L2capFrame> = Vec::new();
+        if !lost {
+            let outgoing = if faults.corrupt > 0.0 && rng.chance(faults.corrupt) {
+                corrupt_frame(frame, &mut rng)
+            } else {
+                frame.clone()
+            };
+            if faults.reorder > 0.0 && previously_held.is_none() && rng.chance(faults.reorder) {
+                self.held_frame = Some(outgoing);
+            } else {
+                arriving.push(outgoing);
+            }
+        }
+        arriving.extend(previously_held);
+        let mut responses = Vec::new();
+        for arrived in &arriving {
+            let fragments = arrived.wire_len().div_ceil(acl::ACL_FRAGMENT_SIZE).max(1);
+            responses.extend(self.deliver(arrived, fragments));
+            if faults.duplicate > 0.0 && rng.chance(faults.duplicate) {
+                responses.extend(self.deliver(arrived, fragments));
+            }
+        }
         responses
     }
 
@@ -685,6 +787,129 @@ mod tests {
         assert_eq!(a.slot(), LinkSlot(0));
         assert_eq!(b.slot(), LinkSlot(1));
         assert_ne!(a.handle(), b.handle());
+    }
+
+    #[test]
+    fn fault_duplication_delivers_twice() {
+        let (mut air, addr) = setup();
+        let config = LinkConfig::ideal().with_faults(FaultPlan::none().with_duplication(1.0));
+        let mut link = air.connect(addr, config, FuzzRng::seed_from(1)).unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        let responses = link.send_frame(&frame);
+        assert_eq!(responses, vec![frame.clone(), frame]);
+    }
+
+    #[test]
+    fn fault_loss_drops_every_frame() {
+        let (mut air, addr) = setup();
+        let config = LinkConfig::ideal().with_faults(FaultPlan::none().with_loss(1.0));
+        let mut link = air.connect(addr, config, FuzzRng::seed_from(1)).unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        for _ in 0..10 {
+            assert!(link.send_frame(&frame).is_empty());
+        }
+        assert_eq!(link.frames_received(), 0);
+    }
+
+    #[test]
+    fn fault_stall_makes_target_silent() {
+        let (mut air, addr) = setup();
+        let config = LinkConfig::ideal().with_faults(FaultPlan::none().with_stall(1.0, 60_000));
+        let mut link = air.connect(addr, config, FuzzRng::seed_from(1)).unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        for _ in 0..5 {
+            assert!(link.send_frame(&frame).is_empty());
+        }
+        assert_eq!(link.frames_received(), 0);
+    }
+
+    #[test]
+    fn fault_reorder_delivers_previous_frame_late() {
+        let (mut air, addr) = setup();
+        let config = LinkConfig::ideal().with_faults(FaultPlan::none().with_reorder(1.0));
+        let mut link = air.connect(addr, config, FuzzRng::seed_from(1)).unwrap();
+        let a = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        let b = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x02, 0x00, 0x00]);
+        // First frame is held back...
+        assert!(link.send_frame(&a).is_empty());
+        // ...and arrives after the second: the echo answers B, then A.
+        assert_eq!(link.send_frame(&b), vec![b, a]);
+    }
+
+    #[test]
+    fn fault_corruption_mangles_payload_but_frame_survives() {
+        let (mut air, addr) = setup();
+        let config = LinkConfig::ideal().with_faults(FaultPlan::none().with_corruption(1.0));
+        let mut link = air.connect(addr, config, FuzzRng::seed_from(1)).unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x04, 0x00, 1, 2, 3, 4]);
+        let responses = link.send_frame(&frame);
+        assert_eq!(responses.len(), 1);
+        assert_ne!(responses[0], frame);
+        assert_eq!(responses[0].to_bytes().len(), frame.to_bytes().len());
+    }
+
+    #[test]
+    fn fault_jitter_is_deterministic_and_slows_the_link() {
+        let run = |jitter: u64| {
+            let (mut air, addr) = setup();
+            let config = LinkConfig::default().with_faults(FaultPlan::none().with_jitter(jitter));
+            let mut link = air.connect(addr, config, FuzzRng::seed_from(3)).unwrap();
+            let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+            for _ in 0..20 {
+                link.send_frame(&frame);
+            }
+            link.clock().now_micros()
+        };
+        assert_eq!(run(700), run(700));
+        assert!(run(700) > run(1));
+    }
+
+    #[test]
+    fn faulty_schedule_replays_bit_for_bit() {
+        let run = || {
+            let (mut air, addr) = setup();
+            let plan = FaultPlan::degraded(0.2, 0.2)
+                .with_duplication(0.1)
+                .with_reorder(0.2)
+                .with_stall(0.05, 10_000)
+                .with_jitter(300);
+            let config = LinkConfig::default().with_faults(plan);
+            let mut link = air.connect(addr, config, FuzzRng::seed_from(9)).unwrap();
+            let tap = new_tap();
+            link.attach_tap(tap.clone());
+            for k in 0..40u8 {
+                let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, k.max(1), 0x00, 0x00]);
+                link.send_frame(&frame);
+            }
+            let records = tap.lock();
+            records
+                .iter()
+                .map(|r| (r.direction, r.timestamp_micros, r.frame.to_bytes()))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        // The plan actually bites: some responses are missing or mutated.
+        assert!(first.iter().filter(|r| r.0 == Direction::Rx).count() < 40);
+    }
+
+    #[test]
+    fn watchdog_expiry_panics_with_typed_payload() {
+        let (mut air, addr) = setup();
+        let spec =
+            LinkSpec::new(addr, LinkConfig::default(), FuzzRng::seed_from(1)).with_watchdog(10_000);
+        let mut link = air.connect_spec(spec).unwrap();
+        let frame = L2capFrame::new(Cid::SIGNALING, vec![0x08, 0x01, 0x00, 0x00]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for _ in 0..100 {
+                link.send_frame(&frame);
+            }
+        }));
+        let payload = result.expect_err("watchdog must fire within 100 default-cost sends");
+        let expired = payload
+            .downcast_ref::<WatchdogExpired>()
+            .expect("payload must be WatchdogExpired");
+        assert!(expired.now_micros > expired.deadline_micros);
     }
 
     #[test]

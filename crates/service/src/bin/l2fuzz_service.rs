@@ -30,6 +30,8 @@ struct Args {
     report: Option<PathBuf>,
     verify: ResumeVerify,
     max_shards: Option<usize>,
+    max_job_failures: Option<usize>,
+    watchdog_secs: Option<u64>,
     quiet: bool,
 }
 
@@ -48,6 +50,8 @@ const USAGE: &str = "l2fuzz-service --targets D2,D5 --seeds 8 [options]\n\
      --report PATH      write the final report JSON to PATH when complete\n\
      --verify MODE      resume verification: none | last | all (default last)\n\
      --max-shards N     commit at most N shards this run, then exit 0\n\
+     --max-job-failures N  stop once more than N jobs are quarantined\n\
+     --watchdog SECS    quarantine jobs running past SECS of virtual time\n\
      --quiet            suppress per-shard progress lines";
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         report: None,
         verify: ResumeVerify::LastShard,
         max_shards: None,
+        max_job_failures: None,
+        watchdog_secs: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -120,6 +126,20 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-shards: {e}"))?,
                 );
             }
+            "--max-job-failures" => {
+                args.max_job_failures = Some(
+                    value("--max-job-failures")?
+                        .parse()
+                        .map_err(|e| format!("--max-job-failures: {e}"))?,
+                );
+            }
+            "--watchdog" => {
+                args.watchdog_secs = Some(
+                    value("--watchdog")?
+                        .parse()
+                        .map_err(|e| format!("--watchdog: {e}"))?,
+                );
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -158,6 +178,9 @@ fn main() -> ExitCode {
     if let Some(budget) = args.budget {
         spec = spec.with_budget(budget);
     }
+    if let Some(secs) = args.watchdog_secs {
+        spec = spec.with_watchdog_secs(secs);
+    }
     let total_shards = spec.shard_count();
 
     let mut svc = SweepService::new(spec)
@@ -168,6 +191,9 @@ fn main() -> ExitCode {
     }
     if let Some(cap) = args.max_shards {
         svc = svc.max_shards(cap);
+    }
+    if let Some(limit) = args.max_job_failures {
+        svc = svc.max_job_failures(limit);
     }
     if !args.quiet {
         svc = svc.on_commit(move |record| {

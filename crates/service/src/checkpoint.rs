@@ -11,6 +11,7 @@
 
 use std::path::Path;
 
+use serde::{Deserialize, Serialize};
 use serde_json::{Error, JsonStreamReader, JsonStreamWriter, StreamDeserialize, StreamSerialize};
 
 use crate::corpus::{ClusterKey, CorpusStore};
@@ -18,6 +19,39 @@ use crate::digest::Fnv64;
 use crate::spec::SweepSpec;
 use crate::ServiceError;
 use btstack::ProfileId;
+
+/// How one job ended.
+///
+/// A failed or timed-out job is *quarantined*, not fatal: its summary (with
+/// the failure reason) lands in the checkpoint like any other job's, the
+/// shard commits, and the sweep moves on.  Because panics and watchdog
+/// expiries derive from the virtual clock and the seeded streams, a
+/// quarantined job reproduces its outcome on re-run — which is what keeps
+/// resume verification meaningful for shards containing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The campaign ran to its normal end (vulnerable or not).
+    Completed,
+    /// The job's worker panicked or its campaign failed; see
+    /// [`JobSummary::failure`].
+    Failed,
+    /// The job's per-link virtual-time watchdog expired.
+    TimedOut,
+}
+
+serde_json::stream_unit_enum!(JobOutcome);
+serde_json::stream_unit_enum_de!(JobOutcome);
+
+impl JobOutcome {
+    /// Stable tag for digesting (the enum's wire identity).
+    fn digest_tag(self) -> u64 {
+        match self {
+            JobOutcome::Completed => 0,
+            JobOutcome::Failed => 1,
+            JobOutcome::TimedOut => 2,
+        }
+    }
+}
 
 /// What one finished job boiled down to.  Everything here derives from the
 /// virtual clock and the seeded RNG streams — no wall-clock anywhere — so
@@ -45,6 +79,10 @@ pub struct JobSummary {
     pub trace_digest: u64,
     /// The corpus cluster this job joined, when it crashed the target.
     pub cluster: Option<ClusterKey>,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Why the job failed or timed out (`None` for completed jobs).
+    pub failure: Option<String>,
 }
 
 impl StreamSerialize for JobSummary {
@@ -60,6 +98,8 @@ impl StreamSerialize for JobSummary {
             .field("report_digest", &self.report_digest)
             .field("trace_digest", &self.trace_digest)
             .field("cluster", &self.cluster)
+            .field("outcome", &self.outcome)
+            .field("failure", &self.failure)
             .end_object();
     }
 }
@@ -77,6 +117,8 @@ impl StreamDeserialize for JobSummary {
         let report_digest = r.key("report_digest")?.value()?;
         let trace_digest = r.key("trace_digest")?.value()?;
         let cluster = r.key("cluster")?.value()?;
+        let outcome = r.key("outcome")?.value()?;
+        let failure = r.key("failure")?.value()?;
         r.end_object()?;
         Ok(JobSummary {
             index,
@@ -89,6 +131,8 @@ impl StreamDeserialize for JobSummary {
             report_digest,
             trace_digest,
             cluster,
+            outcome,
+            failure,
         })
     }
 }
@@ -105,12 +149,18 @@ pub struct ShardRecord {
 }
 
 impl ShardRecord {
-    /// Computes the shard digest for a job list.
+    /// Computes the shard digest for a job list.  Quarantined jobs pin
+    /// their outcome and failure reason instead of report/trace content, so
+    /// a resume re-running the shard must reproduce the same failure.
     pub fn digest_jobs(jobs: &[JobSummary]) -> u64 {
         let mut h = Fnv64::new();
         for job in jobs {
             h.write_u64(job.report_digest);
             h.write_u64(job.trace_digest);
+            h.write_u64(job.outcome.digest_tag());
+            if let Some(failure) = &job.failure {
+                h.write_str(failure);
+            }
         }
         h.finish()
     }
@@ -175,6 +225,14 @@ impl Checkpoint {
     /// All committed job summaries, in job order.
     pub fn jobs(&self) -> impl Iterator<Item = &JobSummary> {
         self.shards.iter().flat_map(|s| s.jobs.iter())
+    }
+
+    /// Number of committed jobs that did not complete (quarantined panics
+    /// and watchdog timeouts) — what `--max-job-failures` meters.
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs()
+            .filter(|j| j.outcome != JobOutcome::Completed)
+            .count()
     }
 
     /// Serializes the checkpoint (pretty, streamed).
@@ -256,7 +314,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Checkpoint {
-        let spec = SweepSpec::new("unit", [ProfileId::D2], [1, 2]).with_shard_size(1);
+        let spec = SweepSpec::new("unit", [ProfileId::D2], [1, 2]).with_shard_size(2);
         let mut cp = Checkpoint::new(spec);
         let job = JobSummary {
             index: 0,
@@ -272,11 +330,27 @@ mod tests {
                 crash_digest: 9,
                 coverage_signature: 3,
             }),
+            outcome: JobOutcome::Completed,
+            failure: None,
+        };
+        let quarantined = JobSummary {
+            index: 1,
+            target: ProfileId::D2,
+            seed: 2,
+            vulnerable: false,
+            findings: 0,
+            packets_sent: 0,
+            elapsed_secs: 0,
+            report_digest: 0,
+            trace_digest: 0,
+            cluster: None,
+            outcome: JobOutcome::TimedOut,
+            failure: Some("watchdog expired".to_owned()),
         };
         cp.shards.push(ShardRecord {
             shard: 0,
-            digest: ShardRecord::digest_jobs(std::slice::from_ref(&job)),
-            jobs: vec![job],
+            digest: ShardRecord::digest_jobs(&[job.clone(), quarantined.clone()]),
+            jobs: vec![job, quarantined],
         });
         cp
     }
@@ -288,6 +362,19 @@ mod tests {
         let back = Checkpoint::from_json(&json).unwrap();
         assert_eq!(back, cp);
         assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn quarantined_jobs_pin_their_outcome_in_the_shard_digest() {
+        let cp = sample();
+        assert_eq!(cp.failed_jobs(), 1);
+        let mut jobs = cp.shards[0].jobs.clone();
+        let recorded = ShardRecord::digest_jobs(&jobs);
+        jobs[1].outcome = JobOutcome::Failed;
+        assert_ne!(recorded, ShardRecord::digest_jobs(&jobs));
+        jobs[1].outcome = JobOutcome::TimedOut;
+        jobs[1].failure = Some("different reason".to_owned());
+        assert_ne!(recorded, ShardRecord::digest_jobs(&jobs));
     }
 
     #[test]

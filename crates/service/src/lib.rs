@@ -29,7 +29,7 @@ use std::fmt;
 
 use l2fuzz::campaign::CampaignError;
 
-pub use checkpoint::{Checkpoint, JobSummary, ShardRecord};
+pub use checkpoint::{Checkpoint, JobOutcome, JobSummary, ShardRecord};
 pub use corpus::{ClusterKey, CorpusStore, CrashCluster};
 pub use report::ServiceReport;
 pub use service::{ResumeVerify, SweepOutcome, SweepService};
@@ -71,6 +71,16 @@ pub enum ServiceError {
         /// Digest the re-run produced.
         found: u64,
     },
+    /// The quarantine threshold tripped: more jobs failed or timed out than
+    /// the service's `max_job_failures` allows.  Everything committed so
+    /// far (including the shard that crossed the threshold) is durable in
+    /// the checkpoint; re-run with a higher threshold to continue.
+    TooManyFailures {
+        /// The configured threshold.
+        limit: usize,
+        /// Quarantined jobs committed so far.
+        failed: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -96,6 +106,11 @@ impl fmt::Display for ServiceError {
                 f,
                 "resume verification failed: shard {shard} re-ran to digest \
                  {found:016x}, checkpoint recorded {expected:016x}"
+            ),
+            ServiceError::TooManyFailures { limit, failed } => write!(
+                f,
+                "sweep stopped: {failed} job(s) quarantined, exceeding the \
+                 --max-job-failures threshold of {limit}"
             ),
         }
     }

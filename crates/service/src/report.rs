@@ -46,6 +46,14 @@ impl ServiceReport {
         self.jobs.iter().filter(|j| j.vulnerable).count()
     }
 
+    /// Number of quarantined jobs (failed or timed out).
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome != crate::checkpoint::JobOutcome::Completed)
+            .count()
+    }
+
     /// Serializes the report (pretty, streamed).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty_streamed(self)
@@ -64,9 +72,10 @@ impl ServiceReport {
         digest_bytes(serde_json::to_string_streamed(self).as_bytes())
     }
 
-    /// One-line operator summary.
+    /// One-line operator summary.  Quarantined jobs are only mentioned when
+    /// there are any, so healthy sweeps read exactly as before.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "sweep `{}`: {} jobs, {} vulnerable, {} crash cluster(s) from {} crashing job(s), digest {:016x}",
             self.spec.name,
             self.jobs.len(),
@@ -74,7 +83,12 @@ impl ServiceReport {
             self.corpus.len(),
             self.corpus.member_count(),
             self.digest()
-        )
+        );
+        let failed = self.failed_jobs();
+        if failed > 0 {
+            line.push_str(&format!(" ({failed} quarantined)"));
+        }
+        line
     }
 }
 

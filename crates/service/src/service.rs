@@ -13,15 +13,16 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use btstack::DeviceProfile;
-use l2fuzz::campaign::{Campaign, CampaignPlan, TargetOutcome};
+use l2fuzz::campaign::{Campaign, CampaignBuilder, CampaignPlan, TargetOutcome};
 use l2fuzz::fuzzer::Fuzzer;
 use l2fuzz::session::L2FuzzTool;
-use l2fuzz::{FuzzConfig, TxBudget};
+use l2fuzz::{FuzzConfig, TxBudget, WatchdogExpired};
 use sniffer::{StateCoverage, Trace};
 
-use crate::checkpoint::{Checkpoint, JobSummary, ShardRecord};
+use crate::checkpoint::{Checkpoint, JobOutcome, JobSummary, ShardRecord};
 use crate::corpus::ClusterKey;
 use crate::report::ServiceReport;
 use crate::spec::{JobSpec, SweepSpec};
@@ -58,8 +59,17 @@ struct JobResult {
 /// A per-commit callback, invoked on the committing thread in shard order.
 type CommitObserver = Box<dyn Fn(&ShardRecord)>;
 
-/// A commit-queue slot: empty until its shard's worker finishes.
-type ShardSlot = Option<Result<Vec<JobResult>, ServiceError>>;
+/// A campaign-plan customization hook, applied while building the sweep's
+/// plan — how chaos sweeps inject a [`l2fuzz::FaultPlan`] (and how the
+/// resilience tests inject pathological fuzzers).  Must be deterministic:
+/// the same builder in must yield the same plan out, or resume verification
+/// will rightly reject the checkpoint.
+type PlanHook = Box<dyn Fn(CampaignBuilder) -> CampaignBuilder + Send + Sync>;
+
+/// A commit-queue slot: empty until its shard's worker finishes.  Job-level
+/// failures never occupy an `Err` here — they are quarantined into their
+/// summaries — so a slot always carries the shard's full job list.
+type ShardSlot = Option<Vec<JobResult>>;
 
 /// What a finished (or deliberately stopped) run produced.
 #[derive(Debug)]
@@ -105,7 +115,9 @@ pub struct SweepService {
     checkpoint_path: Option<PathBuf>,
     verify: ResumeVerify,
     max_shards: Option<usize>,
+    max_job_failures: Option<usize>,
     on_commit: Option<CommitObserver>,
+    customize: Option<PlanHook>,
 }
 
 impl SweepService {
@@ -117,7 +129,9 @@ impl SweepService {
             checkpoint_path: None,
             verify: ResumeVerify::default(),
             max_shards: None,
+            max_job_failures: None,
             on_commit: None,
+            customize: None,
         }
     }
 
@@ -156,6 +170,27 @@ impl SweepService {
         self
     }
 
+    /// Stops the sweep (after committing the crossing shard) once more than
+    /// `limit` jobs have been quarantined as failed or timed out.  The
+    /// count is cumulative across resumes — it meters the checkpoint, not
+    /// this run.  Default: unlimited (quarantine never aborts).
+    pub fn max_job_failures(mut self, limit: usize) -> Self {
+        self.max_job_failures = Some(limit);
+        self
+    }
+
+    /// Installs a deterministic hook over the sweep's campaign builder —
+    /// the seam for chaos sweeps ([`CampaignBuilder::faults`]) and custom
+    /// fuzzers.  Applied after the spec's own settings, so it can override
+    /// them.
+    pub fn customize(
+        mut self,
+        f: impl Fn(CampaignBuilder) -> CampaignBuilder + Send + Sync + 'static,
+    ) -> Self {
+        self.customize = Some(Box::new(f));
+        self
+    }
+
     /// Runs (or resumes) the sweep.
     ///
     /// # Errors
@@ -167,7 +202,7 @@ impl SweepService {
     /// - [`ServiceError::VerifyFailed`] when a committed shard does not
     ///   reproduce its recorded digest.
     pub fn run(&self) -> Result<SweepOutcome, ServiceError> {
-        let plan = build_plan(&self.spec)?;
+        let plan = build_plan(&self.spec, self.customize.as_deref())?;
         let mut checkpoint = self.load_or_create()?;
         let resumed_from = checkpoint.completed_shards();
         let verified_shards = self.verify_resume(&plan, &checkpoint)?;
@@ -224,7 +259,7 @@ impl SweepService {
             ResumeVerify::All => (0..committed).collect(),
         };
         for &shard in &shards {
-            let results = run_shard(plan, &self.spec, shard)?;
+            let results = run_shard(plan, &self.spec, shard);
             let summaries: Vec<JobSummary> = results.into_iter().map(|r| r.summary).collect();
             let found = ShardRecord::digest_jobs(&summaries);
             let expected = checkpoint.shards[shard].digest;
@@ -271,9 +306,6 @@ impl SweepService {
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     let Some(&shard) = pending.get(i) else { break };
                     let result = run_shard(plan, spec, shard);
-                    if result.is_err() {
-                        cancel.store(true, Ordering::SeqCst);
-                    }
                     let mut guard = slots.lock().expect("slot mutex poisoned");
                     guard[i] = Some(result);
                     ready.notify_all();
@@ -284,25 +316,25 @@ impl SweepService {
             // slot `i` is guaranteed to fill unless an error at an earlier
             // slot stops the loop first — every wait below terminates.
             for (i, &shard) in pending.iter().enumerate() {
-                let result = {
+                let results = {
                     let mut guard = slots.lock().expect("slot mutex poisoned");
                     loop {
-                        if let Some(result) = guard[i].take() {
-                            break result;
+                        if let Some(results) = guard[i].take() {
+                            break results;
                         }
                         guard = ready.wait(guard).expect("slot mutex poisoned");
                     }
                 };
-                match result {
-                    Ok(results) => {
-                        if let Err(err) = self.commit(checkpoint, shard, results) {
-                            cancel.store(true, Ordering::SeqCst);
-                            failure = Some(err);
-                            break;
-                        }
-                        committed += 1;
-                    }
+                match self.commit(checkpoint, shard, results) {
+                    Ok(()) => committed += 1,
                     Err(err) => {
+                        // Quarantine-threshold trips commit first, so a
+                        // `TooManyFailures` stop still leaves the crossing
+                        // shard durable; I/O errors stop before the commit.
+                        if matches!(err, ServiceError::TooManyFailures { .. }) {
+                            committed += 1;
+                        }
+                        cancel.store(true, Ordering::SeqCst);
                         failure = Some(err);
                         break;
                     }
@@ -316,7 +348,9 @@ impl SweepService {
     }
 
     /// Commits one shard: corpus insertion in job order, the shard record,
-    /// the checkpoint rewrite, and the observer.
+    /// the checkpoint rewrite, and the observer — then meters the
+    /// quarantine threshold, so the crossing shard is durable before the
+    /// sweep stops.
     fn commit(
         &self,
         checkpoint: &mut Checkpoint,
@@ -345,8 +379,14 @@ impl SweepService {
         if let Some(path) = &self.checkpoint_path {
             checkpoint.save(path)?;
         }
-        if let Some(observer) = &self.on_commit {
-            observer(checkpoint.shards.last().expect("just pushed"));
+        if let (Some(observer), Some(record)) = (&self.on_commit, checkpoint.shards.last()) {
+            observer(record);
+        }
+        if let Some(limit) = self.max_job_failures {
+            let failed = checkpoint.failed_jobs();
+            if failed > limit {
+                return Err(ServiceError::TooManyFailures { limit, failed });
+            }
         }
         Ok(())
     }
@@ -359,7 +399,10 @@ impl SweepService {
 /// budget-driven fuzzer, auto-restarting devices so the whole budget burns
 /// even across crashes (which also means crashes surface as crash dumps,
 /// not findings).
-fn build_plan(spec: &SweepSpec) -> Result<CampaignPlan, ServiceError> {
+fn build_plan(
+    spec: &SweepSpec,
+    customize: Option<&(dyn Fn(CampaignBuilder) -> CampaignBuilder + Send + Sync)>,
+) -> Result<CampaignPlan, ServiceError> {
     let mut builder =
         Campaign::builder().targets(spec.targets.iter().map(|id| DeviceProfile::table5(*id)));
     if let Some(budget) = spec.budget_packets {
@@ -368,27 +411,71 @@ fn build_plan(spec: &SweepSpec) -> Result<CampaignPlan, ServiceError> {
             .budget(TxBudget::packets(budget))
             .auto_restart(true);
     }
+    if let Some(secs) = spec.watchdog_secs {
+        builder = builder.watchdog(Duration::from_secs(secs));
+    }
+    if let Some(customize) = customize {
+        builder = customize(builder);
+    }
     builder.plan().map_err(ServiceError::Campaign)
 }
 
-/// Runs one shard's jobs serially, in job order.
-fn run_shard(
-    plan: &CampaignPlan,
-    spec: &SweepSpec,
-    shard: usize,
-) -> Result<Vec<JobResult>, ServiceError> {
+/// Runs one shard's jobs serially, in job order.  Infallible: a job that
+/// panics, times out or fails to connect is quarantined into its summary,
+/// not bubbled up — one bad job never costs the shard.
+fn run_shard(plan: &CampaignPlan, spec: &SweepSpec, shard: usize) -> Vec<JobResult> {
     spec.shard_jobs(shard)
         .map(|index| run_job(plan, spec.job(index)))
         .collect()
 }
 
 /// Runs one `(target, seed)` job and reduces its outcome to the durable
-/// summary plus corpus data.
-fn run_job(plan: &CampaignPlan, job: JobSpec) -> Result<JobResult, ServiceError> {
-    let outcome = plan
-        .run_target_with_seed(job.target_index, job.seed)
-        .map_err(ServiceError::Campaign)?;
-    Ok(summarize(job, &outcome))
+/// summary plus corpus data.  Worker panics are contained here: a watchdog
+/// expiry becomes [`JobOutcome::TimedOut`], anything else
+/// [`JobOutcome::Failed`] — in both cases with the reason recorded, and
+/// reproducibly so (panics derive from the virtual clock and seeded
+/// streams, which is what lets resume verification re-prove failed shards).
+fn run_job(plan: &CampaignPlan, job: JobSpec) -> JobResult {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        plan.run_target_with_seed(job.target_index, job.seed)
+    }));
+    match run {
+        Ok(Ok(outcome)) => summarize(job, &outcome),
+        Ok(Err(err)) => quarantined(job, JobOutcome::Failed, format!("campaign failed: {err}")),
+        Err(payload) => {
+            if let Some(expired) = payload.downcast_ref::<WatchdogExpired>() {
+                quarantined(job, JobOutcome::TimedOut, expired.to_string())
+            } else if let Some(msg) = payload.downcast_ref::<&'static str>() {
+                quarantined(job, JobOutcome::Failed, format!("worker panicked: {msg}"))
+            } else if let Some(msg) = payload.downcast_ref::<String>() {
+                quarantined(job, JobOutcome::Failed, format!("worker panicked: {msg}"))
+            } else {
+                quarantined(job, JobOutcome::Failed, "worker panicked".to_owned())
+            }
+        }
+    }
+}
+
+/// The summary of a job that did not complete: no report, no trace, the
+/// failure reason pinned into the digests via [`ShardRecord::digest_jobs`].
+fn quarantined(job: JobSpec, outcome: JobOutcome, failure: String) -> JobResult {
+    JobResult {
+        summary: JobSummary {
+            index: job.index,
+            target: job.target,
+            seed: job.seed,
+            vulnerable: false,
+            findings: 0,
+            packets_sent: 0,
+            elapsed_secs: 0,
+            report_digest: 0,
+            trace_digest: 0,
+            cluster: None,
+            outcome,
+            failure: Some(failure),
+        },
+        crash: None,
+    }
 }
 
 /// Reduces a campaign outcome to a [`JobResult`].  Only virtual-clock and
@@ -413,7 +500,12 @@ fn summarize(job: JobSpec, outcome: &TargetOutcome) -> JobResult {
             .flat_map(|r| r.findings.first())
             .map(|f| f.evidence.description.clone())
             .next()
-            .unwrap_or_else(|| format!("{} in {}", dumps[0].kind, dumps[0].process));
+            .or_else(|| {
+                dumps
+                    .first()
+                    .map(|dump| format!("{} in {}", dump.kind, dump.process))
+            })
+            .unwrap_or_else(|| "crash without findings or dumps".to_owned());
         let vuln_ids = dumps.iter().map(|d| d.vuln_id.clone()).collect();
         Some(CrashInfo {
             key,
@@ -435,6 +527,8 @@ fn summarize(job: JobSpec, outcome: &TargetOutcome) -> JobResult {
             report_digest,
             trace_digest,
             cluster: crash.as_ref().map(|c| c.key),
+            outcome: JobOutcome::Completed,
+            failure: None,
         },
         crash,
     }

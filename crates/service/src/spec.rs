@@ -29,6 +29,10 @@ pub struct SweepSpec {
     pub budget_packets: Option<u64>,
     /// Jobs per shard (the checkpoint commit granularity).
     pub shard_size: usize,
+    /// Per-job virtual-time watchdog in seconds; a job whose virtual clock
+    /// runs past this after link establishment is quarantined as
+    /// [`crate::checkpoint::JobOutcome::TimedOut`].  `None` disarms it.
+    pub watchdog_secs: Option<u64>,
 }
 
 /// One `(target, seed)` unit of work, addressed by its sweep-wide index.
@@ -66,6 +70,7 @@ impl SweepSpec {
             seeds,
             budget_packets: None,
             shard_size: 4,
+            watchdog_secs: None,
         }
     }
 
@@ -90,6 +95,12 @@ impl SweepSpec {
     pub fn with_shard_size(mut self, jobs: usize) -> Self {
         assert!(jobs > 0, "shard size must be at least one job");
         self.shard_size = jobs;
+        self
+    }
+
+    /// Arms the per-job virtual-time watchdog.
+    pub fn with_watchdog_secs(mut self, secs: u64) -> Self {
+        self.watchdog_secs = Some(secs);
         self
     }
 
@@ -143,6 +154,7 @@ impl SweepSpec {
         }
         h.write_u64(self.budget_packets.unwrap_or(u64::MAX));
         h.write_u64(self.shard_size as u64);
+        h.write_u64(self.watchdog_secs.unwrap_or(u64::MAX));
         h.finish()
     }
 }
@@ -155,6 +167,7 @@ impl StreamSerialize for SweepSpec {
             .field("seeds", &self.seeds)
             .field("budget_packets", &self.budget_packets)
             .field("shard_size", &self.shard_size)
+            .field("watchdog_secs", &self.watchdog_secs)
             .end_object();
     }
 }
@@ -167,6 +180,7 @@ impl StreamDeserialize for SweepSpec {
         let seeds = r.key("seeds")?.value()?;
         let budget_packets = r.key("budget_packets")?.value()?;
         let shard_size = r.key("shard_size")?.value()?;
+        let watchdog_secs = r.key("watchdog_secs")?.value()?;
         r.end_object()?;
         Ok(SweepSpec {
             name,
@@ -174,6 +188,7 @@ impl StreamDeserialize for SweepSpec {
             seeds,
             budget_packets,
             shard_size,
+            watchdog_secs,
         })
     }
 }
@@ -213,6 +228,7 @@ mod tests {
         assert_eq!(a.digest(), spec().digest());
         assert_ne!(a.digest(), spec().with_budget(100).digest());
         assert_ne!(a.digest(), spec().with_shard_size(2).digest());
+        assert_ne!(a.digest(), spec().with_watchdog_secs(30).digest());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Chaos campaign walkthrough: the same detection campaign on an ideal
+//! link, on a badly degraded link, and against a hardened target whose
+//! lossy link must *not* be mistaken for a dead one.
+//!
+//! A `FaultPlan` attached via `Campaign::builder().faults(..)` injects
+//! frame loss, duplication, bit corruption, latency jitter, reordering and
+//! link stalls at the medium's deliver path.  Every fault decision derives
+//! from the per-event seeded RNG, so a chaos campaign replays bit for bit —
+//! re-run this example and the numbers will not move.  Attaching a
+//! non-trivial plan also arms `RetryPolicy::lossy_link()` on the drivers
+//! (state-guide preludes and detection pings), which is what keeps the
+//! verdicts honest below.
+//!
+//! Run with: `cargo run --example chaos_campaign`
+
+use btstack::profiles::{DeviceProfile, ProfileId};
+use l2fuzz::campaign::Campaign;
+use l2fuzz::config::FuzzConfig;
+use l2fuzz::session::L2FuzzTool;
+use l2fuzz::{FaultPlan, RetryPolicy};
+
+fn detect(id: ProfileId, faults: FaultPlan, seed: u64) -> l2fuzz::campaign::TargetOutcome {
+    Campaign::builder()
+        .target(DeviceProfile::table5(id))
+        .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 5)))
+        .faults(faults)
+        .seed(seed)
+        .run()
+        .expect("campaign runs")
+        .into_single()
+}
+
+fn main() {
+    // 1. Baseline: the vulnerable BR/EDR phone (D2) on an ideal link.
+    let ideal = detect(ProfileId::D2, FaultPlan::none(), 3);
+    println!(
+        "ideal link    : D2 vulnerable={} after {} packets, {} virtual s",
+        ideal.report.vulnerable(),
+        ideal.report.packets_sent,
+        ideal.report.elapsed_secs,
+    );
+
+    // 2. Chaos: 10 % loss + 5 % corruption, plus jitter and occasional
+    //    stalls.  The seeded vulnerability is still found — degradation
+    //    costs time, not detections.
+    let plan = FaultPlan::degraded(0.10, 0.05)
+        .with_jitter(400)
+        .with_stall(0.01, 5_000);
+    let faulty = detect(ProfileId::D2, plan, 3);
+    println!(
+        "degraded link : D2 vulnerable={} after {} packets, {} virtual s",
+        faulty.report.vulnerable(),
+        faulty.report.packets_sent,
+        faulty.report.elapsed_secs,
+    );
+    let fired = faulty.device.lock().fired_vulnerabilities().to_vec();
+    println!(
+        "                ground truth: device fired {:?}",
+        fired.iter().map(|f| f.vuln.id.as_str()).collect::<Vec<_>>()
+    );
+
+    // 3. The hardened phone (D4) on a *worse* link: 15 % loss.  The retried
+    //    detection pings distinguish "lossy" from "dead", so no false DoS
+    //    verdict appears.
+    let hardened = detect(ProfileId::D4, FaultPlan::degraded(0.15, 0.05), 3);
+    println!(
+        "hardened + lossy: D4 vulnerable={} (retries keep the verdict honest)",
+        hardened.report.vulnerable(),
+    );
+
+    // 4. The control experiment: same link, retries disarmed — a single
+    //    unanswered ping now reads as a dead target.
+    let naive = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D4))
+        .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 5)))
+        .faults(FaultPlan::degraded(0.15, 0.05))
+        .retry(RetryPolicy::none())
+        .seed(3)
+        .run()
+        .expect("campaign runs")
+        .into_single();
+    println!(
+        "retries off     : D4 vulnerable={} — the false verdict the retry policy prevents",
+        naive.report.vulnerable(),
+    );
+}

@@ -191,6 +191,40 @@ fn multi_initiator_targets_shard_deterministically() {
 }
 
 #[test]
+fn faulty_schedules_replay_bit_for_bit_across_executors() {
+    // PR 8: determinism extends to chaos campaigns.  Same seed + same
+    // FaultPlan ⇒ identical per-device reports and traces, serial or
+    // sharded at 1/2/4 threads — every loss, corruption, jitter and stall
+    // decision derives from the per-event seed stream, never from the
+    // worker interleaving.
+    let plan = l2fuzz::FaultPlan::degraded(0.12, 0.06)
+        .with_jitter(400)
+        .with_stall(0.01, 5_000);
+    let survey = |threads: Option<usize>| {
+        let builder = Campaign::builder()
+            .targets([ProfileId::D2, ProfileId::D4, ProfileId::D9].map(DeviceProfile::table5))
+            .fuzzer(|| Box::new(L2FuzzTool::detection(FuzzConfig::default(), 3)))
+            .faults(plan)
+            .seed(0xFA_0175);
+        let outcome = match threads {
+            None => builder.executor(SerialExecutor),
+            Some(n) => builder.executor(ShardedExecutor::new(n)),
+        }
+        .run()
+        .expect("chaos survey runs");
+        fingerprint(&outcome.targets)
+    };
+    let serial = survey(None);
+    for threads in [1, 2, 4] {
+        assert_eq!(
+            serial,
+            survey(Some(threads)),
+            "faulty schedule diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
 fn seed_sweeps_replay_bit_for_bit_at_any_thread_count() {
     let sweep = |threads: usize| {
         let outcome = Campaign::builder()

@@ -328,6 +328,38 @@ fn single_initiator_packet_streams_match_the_pr4_medium_bit_for_bit() {
 }
 
 #[test]
+fn a_trivial_fault_plan_is_byte_identical_to_no_fault_layer_at_all() {
+    // The PR 8 fault-injection layer sits in every link's deliver path.
+    // `FaultPlan::none()` must be a true no-op: with the layer compiled in
+    // and explicitly configured, both transports' packet streams still pin
+    // the PR 4 digests bit for bit — timestamps, directions, frame bytes.
+    let bredr = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D4))
+        .faults(l2fuzz::FaultPlan::none())
+        .seed(55)
+        .run()
+        .expect("BR/EDR campaign runs")
+        .into_single();
+    assert_eq!(
+        trace_digest(&bredr.trace),
+        0xD112_A572_9C41_AFAB,
+        "FaultPlan::none() perturbed the BR/EDR packet stream"
+    );
+    let le = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D9))
+        .faults(l2fuzz::FaultPlan::none())
+        .seed(51)
+        .run()
+        .expect("LE campaign runs")
+        .into_single();
+    assert_eq!(
+        trace_digest(&le.trace),
+        0x8F04_2506_2CC9_4CCC,
+        "FaultPlan::none() perturbed the LE packet stream"
+    );
+}
+
+#[test]
 fn bredr_initiator_coverage_stays_exactly_13_of_19() {
     // A hardened classic target lets the campaign run to completion; both
     // the session's own state list and the trace-inferred coverage must pin

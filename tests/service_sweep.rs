@@ -6,8 +6,14 @@
 
 use std::path::PathBuf;
 
+use l2fuzz_repro::btcore::Identifier;
 use l2fuzz_repro::btstack::profiles::ProfileId;
-use l2fuzz_repro::service::{Checkpoint, ResumeVerify, ServiceError, SweepService, SweepSpec};
+use l2fuzz_repro::l2cap::command::{Command, EchoRequest};
+use l2fuzz_repro::l2cap::packet::signaling_frame_in;
+use l2fuzz_repro::l2fuzz::{FuzzConfig, FuzzCtx, FuzzReport, Fuzzer, L2FuzzTool};
+use l2fuzz_repro::service::{
+    Checkpoint, JobOutcome, ResumeVerify, ServiceError, SweepService, SweepSpec,
+};
 use l2fuzz_repro::sniffer::TraceAnalysis;
 
 /// A fresh scratch path under the target-adjacent temp dir.
@@ -194,6 +200,164 @@ fn same_vulnerability_jobs_collapse_into_one_cluster() {
         analysis.coverage.signature(),
         cluster.key.coverage_signature
     );
+}
+
+// ---------------------------------------------------------------------------
+// PR 8 resilience: panicking and hung jobs are quarantined into the
+// checkpoint, the `max_job_failures` threshold stops a degenerating sweep
+// durably, and a quarantined sweep still resumes byte-identically.
+
+/// A deterministically misbehaving worker: depending on the job's derived
+/// seed it panics outright, hangs in an infinite send loop (so only the
+/// per-job watchdog ends it), or behaves like the real budget-driven tool.
+struct ChaosFuzzer {
+    inner: L2FuzzTool,
+}
+
+impl Fuzzer for ChaosFuzzer {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+    fn fuzz(&mut self, ctx: &mut FuzzCtx<'_>) -> Option<FuzzReport> {
+        match ctx.seed % 4 {
+            0 => panic!("injected worker fault"),
+            1 => {
+                // Hang: keep the link busy forever.  Virtual time advances
+                // with every frame, so the spec's watchdog — not wall-clock
+                // luck — is what terminates this job.
+                let probe = Command::EchoRequest(EchoRequest {
+                    data: vec![0x4C, 0x32],
+                });
+                loop {
+                    let frame = signaling_frame_in(ctx.link.arena(), Identifier(0x42), &probe);
+                    ctx.link.send_frame(&frame);
+                }
+            }
+            _ => self.inner.fuzz(ctx),
+        }
+    }
+}
+
+/// The reference sweep under a chaos fuzzer: healthy jobs finish in ~3
+/// virtual seconds, so an 8-second watchdog only ever fires on the hung
+/// ones.
+fn chaos_service(name: &str) -> SweepService {
+    SweepService::new(spec(name).with_watchdog_secs(8)).customize(|builder| {
+        builder.fuzzer(|| {
+            Box::new(ChaosFuzzer {
+                inner: L2FuzzTool::new(FuzzConfig::budget_driven()),
+            })
+        })
+    })
+}
+
+#[test]
+fn panicking_and_hung_jobs_are_quarantined_not_fatal() {
+    let path = scratch("quarantine");
+    let _ = std::fs::remove_file(&path);
+
+    let report = chaos_service("quarantine")
+        .workers(3)
+        .checkpoint(&path)
+        .run()
+        .expect("chaos sweep still completes")
+        .report
+        .expect("sweep completes");
+
+    // All three outcomes occur, and every job is accounted for.
+    assert_eq!(report.jobs.len(), 10);
+    let count = |outcome: JobOutcome| report.jobs.iter().filter(|j| j.outcome == outcome).count();
+    assert!(count(JobOutcome::Completed) > 0, "no job survived chaos");
+    assert!(count(JobOutcome::Failed) > 0, "no injected panic landed");
+    assert!(count(JobOutcome::TimedOut) > 0, "no watchdog fired");
+
+    // Quarantined jobs carry their reason and zeroed stats; completed jobs
+    // are untouched by their neighbours' failures.
+    for job in &report.jobs {
+        if job.outcome == JobOutcome::Completed {
+            assert!(job.failure.is_none());
+            assert!(job.packets_sent > 0);
+        } else {
+            assert!(job.failure.is_some(), "quarantine without a reason");
+            assert_eq!(job.packets_sent, 0);
+            assert!(!job.vulnerable);
+            assert!(job.cluster.is_none());
+        }
+    }
+    for job in report
+        .jobs
+        .iter()
+        .filter(|j| j.outcome == JobOutcome::TimedOut)
+    {
+        assert!(
+            job.failure.as_deref().unwrap().contains("watchdog expired"),
+            "timeout must name the watchdog"
+        );
+    }
+
+    // The quarantine is durable (checkpointed) and surfaced in the summary.
+    let quarantined = report.failed_jobs();
+    let checkpoint = Checkpoint::load(&path).expect("checkpoint loads");
+    assert_eq!(checkpoint.failed_jobs(), quarantined);
+    assert!(report
+        .summary_line()
+        .contains(&format!("({quarantined} quarantined)")));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn the_failure_threshold_stops_the_sweep_durably_and_resume_finishes_it() {
+    // The uninterrupted chaos reference (no checkpoint, no threshold).
+    let reference = chaos_service("threshold-ref")
+        .workers(3)
+        .run()
+        .expect("reference chaos sweep runs")
+        .report
+        .expect("reference completes");
+    let quarantined = reference.failed_jobs();
+    assert!(quarantined >= 4, "need enough chaos to cross the threshold");
+
+    // With `max_job_failures(3)` the sweep must stop once a committed shard
+    // pushes the cumulative quarantine count past three — after durably
+    // committing that shard.
+    let path = scratch("threshold");
+    let _ = std::fs::remove_file(&path);
+    let err = chaos_service("threshold-ref")
+        .workers(3)
+        .checkpoint(&path)
+        .max_job_failures(3)
+        .run()
+        .expect_err("threshold must stop the sweep");
+    let crossed = match err {
+        ServiceError::TooManyFailures { limit, failed } => {
+            assert_eq!(limit, 3);
+            assert!(failed > limit);
+            failed
+        }
+        other => panic!("expected TooManyFailures, got {other}"),
+    };
+    let checkpoint = Checkpoint::load(&path).expect("crossing shard was committed");
+    assert_eq!(checkpoint.failed_jobs(), crossed);
+    assert!(!checkpoint.shards.is_empty());
+    assert!(checkpoint.shards.len() < spec("threshold-ref").shard_count());
+
+    // Lifting the threshold resumes the quarantined sweep — with the last
+    // committed shard (which contains quarantined jobs) re-proven against
+    // its digest — to the byte-identical final report.
+    let outcome = chaos_service("threshold-ref")
+        .workers(3)
+        .checkpoint(&path)
+        .verify(ResumeVerify::LastShard)
+        .run()
+        .expect("resume without a threshold completes");
+    assert_eq!(outcome.resumed_from, checkpoint.shards.len());
+    assert_eq!(outcome.verified_shards, vec![checkpoint.shards.len() - 1]);
+    let resumed = outcome.report.expect("resume completes");
+    assert_eq!(resumed.to_json(), reference.to_json());
+    assert_eq!(resumed.digest(), reference.digest());
+
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
