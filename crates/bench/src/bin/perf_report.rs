@@ -4,13 +4,18 @@
 //! the median wall-clock per iteration plus derived packets/second and
 //! measured heap allocations per packet, and writes the result as JSON.
 //!
-//! The committed `BENCH_PR8.json` at the repository root is the tracked
-//! baseline of this report (`BENCH_PR3.json`…`BENCH_PR7.json` remain as
+//! The committed `BENCH_PR10.json` at the repository root is the tracked
+//! baseline of this report (`BENCH_PR3.json`…`BENCH_PR8.json` remain as
 //! earlier reference points); CI re-runs it on every change (non-gating),
 //! uploads the fresh report as an artifact and — via repeatable
 //! `--baseline` flags — compares it against each committed baseline,
 //! flagging `packet_throughput` regressions beyond 10 % of the *best*
 //! baseline in the job summary.
+//!
+//! Since PR 10 the report also carries a pinned detection ablation: median
+//! packets-to-detection for the seeded extended-profile vulnerabilities
+//! (D9/D10/D11), dictionary engine vs the coverage-guided feedback engine,
+//! across eight sweep seeds.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_report [output.json] \
@@ -23,6 +28,7 @@ use alloc_counter::{allocations, CountingAllocator};
 use bench::run_comparison_serial;
 use btcore::{Cid, FuzzRng, Identifier, Psm};
 use btstack::profiles::{DeviceProfile, ProfileId};
+use feedback::{FeedbackCampaignExt, FeedbackConfig};
 use l2cap::code::CommandCode;
 use l2cap::command::{Command, ConnectionRequest};
 use l2cap::packet::{parse_signaling, signaling_frame, L2capFrame};
@@ -85,7 +91,7 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR8.json".to_owned();
+    let mut out_path = "BENCH_PR10.json".to_owned();
     let mut baseline_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -219,6 +225,25 @@ fn main() {
         }));
     }
 
+    // 5d. time_to_detection_feedback — the same ideal-link detection
+    //    campaign under the coverage-guided feedback engine (PR 10): corpus
+    //    retention, energy scheduling and corpus-splice mutation included,
+    //    so the median is directly comparable to
+    //    `time_to_detection_ideal`'s dictionary number.
+    {
+        results.push(measure("time_to_detection_feedback", 15, 1, || {
+            let outcome = Campaign::builder()
+                .target(DeviceProfile::table5(ProfileId::D2))
+                .feedback(FeedbackConfig::default())
+                .seed(0xDE7EC7)
+                .run()
+                .expect("feedback detection campaign runs")
+                .into_single();
+            assert!(outcome.report.vulnerable());
+            std::hint::black_box(outcome.trace.len());
+        }));
+    }
+
     // 6. le_pipeline — a budget-driven campaign against the LE-only
     //    wearable: the credit-based connect/reconfigure flows, LE mutation
     //    and the LE liveness probe, 500 packets per iteration.
@@ -310,6 +335,8 @@ fn main() {
         }));
     }
 
+    let ablation = detection_ablation();
+
     // The report is written through the streaming JSON writer — the same
     // no-`Value`-tree path the campaign reports use.
     let mut w = serde_json::JsonStreamWriter::pretty();
@@ -335,13 +362,127 @@ fn main() {
             m.allocs_per_packet
         );
     }
+    w.key("detection_ablation").begin_object();
+    w.field("seeds", &(ABLATION_SEEDS.len() as u64));
+    for row in &ablation {
+        w.key(&row.profile.to_string()).begin_object();
+        w.field("dictionary_median_packets", &row.dictionary_median());
+        w.field("feedback_median_packets", &row.feedback_median());
+        w.field("dictionary_detected", &(row.dictionary_detected as u64));
+        w.field("feedback_detected", &(row.feedback_detected as u64));
+        w.end_object();
+    }
+    w.end_object();
     w.end_object();
     let json = w.finish();
     std::fs::write(&out_path, json + "\n").expect("report written");
     println!("wrote {out_path}");
 
+    print_detection_ablation(&ablation);
     if !baseline_paths.is_empty() {
         compare_against_baselines(&results, &baseline_paths);
+    }
+}
+
+/// The sweep seeds the detection ablation runs under — the extended-profile
+/// scenario seeds, eight of them so the median is stable.
+const ABLATION_SEEDS: [u64; 8] = [51, 52, 53, 54, 55, 56, 57, 58];
+
+/// One target's row of the pinned D9/D10/D11 ablation: packets to detection
+/// per sweep seed for each engine (the full spend, transitions and liveness
+/// pings included; an undetected run is censored at its total spend).
+struct AblationRow {
+    profile: ProfileId,
+    dictionary: Vec<u64>,
+    feedback: Vec<u64>,
+    dictionary_detected: usize,
+    feedback_detected: usize,
+}
+
+fn median(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    (sorted[sorted.len().div_ceil(2) - 1] + sorted[sorted.len() / 2]) / 2
+}
+
+impl AblationRow {
+    fn dictionary_median(&self) -> u64 {
+        median(&self.dictionary)
+    }
+
+    fn feedback_median(&self) -> u64 {
+        median(&self.feedback)
+    }
+}
+
+/// Runs the pinned ablation: for each seeded extended-profile vulnerability,
+/// a dictionary detection campaign and a coverage-guided feedback campaign
+/// per sweep seed.  The dictionary baseline gets configuration-option
+/// mutation on D11 — without it the ERTM zero-window seed is unreachable
+/// and the comparison would be a strawman.
+fn detection_ablation() -> Vec<AblationRow> {
+    [ProfileId::D9, ProfileId::D10, ProfileId::D11]
+        .into_iter()
+        .map(|id| {
+            let mut row = AblationRow {
+                profile: id,
+                dictionary: Vec::new(),
+                feedback: Vec::new(),
+                dictionary_detected: 0,
+                feedback_detected: 0,
+            };
+            for seed in ABLATION_SEEDS {
+                let dict = Campaign::builder()
+                    .target(DeviceProfile::table5(id))
+                    .fuzzer(move || {
+                        let cfg = if id == ProfileId::D11 {
+                            FuzzConfig::default().with_config_option_mutation()
+                        } else {
+                            FuzzConfig::default()
+                        };
+                        Box::new(L2FuzzTool::detection(cfg, 3))
+                    })
+                    .seed(seed)
+                    .run()
+                    .expect("ablation dictionary campaign runs")
+                    .into_single();
+                row.dictionary.push(dict.report.packets_sent);
+                row.dictionary_detected += usize::from(dict.report.vulnerable());
+
+                let fb = Campaign::builder()
+                    .target(DeviceProfile::table5(id))
+                    .feedback(FeedbackConfig::default())
+                    .seed(seed)
+                    .run()
+                    .expect("ablation feedback campaign runs")
+                    .into_single();
+                row.feedback.push(fb.report.packets_sent);
+                row.feedback_detected += usize::from(fb.report.vulnerable());
+            }
+            row
+        })
+        .collect()
+}
+
+/// Prints the ablation as a GitHub-flavoured markdown table; the CI bench
+/// job appends it to the step summary together with the baseline tables.
+fn print_detection_ablation(rows: &[AblationRow]) {
+    println!(
+        "\n### Detection ablation (median packets to detection, {} sweep seeds)\n",
+        ABLATION_SEEDS.len()
+    );
+    println!("| target | dictionary | feedback | detected (dict/fb) |");
+    println!("|---|---:|---:|---:|");
+    for row in rows {
+        println!(
+            "| {} | {} | {} | {}/{} of {} |",
+            row.profile,
+            row.dictionary_median(),
+            row.feedback_median(),
+            row.dictionary_detected,
+            row.feedback_detected,
+            ABLATION_SEEDS.len()
+        );
     }
 }
 

@@ -678,12 +678,16 @@ impl CampaignExecutor for SerialExecutor {
 /// Drives `units` isolated work items across `workers` threads with a
 /// dynamic work index, collecting results in unit order.  Each unit is
 /// self-contained, so threading changes wall-clock time only — the shared
-/// machinery of [`ShardedExecutor`] and [`SeedSweepExecutor`].
-fn run_sharded<F>(units: usize, workers: usize, run: F) -> Result<Vec<TargetOutcome>, CampaignError>
+/// machinery of [`ShardedExecutor`] and [`SeedSweepExecutor`], generic over
+/// the unit result so engines layered on top of the campaign API (the
+/// coverage-feedback corpus merge, for one) shard their own unit types
+/// through the identical scheduling discipline instead of reinventing it.
+pub fn run_sharded<T, F>(units: usize, workers: usize, run: F) -> Result<Vec<T>, CampaignError>
 where
-    F: Fn(usize) -> Result<TargetOutcome, CampaignError> + Sync,
+    T: Send,
+    F: Fn(usize) -> Result<T, CampaignError> + Sync,
 {
-    let slots: Vec<Mutex<Option<Result<TargetOutcome, CampaignError>>>> =
+    let slots: Vec<Mutex<Option<Result<T, CampaignError>>>> =
         (0..units).map(|_| Mutex::new(None)).collect();
     // Dynamic work index rather than static striping: per-unit runtimes are
     // skewed by orders of magnitude (a hardened device burns its full round
@@ -784,6 +788,16 @@ impl CampaignExecutor for ShardedExecutor {
 /// seeded ones.  Each `(target, seed)` unit is a fully isolated campaign,
 /// so sweeps shard across worker threads with the same bit-for-bit
 /// determinism guarantee as [`ShardedExecutor`].
+///
+/// Feedback engines pool discoveries across the sweep barrier-free: a unit
+/// *publishes* (never reads) its findings into a shared accumulator keyed by
+/// its sweep seed as it finishes, and the accumulator is only merged — in
+/// canonical seed order, independent of completion order — after
+/// [`SeedSweepExecutor::execute`] returns.  Publish-only sharing keeps every
+/// unit a pure function of its `(target, seed)` pair, so the sweep stays
+/// bit-for-bit replayable at any thread count while still pooling novelty
+/// (see the `feedback` crate's corpus hub, which implements this contract on
+/// top of [`run_sharded`]'s work index).
 #[derive(Debug, Clone)]
 pub struct SeedSweepExecutor {
     seeds: Vec<u64>,

@@ -133,6 +133,12 @@ impl<'a> FuzzCtx<'a> {
         btcore::splitmix64(self.seed ^ label.rotate_left(23))
     }
 
+    /// The transport type of this target's link, straight from the inquiry
+    /// metadata (the field every session/scheduler decision keys on).
+    pub fn link_type(&self) -> btcore::LinkType {
+        self.meta.link_type
+    }
+
     /// Reborrows the link and the oracle together for one session pass.
     ///
     /// The two live in disjoint fields, so a tool can hold both mutably at

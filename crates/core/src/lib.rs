@@ -99,8 +99,8 @@ pub mod scanner;
 pub mod session;
 
 pub use campaign::{
-    Campaign, CampaignError, CampaignExecutor, CampaignOutcome, OraclePolicy, SerialExecutor,
-    ShardedExecutor, TargetEnv, TargetOutcome,
+    run_sharded, Campaign, CampaignError, CampaignExecutor, CampaignOutcome, OraclePolicy,
+    SeedSweepExecutor, SerialExecutor, ShardedExecutor, TargetEnv, TargetOutcome,
 };
 pub use config::FuzzConfig;
 pub use fuzzer::{FuzzCtx, Fuzzer, TxBudget};

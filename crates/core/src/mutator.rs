@@ -247,6 +247,126 @@ impl CoreFieldMutator {
         out
     }
 
+    /// Corpus replay: re-sends a retained packet's wire form (the
+    /// `code, identifier, length, data` layout of
+    /// [`SignalingPacket::to_bytes`]) with every mutable-core field drawn
+    /// afresh.  Application fields, option tails and the garbage bytes of
+    /// the retained packet are preserved — the parts that earned the packet
+    /// its place in the corpus — while the PSM/CIDP surface is re-randomized
+    /// exactly as [`CoreFieldMutator::mutate`] would.
+    pub fn resend_with_field_mutation(
+        &mut self,
+        wire: &[u8],
+        ctx: &ChannelContext,
+        identifier: Identifier,
+    ) -> SignalingPacket {
+        let mut buf = self.arena.checkout();
+        buf.extend_from_slice(wire);
+        if buf.len() < 4 {
+            buf.resize(4, 0);
+        }
+        if let Some(code) = CommandCode::from_u8(buf[0]) {
+            let data = &mut buf[4..];
+            for spec in fields::data_field_layout(code) {
+                let Some(width) = spec.len else { continue };
+                if spec.offset + width > data.len() {
+                    continue;
+                }
+                if spec.class() == FieldClass::MutableCore {
+                    let value = if spec.name == FieldName::Psm {
+                        ranges::random_abnormal_psm(&mut self.rng)
+                    } else {
+                        ranges::random_cidp(&mut self.rng)
+                    };
+                    write_field(data, spec.offset, width, value);
+                }
+            }
+            // Same plausible-channel rule as `mutate`: half the resends aim
+            // at the channel the guide actually opened.
+            if ctx.has_channel() && self.rng.chance(0.5) {
+                if let Some(spec) = fields::cidp_fields(code).next() {
+                    if let Some(width) = spec.len {
+                        if spec.offset + width <= data.len() {
+                            write_field(data, spec.offset, width, ctx.dcid.value());
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_wire(buf, identifier)
+    }
+
+    /// Corpus havoc: stacks one to three structure-blind edits (corrupt a
+    /// data byte, truncate the tail, extend with fresh garbage) onto a
+    /// retained packet's wire form.  The declared length bytes are left as
+    /// retained, so edits that change the physical length produce the
+    /// length-inconsistent shapes real parsers trip over.
+    pub fn havoc(&mut self, wire: &[u8], identifier: Identifier) -> SignalingPacket {
+        let mut buf = self.arena.checkout();
+        buf.extend_from_slice(wire);
+        if buf.len() < 4 {
+            buf.resize(4, 0);
+        }
+        let edits = self.rng.range_usize(1, 3);
+        for _ in 0..edits {
+            match self.rng.range_usize(0, 2) {
+                0 if buf.len() > 4 => {
+                    let pos = self.rng.range_usize(4, buf.len() - 1);
+                    let flip = self.rng.next_u8();
+                    buf[pos] ^= flip;
+                }
+                1 if buf.len() > 5 => {
+                    let keep = self.rng.range_usize(5, buf.len() - 1);
+                    buf.truncate(keep);
+                }
+                _ => {
+                    let extra = self.rng.range_usize(1, self.max_garbage_len.max(1));
+                    let start = buf.len();
+                    buf.resize(start + extra, 0);
+                    self.rng.fill_bytes(&mut buf[start..]);
+                }
+            }
+        }
+        self.finish_wire(buf, identifier)
+    }
+
+    /// Corpus splice: the head of `a`'s data glued to the tail of `b`'s
+    /// data, under `a`'s command code and declared length.  Crossing over
+    /// two packets that each reached something keeps both halves'
+    /// interesting bytes in play.
+    pub fn splice(&mut self, a: &[u8], b: &[u8], identifier: Identifier) -> SignalingPacket {
+        let mut buf = self.arena.checkout();
+        buf.extend_from_slice(&a[..a.len().min(4)]);
+        if buf.len() < 4 {
+            buf.resize(4, 0);
+        }
+        let data_a = if a.len() > 4 { &a[4..] } else { &[][..] };
+        let data_b = if b.len() > 4 { &b[4..] } else { &[][..] };
+        let cut_a = self.rng.range_usize(0, data_a.len());
+        let cut_b = self.rng.range_usize(0, data_b.len());
+        buf.extend_from_slice(&data_a[..cut_a]);
+        buf.extend_from_slice(&data_b[cut_b..]);
+        self.finish_wire(buf, identifier)
+    }
+
+    /// Stamps the fresh identifier into a rebuilt wire buffer and freezes it
+    /// into a packet (the shared tail of the three corpus operators).
+    fn finish_wire(
+        &mut self,
+        mut buf: btcore::FrameBufMut,
+        identifier: Identifier,
+    ) -> SignalingPacket {
+        buf[1] = identifier.value();
+        let code = buf[0];
+        let declared_data_len = u16::from_le_bytes([buf[2], buf[3]]);
+        SignalingPacket {
+            identifier,
+            code,
+            declared_data_len,
+            data: buf.freeze().slice(4..),
+        }
+    }
+
     /// Reproduces the paper's Fig. 7 worked example: the original, well-formed
     /// Configure Request and the mutated packet with DCID forced to `0x7B8F`
     /// and the garbage tail `D2 3A 91 0E`.

@@ -77,6 +77,11 @@ pub struct JobSummary {
     pub report_digest: u64,
     /// FNV-1a digest of the job's merged trace.
     pub trace_digest: u64,
+    /// State-coverage bitmask of the job's merged trace
+    /// ([`sniffer::StateCoverage::signature`]); zero for quarantined jobs.
+    /// Feeds the corpus store's novelty ranking, and deliberately stays out
+    /// of the shard digest so pre-existing checkpoints keep verifying.
+    pub coverage_signature: u32,
     /// The corpus cluster this job joined, when it crashed the target.
     pub cluster: Option<ClusterKey>,
     /// How the job ended.
@@ -97,6 +102,7 @@ impl StreamSerialize for JobSummary {
             .field("elapsed_secs", &self.elapsed_secs)
             .field("report_digest", &self.report_digest)
             .field("trace_digest", &self.trace_digest)
+            .field("coverage_signature", &self.coverage_signature)
             .field("cluster", &self.cluster)
             .field("outcome", &self.outcome)
             .field("failure", &self.failure)
@@ -116,6 +122,7 @@ impl StreamDeserialize for JobSummary {
         let elapsed_secs = r.key("elapsed_secs")?.value()?;
         let report_digest = r.key("report_digest")?.value()?;
         let trace_digest = r.key("trace_digest")?.value()?;
+        let coverage_signature = r.key("coverage_signature")?.value()?;
         let cluster = r.key("cluster")?.value()?;
         let outcome = r.key("outcome")?.value()?;
         let failure = r.key("failure")?.value()?;
@@ -130,6 +137,7 @@ impl StreamDeserialize for JobSummary {
             elapsed_secs,
             report_digest,
             trace_digest,
+            coverage_signature,
             cluster,
             outcome,
             failure,
@@ -326,6 +334,7 @@ mod tests {
             elapsed_secs: 7,
             report_digest: 0xDEAD,
             trace_digest: 0xBEEF,
+            coverage_signature: 3,
             cluster: Some(ClusterKey {
                 crash_digest: 9,
                 coverage_signature: 3,
@@ -343,6 +352,7 @@ mod tests {
             elapsed_secs: 0,
             report_digest: 0,
             trace_digest: 0,
+            coverage_signature: 0,
             cluster: None,
             outcome: JobOutcome::TimedOut,
             failure: Some("watchdog expired".to_owned()),

@@ -57,6 +57,10 @@ pub struct CrashCluster {
     pub description: String,
     /// Sweep-wide indices of the member jobs, ascending.
     pub members: Vec<usize>,
+    /// FNV-1a trace digest of each member job, parallel to `members` — every
+    /// member's trace identity is pinned even though only the exemplar's
+    /// trace is stored in full.
+    pub member_trace_digests: Vec<u64>,
     /// The member whose trace is kept as the exemplar (the first committed).
     pub exemplar_job: usize,
     /// The exemplar's merged packet trace — enough to replay the crash.
@@ -77,6 +81,7 @@ impl StreamSerialize for CrashCluster {
             .field("vuln_ids", &self.vuln_ids)
             .field("description", &self.description)
             .field("members", &self.members)
+            .field("member_trace_digests", &self.member_trace_digests)
             .field("exemplar_job", &self.exemplar_job)
             .field("exemplar_trace", &self.exemplar_trace)
             .end_object();
@@ -90,6 +95,7 @@ impl StreamDeserialize for CrashCluster {
         let vuln_ids = r.key("vuln_ids")?.value()?;
         let description = r.key("description")?.value()?;
         let members = r.key("members")?.value()?;
+        let member_trace_digests = r.key("member_trace_digests")?.value()?;
         let exemplar_job = r.key("exemplar_job")?.value()?;
         let exemplar_trace = r.key("exemplar_trace")?.value()?;
         r.end_object()?;
@@ -98,6 +104,7 @@ impl StreamDeserialize for CrashCluster {
             vuln_ids,
             description,
             members,
+            member_trace_digests,
             exemplar_job,
             exemplar_trace,
         })
@@ -121,11 +128,12 @@ impl CorpusStore {
     }
 
     /// Records a crashing job.  A new key opens a cluster with `trace` as
-    /// its exemplar; a known key only appends the member and merges the
-    /// vulnerability identifiers.
+    /// its exemplar; a known key only appends the member (and its trace
+    /// digest) and merges the vulnerability identifiers.
     pub fn insert(
         &mut self,
         job: usize,
+        trace_digest: u64,
         key: ClusterKey,
         vuln_ids: impl IntoIterator<Item = String>,
         description: &str,
@@ -134,6 +142,7 @@ impl CorpusStore {
         match self.clusters.iter_mut().find(|c| c.key == key) {
             Some(cluster) => {
                 cluster.members.push(job);
+                cluster.member_trace_digests.push(trace_digest);
                 for id in vuln_ids {
                     if !cluster.vuln_ids.contains(&id) {
                         cluster.vuln_ids.push(id);
@@ -150,6 +159,7 @@ impl CorpusStore {
                     vuln_ids: ids,
                     description: description.to_owned(),
                     members: vec![job],
+                    member_trace_digests: vec![trace_digest],
                     exemplar_job: job,
                     exemplar_trace: trace.clone(),
                 });
@@ -175,6 +185,25 @@ impl CorpusStore {
     /// Total member jobs across all clusters.
     pub fn member_count(&self) -> usize {
         self.clusters.iter().map(CrashCluster::count).sum()
+    }
+
+    /// The clusters ranked by novelty, most novel first: wider state
+    /// coverage (more bits in the key's coverage signature) outranks
+    /// narrower, rarer crashes (fewer members) outrank common ones, and
+    /// first-seen order breaks the remaining ties.  This is what the dedup
+    /// key's coverage half buys the operator — a triage order that puts the
+    /// crashes reached through the most protocol state on top.
+    pub fn ranked_by_novelty(&self) -> Vec<&CrashCluster> {
+        let mut ranked: Vec<(usize, &CrashCluster)> = self.clusters.iter().enumerate().collect();
+        ranked.sort_by(|(ia, a), (ib, b)| {
+            b.key
+                .coverage_signature
+                .count_ones()
+                .cmp(&a.key.coverage_signature.count_ones())
+                .then(a.members.len().cmp(&b.members.len()))
+                .then(ia.cmp(ib))
+        });
+        ranked.into_iter().map(|(_, c)| c).collect()
     }
 }
 
@@ -209,14 +238,31 @@ mod tests {
     #[test]
     fn same_key_jobs_collapse_into_one_cluster() {
         let mut store = CorpusStore::new();
-        store.insert(0, key(7, 3), ["V1".into()], "DoS", &Trace::new());
-        store.insert(3, key(7, 3), ["V1".into()], "DoS", &Trace::new());
-        store.insert(5, key(9, 3), ["V2".into()], "crash", &Trace::new());
+        store.insert(0, 0xA0, key(7, 3), ["V1".into()], "DoS", &Trace::new());
+        store.insert(3, 0xA3, key(7, 3), ["V1".into()], "DoS", &Trace::new());
+        store.insert(5, 0xA5, key(9, 3), ["V2".into()], "crash", &Trace::new());
         assert_eq!(store.len(), 2);
         assert_eq!(store.member_count(), 3);
         assert_eq!(store.clusters()[0].members, vec![0, 3]);
+        assert_eq!(store.clusters()[0].member_trace_digests, vec![0xA0, 0xA3]);
         assert_eq!(store.clusters()[0].exemplar_job, 0);
         assert_eq!(store.clusters()[1].members, vec![5]);
+        assert_eq!(store.clusters()[1].member_trace_digests, vec![0xA5]);
+    }
+
+    #[test]
+    fn novelty_ranking_prefers_wide_coverage_then_rarity() {
+        let mut store = CorpusStore::new();
+        // Two members, narrow coverage (2 bits).
+        store.insert(0, 1, key(7, 0b011), ["V1".into()], "a", &Trace::new());
+        store.insert(1, 2, key(7, 0b011), ["V1".into()], "a", &Trace::new());
+        // One member, wide coverage (3 bits) — most novel.
+        store.insert(2, 3, key(8, 0b10101), ["V2".into()], "b", &Trace::new());
+        // One member, narrow coverage — rarer than the first cluster.
+        store.insert(3, 4, key(9, 0b110), ["V3".into()], "c", &Trace::new());
+        let ranked = store.ranked_by_novelty();
+        let digests: Vec<u64> = ranked.iter().map(|c| c.key.crash_digest).collect();
+        assert_eq!(digests, vec![8, 9, 7]);
     }
 
     #[test]
@@ -224,6 +270,7 @@ mod tests {
         let mut store = CorpusStore::new();
         store.insert(
             2,
+            0xB2,
             key(11, 5),
             ["V3".into(), "V1".into()],
             "x",

@@ -362,6 +362,7 @@ impl SweepService {
             if let Some(crash) = result.crash {
                 checkpoint.corpus.insert(
                     result.summary.index,
+                    result.summary.trace_digest,
                     crash.key,
                     crash.vuln_ids,
                     &crash.description,
@@ -470,6 +471,7 @@ fn quarantined(job: JobSpec, outcome: JobOutcome, failure: String) -> JobResult 
             elapsed_secs: 0,
             report_digest: 0,
             trace_digest: 0,
+            coverage_signature: 0,
             cluster: None,
             outcome,
             failure: Some(failure),
@@ -485,12 +487,14 @@ fn summarize(job: JobSpec, outcome: &TargetOutcome) -> JobResult {
     let report_digest =
         crate::digest::digest_bytes(serde_json::to_string_streamed(&outcome.report).as_bytes());
     let trace_digest = crate::digest::trace_digest(&trace);
+    // Computed for every job, not just crashing ones: the summary carries it
+    // so the corpus store can rank clusters by novelty across the sweep.
+    let coverage = StateCoverage::from_trace_on(&trace, outcome.report.target.link_type);
 
     let dumps = outcome.device.lock().crash_dumps().to_vec();
     let crash = if dumps.is_empty() {
         None
     } else {
-        let coverage = StateCoverage::from_trace_on(&trace, outcome.report.target.link_type);
         let key = ClusterKey {
             crash_digest: crate::digest::crash_dumps_digest(&dumps),
             coverage_signature: coverage.signature(),
@@ -526,6 +530,7 @@ fn summarize(job: JobSpec, outcome: &TargetOutcome) -> JobResult {
             elapsed_secs: outcome.reports().map(|r| r.elapsed_secs).max().unwrap_or(0),
             report_digest,
             trace_digest,
+            coverage_signature: coverage.signature(),
             cluster: crash.as_ref().map(|c| c.key),
             outcome: JobOutcome::Completed,
             failure: None,

@@ -122,16 +122,26 @@ pub fn is_rejection_signaling(packet: &l2cap::packet::SignalingPacket) -> bool {
         _ => return false,
     }
     match Command::decode_opt(packet.code, &packet.data) {
-        Some(Command::CommandReject(_)) => true,
-        Some(Command::ConnectionResponse(rsp)) => rsp.result.is_refusal(),
-        Some(Command::CreateChannelResponse(rsp)) => rsp.result.is_refusal(),
-        Some(Command::ConfigureResponse(rsp)) => rsp.result.is_failure(),
-        Some(Command::MoveChannelResponse(rsp)) => rsp.result.is_refusal(),
+        Some(cmd) => is_rejection_command(&cmd),
+        None => false,
+    }
+}
+
+/// The decoded-command half of [`is_rejection_signaling`], for callers that
+/// already hold typed commands (a live fuzzing loop classifies the parsed
+/// responses of each send outcome without re-encoding them).
+pub fn is_rejection_command(cmd: &Command) -> bool {
+    match cmd {
+        Command::CommandReject(_) => true,
+        Command::ConnectionResponse(rsp) => rsp.result.is_refusal(),
+        Command::CreateChannelResponse(rsp) => rsp.result.is_refusal(),
+        Command::ConfigureResponse(rsp) => rsp.result.is_failure(),
+        Command::MoveChannelResponse(rsp) => rsp.result.is_refusal(),
         // The LE credit-based responses carry a plain result word: non-zero
         // refuses the request.
-        Some(Command::LeCreditBasedConnectionResponse(rsp)) => rsp.result != 0,
-        Some(Command::CreditBasedConnectionResponse(rsp)) => rsp.result != 0,
-        Some(Command::CreditBasedReconfigureResponse(rsp)) => rsp.result != 0,
+        Command::LeCreditBasedConnectionResponse(rsp) => rsp.result != 0,
+        Command::CreditBasedConnectionResponse(rsp) => rsp.result != 0,
+        Command::CreditBasedReconfigureResponse(rsp) => rsp.result != 0,
         _ => false,
     }
 }

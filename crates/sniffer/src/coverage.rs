@@ -336,6 +336,28 @@ impl CoverageBuilder {
         self.saw_tx_signaling = true;
     }
 
+    /// Packs the states covered *so far* into the same bitmask
+    /// [`StateCoverage::signature`] produces, without consuming the builder.
+    /// A feedback loop polls this after every transmitted packet to decide
+    /// whether the packet reached anything new; the builder keeps replaying
+    /// subsequent records as if the snapshot never happened.
+    pub fn signature_snapshot(&self) -> u32 {
+        let mut mask = ChannelState::ALL
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| self.covered.contains(s))
+            .fold(0u32, |mask, (i, _)| mask | (1 << i));
+        if self.saw_tx_signaling {
+            mask |= 1 << ChannelState::Closed.index();
+        }
+        for machine in &self.channels {
+            for state in machine.visited() {
+                mask |= 1 << state.index();
+            }
+        }
+        mask
+    }
+
     /// Produces the covered-state set.
     pub fn finish(mut self) -> StateCoverage {
         // The CLOSED state is exercised as soon as any signalling packet is

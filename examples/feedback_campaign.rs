@@ -1,0 +1,73 @@
+//! Coverage-guided fuzzing: the feedback engine against the BlueZ laptop
+//! (extended profile D11, the seeded ERTM zero-window DoS).
+//!
+//! The dictionary engine needs configuration-option mutation switched on
+//! explicitly to reach this vulnerability; the feedback engine finds it out
+//! of the box — option mutation is always on for classic links, the energy
+//! scheduler pushes most of each round's budget into the deep
+//! CONFIG/OPEN states behind the witness preludes, and every packet that
+//! reaches new `(state coverage, response class)` territory is retained and
+//! replayed as a mutation seed (resend-with-field-mutation, havoc, splice).
+//!
+//! A second campaign then re-runs with the first campaign's corpus as its
+//! seed corpus, showing how novelty carries across campaigns via the
+//! publish-only [`feedback::CorpusHub`].
+//!
+//! Run with: `cargo run --example feedback_campaign`
+
+use btstack::profiles::{DeviceProfile, ProfileId};
+use feedback::{CorpusHub, FeedbackCampaignExt, FeedbackConfig};
+use l2fuzz::campaign::Campaign;
+
+fn main() {
+    let hub = CorpusHub::new();
+    let outcome = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D11))
+        .feedback(FeedbackConfig::default().with_hub(hub.clone()))
+        .seed(51)
+        .run()
+        .expect("feedback campaign runs")
+        .into_single();
+
+    let report = &outcome.report;
+    println!("fuzzer        : {}", report.fuzzer);
+    println!("target        : {}", report.target);
+    println!("states tested : {:?}", report.states_tested);
+    println!(
+        "packets sent  : {} ({} malformed)",
+        report.packets_sent, report.malformed_sent
+    );
+    println!("vulnerable    : {}", report.vulnerable());
+    if let Some(finding) = report.findings.first() {
+        println!(
+            "finding       : {} in {} ({})",
+            finding.evidence.description, finding.state, finding.command
+        );
+    }
+
+    let corpus = hub.merged();
+    println!("\ncorpus        : {} entries retained", corpus.len());
+    for entry in corpus.entries().iter().take(5) {
+        println!(
+            "  {:>14} sig={:#07b} class={:?} wire={} bytes",
+            entry.state.to_string(),
+            entry.key.signature,
+            entry.key.class,
+            entry.wire.len()
+        );
+    }
+
+    // Second generation: reseed a fresh campaign from the merged corpus.
+    let reseeded = Campaign::builder()
+        .target(DeviceProfile::table5(ProfileId::D11))
+        .feedback(FeedbackConfig::default().with_seed_corpus(corpus))
+        .seed(52)
+        .run()
+        .expect("reseeded campaign runs")
+        .into_single();
+    println!(
+        "\nreseeded run  : vulnerable={} after {} packets",
+        reseeded.report.vulnerable(),
+        reseeded.report.packets_sent
+    );
+}
